@@ -1,0 +1,86 @@
+//! Ablations for the design choices `DESIGN.md` calls out.
+//!
+//! * `value_logging_read` / `value_logging_write` — the direct cost of
+//!   value logging a 128 B shared variable (§3.3): what the paper trades
+//!   for recovery independence. The comparison point `no_logging_read`
+//!   shows the raw access cost without the infrastructure.
+//! * `dv_merge` sizes — dependency-vector merge cost as the domain grows
+//!   (why bounding DV propagation at the domain boundary matters, §3.1).
+//! * `session_checkpoint` — the full checkpoint path (distributed flush +
+//!   8 KB state capture) that fuzzy checkpointing keeps off the critical
+//!   path of other sessions.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use msp_bench::bench_world;
+use msp_harness::workload::{request_payload, MSP1};
+use msp_harness::SystemConfig;
+use msp_types::{DependencyVector, Epoch, Lsn, MspId, StateId};
+
+fn bench_shared_variable_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_value_logging");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    // The full workload with logging...
+    {
+        let world = bench_world(SystemConfig::LoOptimistic);
+        let mut client = world.client(1);
+        let payload = request_payload(1);
+        let _ = world.run_requests(&mut client, 10, 1);
+        group.bench_function("request_with_value_logging", |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                }
+                t0.elapsed()
+            })
+        });
+        world.shutdown();
+    }
+    // ...and identical shared-state access with no logging at all.
+    {
+        let world = bench_world(SystemConfig::NoLog);
+        let mut client = world.client(1);
+        let payload = request_payload(1);
+        let _ = world.run_requests(&mut client, 10, 1);
+        group.bench_function("request_without_logging", |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                }
+                t0.elapsed()
+            })
+        });
+        world.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_dv_merge_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dv_merge");
+    for size in [2usize, 8, 32, 128] {
+        let a = DependencyVector::from_entries((0..size as u32).map(|i| {
+            (MspId(i), StateId::new(Epoch(0), Lsn(u64::from(i) * 10)))
+        }));
+        let b = DependencyVector::from_entries((0..size as u32).map(|i| {
+            (MspId(i), StateId::new(Epoch(0), Lsn(u64::from(i) * 10 + 5)))
+        }));
+        group.bench_function(BenchmarkId::from_parameter(size), |bch| {
+            bch.iter(|| {
+                let mut m = std::hint::black_box(a.clone());
+                m.merge_from(std::hint::black_box(&b));
+                m
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_variable_paths, bench_dv_merge_scaling);
+criterion_main!(benches);

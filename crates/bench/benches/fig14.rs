@@ -1,0 +1,76 @@
+//! E1/E2 — Figure 14: end-client response time for the five system
+//! configurations, at m = 1 (the table) and m = 1..4 (the chart).
+//!
+//! Each Criterion sample drives a small batch of requests through a
+//! pre-started world; the per-request time is the figure's response time
+//! (at simulation scale — multiply by 10 for paper-equivalent ms).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use msp_bench::bench_world;
+use msp_harness::workload::{request_payload, MSP1};
+use msp_harness::SystemConfig;
+
+fn bench_fig14_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_table_response_time");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for config in SystemConfig::ALL {
+        let world = bench_world(config);
+        let mut client = world.client(1);
+        let payload = request_payload(1);
+        // Session warm-up.
+        let _ = world.run_requests(&mut client, 10, 1);
+        group.bench_function(BenchmarkId::from_parameter(config.name()), |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                }
+                t0.elapsed()
+            })
+        });
+        world.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_fig14_chart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_chart_calls_per_request");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    // The chart's decisive comparison: LoOptimistic stays flat-ish while
+    // Pessimistic grows by two flushes per extra call.
+    for config in [SystemConfig::LoOptimistic, SystemConfig::Pessimistic, SystemConfig::StateServer]
+    {
+        let world = bench_world(config);
+        let mut client = world.client(1);
+        let _ = world.run_requests(&mut client, 10, 1);
+        for m in 1..=4u8 {
+            let payload = request_payload(m);
+            group.bench_function(
+                BenchmarkId::new(config.name(), m),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let t0 = Instant::now();
+                        for _ in 0..iters {
+                            client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                        }
+                        t0.elapsed()
+                    })
+                },
+            );
+        }
+        world.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14_table, bench_fig14_chart);
+criterion_main!(benches);

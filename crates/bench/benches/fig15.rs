@@ -1,0 +1,93 @@
+//! E3/E4 — Figure 15: (a) throughput versus session checkpointing
+//! threshold; (b) throughput versus crash rate for both logging methods.
+//!
+//! Throughput is the inverse of the measured batch time; Criterion's
+//! per-iteration time here is *per request*, so lower = higher
+//! throughput.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use msp_bench::{bench_opts, BENCH_SCALE};
+use msp_harness::experiments::{CRASH_CKPT_THRESHOLD, CRASH_INTERVALS};
+use msp_harness::workload::{request_payload, MSP1};
+use msp_harness::{SystemConfig, World, WorldOptions};
+
+fn bench_fig15a_thresholds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15a_ckpt_threshold");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for threshold in [16u64 << 10, 64 << 10, 256 << 10, 1 << 20, u64::MAX] {
+        let opts = WorldOptions {
+            session_ckpt_threshold: threshold,
+            checkpoints_enabled: threshold != u64::MAX,
+            ..bench_opts(SystemConfig::LoOptimistic)
+        };
+        let world = World::start(opts);
+        let mut client = world.client(1);
+        let payload = request_payload(1);
+        let _ = world.run_requests(&mut client, 10, 1);
+        let label = if threshold == u64::MAX {
+            "none".to_string()
+        } else {
+            format!("{}KB", threshold >> 10)
+        };
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                }
+                t0.elapsed()
+            })
+        });
+        world.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_fig15b_crash_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15b_crash_rate");
+    // Crash cells have heavy tails; keep samples small but batches big
+    // enough to include recoveries.
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    for config in [SystemConfig::LoOptimistic, SystemConfig::Pessimistic] {
+        for &crash_every in &CRASH_INTERVALS {
+            let opts = WorldOptions {
+                session_ckpt_threshold: CRASH_CKPT_THRESHOLD,
+                crash_every,
+                time_scale: BENCH_SCALE,
+                ..WorldOptions::new(config)
+            };
+            let world = World::start(opts);
+            let mut client = world.client(1);
+            let payload = request_payload(1);
+            let _ = world.run_requests(&mut client, 10, 1);
+            let label = if crash_every == 0 {
+                format!("{}/no-crash", config.name())
+            } else {
+                format!("{}/1-in-{}", config.name(), crash_every)
+            };
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter_custom(|iters| {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                    }
+                    t0.elapsed()
+                })
+            });
+            world.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig15a_thresholds, bench_fig15b_crash_rates);
+criterion_main!(benches);

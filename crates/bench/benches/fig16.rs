@@ -1,0 +1,98 @@
+//! E5/E6 — Figure 16: the cost of recovery itself.
+//!
+//! The table's "maximum response time" is a tail metric that Criterion
+//! cannot report directly, so this bench measures its two ingredients:
+//!
+//! * `crash_recovery_cycle` — the full crash → analysis scan → broadcast
+//!   → parallel replay cycle of MSP2, as a function of the checkpointing
+//!   threshold (more log since the last checkpoint = longer replay; the
+//!   source of the table's Crash-column spikes);
+//! * `request_through_crash` — a request served while MSP2 crashes and
+//!   recovers (the end-to-end worst case the paper reports).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use msp_bench::BENCH_SCALE;
+use msp_harness::experiments::CRASH_CKPT_THRESHOLD;
+use msp_harness::workload::{request_payload, MSP1};
+use msp_harness::{SystemConfig, World, WorldOptions};
+
+fn bench_crash_recovery_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_crash_recovery_cycle");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(300));
+    for threshold in [16u64 << 10, 64 << 10, 256 << 10] {
+        let opts = WorldOptions {
+            session_ckpt_threshold: threshold,
+            time_scale: BENCH_SCALE,
+            ..WorldOptions::new(SystemConfig::LoOptimistic)
+        };
+        let world = World::start(opts);
+        let mut client = world.client(1);
+        // Build up some log so recovery has work to do.
+        let _ = world.run_requests(&mut client, 60, 1);
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{}KB", threshold >> 10)),
+            |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        // Generate fresh un-checkpointed work, then crash.
+                        let _ = world.run_requests(&mut client, 10, 1);
+                        let t0 = Instant::now();
+                        world.msp2.crash_and_restart();
+                        total += t0.elapsed();
+                    }
+                    total
+                })
+            },
+        );
+        world.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_request_through_crash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_request_through_crash");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(300));
+    for config in [SystemConfig::LoOptimistic, SystemConfig::Pessimistic] {
+        let opts = WorldOptions {
+            session_ckpt_threshold: CRASH_CKPT_THRESHOLD,
+            time_scale: BENCH_SCALE,
+            ..WorldOptions::new(config)
+        };
+        let world = World::start(opts);
+        let mut client = world.client(1);
+        let payload = request_payload(1);
+        let _ = world.run_requests(&mut client, 30, 1);
+        group.bench_function(BenchmarkId::from_parameter(config.name()), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    // Crash MSP2 with un-flushed state, then time the next
+                    // request — it rides through orphan detection and
+                    // session recovery.
+                    world.msp2.crash_and_restart();
+                    let t0 = Instant::now();
+                    client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                    total += t0.elapsed();
+                    // A few normal requests to restore steady state.
+                    let _ = world.run_requests(&mut client, 5, 1);
+                }
+                total
+            })
+        });
+        world.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crash_recovery_cycle, bench_request_through_crash);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E7 — Figure 17: throughput with multiple concurrent end clients,
+//! per-request flushing vs the paper's 8 ms batch flushing (plus the
+//! group-commit extension). Per-iteration time here is per *request
+//! across all clients*, so lower = higher aggregate throughput.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use msp_bench::BENCH_SCALE;
+use msp_harness::{FlushMode, SystemConfig, World, WorldOptions};
+
+fn bench_fig17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_multi_client_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    let modes = [
+        ("per-request", FlushMode::PerRequest),
+        ("batched-8ms", FlushMode::Batched(Duration::from_millis(8))),
+        ("group-commit", FlushMode::GroupCommit),
+    ];
+    for config in [SystemConfig::Pessimistic, SystemConfig::LoOptimistic] {
+        for (mode_name, mode) in modes {
+            for clients in [1u64, 4, 8] {
+                let opts = WorldOptions {
+                    flush_mode: mode,
+                    time_scale: BENCH_SCALE,
+                    ..WorldOptions::new(config)
+                };
+                let world = World::start(opts);
+                // Warm-up all sessions.
+                let _ = world.run_concurrent(clients, 5, 1);
+                let label = format!("{}/{}/{}cl", config.name(), mode_name, clients);
+                group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                    b.iter_custom(|iters| {
+                        // Amortize thread start-up across a batch.
+                        let per_client = iters.div_ceil(clients).max(5);
+                        let t0 = Instant::now();
+                        let series = world.run_concurrent(clients, per_client, 1);
+                        // Normalize to the requested iteration count.
+                        t0.elapsed().mul_f64(iters as f64 / series.len() as f64)
+                    })
+                });
+                world.shutdown();
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig17);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Substrate microbenchmarks: raw costs of the building blocks beneath
+//! the figures — log appends, record codec, position streams, the KV
+//! store's transactions. All with the cost model disabled: these measure
+//! the implementation, not the simulated device.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use msp_types::codec::{Decode, Encode};
+use msp_types::{DependencyVector, Epoch, Lsn, MspId, RequestSeq, SessionId, StateId, VarId};
+use msp_wal::{DiskModel, FlushPolicy, LogRecord, MemDisk, PhysicalLog, PositionStream};
+
+fn sample_record() -> LogRecord {
+    LogRecord::SharedRead {
+        session: SessionId(7),
+        var: VarId(1),
+        value: vec![42u8; 128],
+        var_dv: DependencyVector::from_entries([
+            (MspId(1), StateId::new(Epoch(0), Lsn(4096))),
+            (MspId(2), StateId::new(Epoch(1), Lsn(9999))),
+        ]),
+    }
+}
+
+fn bench_log_append(c: &mut Criterion) {
+    let log = PhysicalLog::open(
+        Arc::new(MemDisk::new()),
+        DiskModel::zero(),
+        FlushPolicy::immediate(),
+    )
+    .unwrap();
+    let rec = sample_record();
+    c.bench_function("micro_log_append_128B_read_record", |b| {
+        b.iter(|| log.append(std::hint::black_box(&rec)))
+    });
+    log.close();
+}
+
+fn bench_log_flush_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_log_append_flush");
+    for batch in [1usize, 16, 256] {
+        let log = PhysicalLog::open(
+            Arc::new(MemDisk::new()),
+            DiskModel::zero(),
+            FlushPolicy::immediate(),
+        )
+        .unwrap();
+        let rec = sample_record();
+        group.bench_function(BenchmarkId::from_parameter(batch), |b| {
+            b.iter(|| {
+                let mut last = Lsn(0);
+                for _ in 0..batch {
+                    last = log.append(&rec);
+                }
+                log.flush_to(last).unwrap();
+            })
+        });
+        log.close();
+    }
+    group.finish();
+}
+
+fn bench_record_codec(c: &mut Criterion) {
+    let rec = sample_record();
+    let bytes = rec.to_bytes();
+    c.bench_function("micro_record_encode", |b| {
+        b.iter(|| std::hint::black_box(&rec).to_bytes())
+    });
+    c.bench_function("micro_record_decode", |b| {
+        b.iter(|| LogRecord::from_bytes(std::hint::black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_log_scan(c: &mut Criterion) {
+    let disk = Arc::new(MemDisk::new());
+    let log =
+        PhysicalLog::open(disk.clone(), DiskModel::zero(), FlushPolicy::immediate()).unwrap();
+    let rec = sample_record();
+    for _ in 0..1_000 {
+        log.append(&rec);
+    }
+    log.flush_all().unwrap();
+    c.bench_function("micro_log_scan_1k_records", |b| {
+        b.iter(|| {
+            log.scan_from(Lsn(0))
+                .inspect(|r| assert!(r.is_ok(), "intact"))
+                .count()
+        })
+    });
+    log.close();
+}
+
+fn bench_position_stream(c: &mut Criterion) {
+    c.bench_function("micro_position_stream_1k_push_truncate", |b| {
+        b.iter(|| {
+            let mut s = PositionStream::new();
+            for i in 0..1_000u64 {
+                s.push(Lsn(i * 64));
+            }
+            s.truncate_from(Lsn(32_000));
+            s
+        })
+    });
+}
+
+fn bench_kv_txn(c: &mut Criterion) {
+    let kv = msp_kv::KvStore::open(
+        Arc::new(MemDisk::new()),
+        DiskModel::zero(),
+        msp_kv::KvOptions::zero(),
+    )
+    .unwrap();
+    let blob = vec![7u8; 8192];
+    c.bench_function("micro_kv_write_txn_8KB", |b| {
+        b.iter(|| kv.put(b"session", std::hint::black_box(&blob)).unwrap())
+    });
+    c.bench_function("micro_kv_read_txn_8KB", |b| {
+        b.iter(|| kv.read_txn(std::hint::black_box(b"session")).unwrap())
+    });
+}
+
+fn bench_seq_codec_types(c: &mut Criterion) {
+    let dv = DependencyVector::from_entries(
+        (0..8u32).map(|i| (MspId(i), StateId::new(Epoch(0), Lsn(u64::from(i))))),
+    );
+    c.bench_function("micro_dv_encode_decode_8", |b| {
+        b.iter(|| {
+            let bytes = std::hint::black_box(&dv).to_bytes();
+            DependencyVector::from_bytes(&bytes).unwrap()
+        })
+    });
+    let _ = RequestSeq::FIRST;
+}
+
+criterion_group!(
+    benches,
+    bench_log_append,
+    bench_log_flush_cycle,
+    bench_record_codec,
+    bench_log_scan,
+    bench_position_stream,
+    bench_kv_txn,
+    bench_seq_codec_types,
+);
+criterion_main!(benches);

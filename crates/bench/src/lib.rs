@@ -1,0 +1,21 @@
+//! Shared helpers for the Criterion benches that regenerate the paper's
+//! tables and figures. The benches live in `benches/`, one file per
+//! figure (see `DESIGN.md`'s experiment index); this crate only hosts
+//! the common setup glue.
+
+use msp_harness::{SystemConfig, World, WorldOptions};
+
+/// The time scale used by all benches: a tenth of the paper's latencies,
+/// the same default as the `repro` binary. Criterion measures the
+/// *simulated* durations — ratios are what matters.
+pub const BENCH_SCALE: f64 = 0.1;
+
+/// Start a world for `config` at the bench scale.
+pub fn bench_world(config: SystemConfig) -> World {
+    World::start(bench_opts(config))
+}
+
+/// Bench options for `config` at the bench scale.
+pub fn bench_opts(config: SystemConfig) -> WorldOptions {
+    WorldOptions { time_scale: BENCH_SCALE, ..WorldOptions::new(config) }
+}

@@ -1,0 +1,214 @@
+//! Checkpointing: sessions (§3.2), shared variables (§3.3), and the fuzzy
+//! MSP checkpoint (§3.4).
+//!
+//! The three levels are deliberately independent:
+//!
+//! * a **session checkpoint** is taken between requests once the session
+//!   has consumed enough log, preceded by a distributed flush so the
+//!   checkpointed state can never become an orphan; it truncates the
+//!   session's position stream;
+//! * a **shared-variable checkpoint** is taken after enough writes; it
+//!   breaks the backward write chain (Figure 9);
+//! * the **MSP checkpoint** is fuzzy: it blocks nobody, records only the
+//!   *positions* of the component checkpoints plus the recovered-state
+//!   knowledge, and anchors itself in the log header. Its minimum LSN is
+//!   where crash recovery's analysis scan starts.
+//!
+//! Inactive sessions and variables are force-checkpointed after a number
+//! of MSP checkpoints so the scan start keeps advancing (§3.4).
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use msp_types::{Lsn, MspError, MspResult, StateId};
+use msp_wal::record::{MspCheckpointBody, SessionAnchor};
+use msp_wal::LogRecord;
+
+use crate::runtime::{MspInner, WorkItem};
+use crate::session::{SessionCell, SessionState};
+use crate::shared::SharedVar;
+
+impl MspInner {
+    /// Take a session checkpoint (caller holds the session's state lock,
+    /// which also "holds new requests until the checkpoint is completed").
+    pub(crate) fn session_checkpoint(
+        &self,
+        cell: &SessionCell,
+        st: &mut SessionState,
+    ) -> MspResult<()> {
+        // The distributed flush makes every dependency durable; if it
+        // reveals the session to be an orphan, recover instead of
+        // checkpointing.
+        match self.distributed_flush(&st.dv) {
+            Ok(()) => {}
+            Err(e @ (MspError::OrphanDependency { .. } | MspError::Orphan { .. })) => {
+                st.needs_recovery = true;
+                let _ = self.work_tx.send(WorkItem::RecoverSession(cell.id));
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        }
+        let log = self.log();
+        let body = st.to_checkpoint_body();
+        let lsn = log.append(&LogRecord::SessionCheckpoint { session: cell.id, body });
+        // The state as of checkpoint completion can never be an orphan:
+        // reset the DV to the self-entry only; discard prior positions.
+        st.dv.clear();
+        st.dv.set(self.cfg.id, StateId::new(self.epoch(), lsn));
+        st.state_number = lsn;
+        st.last_ckpt = Some(lsn);
+        st.log_consumed = 0;
+        st.positions.truncate();
+        cell.msp_ckpts_since_ckpt.store(0, Ordering::Release);
+        cell.sync_anchor(st);
+        self.stats.session_checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Checkpoint `var` if its write count crossed the threshold (§3.3);
+    /// called by the writer right after a write, with the variable lock
+    /// released in between (re-acquired inside).
+    pub(crate) fn maybe_shared_checkpoint(&self, var: &SharedVar, _lsn: Lsn) -> MspResult<()> {
+        if !self.cfg.logging.checkpoints_enabled {
+            return Ok(());
+        }
+        let due = var.state.lock().writes_since_ckpt >= self.cfg.logging.shared_ckpt_writes;
+        if due {
+            self.shared_checkpoint(var)?;
+        }
+        Ok(())
+    }
+
+    /// Take a shared-variable checkpoint: distributed flush under the
+    /// variable's DV, then log the value — which thereby can never become
+    /// an orphan — and break the backward chain (Figure 9).
+    pub(crate) fn shared_checkpoint(&self, var: &SharedVar) -> MspResult<()> {
+        let mut st = var.state.lock();
+        match self.distributed_flush(&st.dv) {
+            Ok(()) => {}
+            Err(MspError::OrphanDependency { .. }) => {
+                // The current value is an orphan: roll it back instead
+                // (§4.2); the rolled-back value can be checkpointed on the
+                // next threshold crossing.
+                let log = self.log();
+                let knowledge = self.knowledge.read();
+                let env = crate::shared::SharedEnv {
+                    me: self.cfg.id,
+                    epoch: self.epoch(),
+                    log,
+                    knowledge: &knowledge,
+                };
+                crate::shared::rollback_if_orphan(&env, var, &mut st)?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let log = self.log();
+        let lsn = log.append(&LogRecord::SharedCheckpoint {
+            var: var.id,
+            value: st.value.clone(),
+        });
+        st.last_ckpt = Some(lsn);
+        st.chain_head = lsn;
+        st.dv.clear();
+        st.writes_since_ckpt = 0;
+        var.msp_ckpts_since_ckpt.store(0, Ordering::Release);
+        var.sync_anchor(&st);
+        self.stats.shared_checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The fuzzy MSP checkpoint (§3.4): collect the component anchors
+    /// without blocking anyone, make sure the referenced records are
+    /// durable, log the checkpoint, update the log anchor, and schedule
+    /// forced checkpoints for laggards.
+    pub(crate) fn msp_checkpoint(&self) -> MspResult<()> {
+        let log = self.log();
+
+        // Fuzzy collection: lock-free anchors only.
+        let mut sessions = Vec::new();
+        let mut min_lsn = Lsn(u64::MAX);
+        let mut max_lsn = Lsn(0);
+        let cells: Vec<_> = self.sessions.lock().values().cloned().collect();
+        for cell in &cells {
+            if let Some((lsn, is_checkpoint)) = cell.anchor() {
+                sessions.push(SessionAnchor { session: cell.id, lsn, is_checkpoint });
+                min_lsn = min_lsn.min(lsn);
+                max_lsn = max_lsn.max(lsn);
+            }
+        }
+        let mut shared = Vec::new();
+        for var in self.shared.iter() {
+            if let Some(lsn) = var.anchor() {
+                shared.push((var.id, lsn));
+                min_lsn = min_lsn.min(lsn);
+                max_lsn = max_lsn.max(lsn);
+            }
+        }
+        if min_lsn == Lsn(u64::MAX) {
+            // Nothing to anchor: the scan would start at the current end.
+            min_lsn = log.durable_lsn();
+        }
+
+        // The checkpoint may only reference durable records: flush up to
+        // the newest anchor before writing it.
+        if max_lsn > Lsn(0) {
+            log.flush_to(max_lsn)?;
+        }
+        let body = MspCheckpointBody {
+            epoch: self.epoch(),
+            knowledge: self.knowledge.read().clone(),
+            sessions,
+            shared,
+            min_lsn,
+        };
+        let lsn = log.append(&LogRecord::MspCheckpoint(body));
+        log.flush_to(lsn)?;
+        self.anchor
+            .as_ref()
+            .expect("LogBased runtime has an anchor")
+            .write(lsn)?;
+        self.stats.msp_checkpoints.fetch_add(1, Ordering::Relaxed);
+
+        // Advance laggards so the scan start keeps moving (§3.4): force a
+        // checkpoint for any session/variable that has gone too many MSP
+        // checkpoints without one of its own.
+        let force_after = self.cfg.logging.force_ckpt_after;
+        for cell in &cells {
+            let n = cell.msp_ckpts_since_ckpt.fetch_add(1, Ordering::AcqRel) + 1;
+            if n >= force_after && cell.anchor().is_some() {
+                let _ = self
+                    .work_tx
+                    .send(WorkItem::ForceSessionCheckpoint(cell.id));
+            }
+        }
+        for var in self.shared.iter() {
+            let n = var.msp_ckpts_since_ckpt.fetch_add(1, Ordering::AcqRel) + 1;
+            if n >= force_after && var.anchor().is_some() {
+                let needs = var.state.lock().writes_since_ckpt > 0;
+                if needs {
+                    let _ = self.shared_checkpoint(var);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Periodic checkpointer thread body.
+    pub(crate) fn checkpointer_loop(self: std::sync::Arc<Self>) {
+        let interval = self.cfg.logging.msp_ckpt_interval;
+        while !self.stopped() {
+            // Sleep in small slices so shutdown is prompt.
+            let mut remaining = interval;
+            while remaining > Duration::ZERO && !self.stopped() {
+                let slice = remaining.min(Duration::from_millis(20));
+                std::thread::sleep(slice);
+                remaining = remaining.saturating_sub(slice);
+            }
+            if self.stopped() {
+                return;
+            }
+            let _ = self.msp_checkpoint();
+        }
+    }
+}

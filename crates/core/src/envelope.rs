@@ -1,0 +1,110 @@
+//! The wire protocol between clients, MSPs and state servers.
+//!
+//! Request/reply carry the sequence numbers of §3.1 and, when the sender's
+//! session lives in the same service domain as the receiver, the sender's
+//! dependency vector (Figure 7). The remaining variants implement the
+//! recovery plumbing: distributed log flushes and recovery broadcasts.
+
+use msp_net::EndpointId;
+use msp_types::{DependencyVector, Epoch, Lsn, RecoveryRecord, RequestSeq, SessionId};
+
+/// Outcome carried by a reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// The method executed; here is its result.
+    Ok(Vec<u8>),
+    /// The server is checkpointing this session or recovering it; the
+    /// client should back off briefly and resend (§5.4: "it sleeps for
+    /// 100ms and resends the request").
+    Busy,
+    /// The service method failed deterministically.
+    Err(String),
+}
+
+/// A request over a session.
+#[derive(Debug, Clone)]
+pub struct RequestMsg {
+    pub session: SessionId,
+    pub seq: RequestSeq,
+    pub method: String,
+    pub payload: Vec<u8>,
+    /// Where the reply goes (the client endpoint, or the calling MSP).
+    pub reply_to: EndpointId,
+    /// Present iff the sender is a session of an MSP in the same service
+    /// domain (optimistic logging); absent on pessimistically logged
+    /// paths (end clients, cross-domain).
+    pub sender_dv: Option<DependencyVector>,
+}
+
+/// The reply to a [`RequestMsg`], matched by `(session, seq)`.
+#[derive(Debug, Clone)]
+pub struct ReplyMsg {
+    pub session: SessionId,
+    pub seq: RequestSeq,
+    pub status: ReplyStatus,
+    /// Sender's session DV when the reply stays inside the service domain.
+    pub sender_dv: Option<DependencyVector>,
+}
+
+/// Everything that can travel over the simulated network.
+#[derive(Debug, Clone)]
+pub enum Envelope {
+    Request(RequestMsg),
+    Reply(ReplyMsg),
+    /// Part of a distributed log flush (§3.1): "flush your log so the
+    /// state `(epoch, lsn)` of yours that I depend on is durable".
+    FlushRequest { from: EndpointId, req_id: u64, epoch: Epoch, lsn: Lsn },
+    /// Answer to a flush request; `ok = false` means the requested state
+    /// was lost in a crash — the requester is an orphan.
+    FlushReply { req_id: u64, ok: bool },
+    /// Recovery broadcast within the service domain: the sender recovered.
+    Recovery(RecoveryRecord),
+    /// StateServer baseline: fetch a session-state blob.
+    StateGet { from: EndpointId, req_id: u64, key: Vec<u8> },
+    /// StateServer baseline: store a session-state blob.
+    StatePut { from: EndpointId, req_id: u64, key: Vec<u8>, value: Vec<u8> },
+    /// StateServer baseline: response to either of the above.
+    StateResp { req_id: u64, value: Option<Vec<u8>> },
+}
+
+impl Envelope {
+    /// Diagnostic name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Envelope::Request(_) => "Request",
+            Envelope::Reply(_) => "Reply",
+            Envelope::FlushRequest { .. } => "FlushRequest",
+            Envelope::FlushReply { .. } => "FlushReply",
+            Envelope::Recovery(_) => "Recovery",
+            Envelope::StateGet { .. } => "StateGet",
+            Envelope::StatePut { .. } => "StatePut",
+            Envelope::StateResp { .. } => "StateResp",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_types::MspId;
+
+    #[test]
+    fn kind_names() {
+        let req = Envelope::Request(RequestMsg {
+            session: SessionId(1),
+            seq: RequestSeq(0),
+            method: "m".into(),
+            payload: vec![],
+            reply_to: EndpointId::Client(1),
+            sender_dv: None,
+        });
+        assert_eq!(req.kind(), "Request");
+        let fl = Envelope::FlushRequest {
+            from: EndpointId::Msp(MspId(1)),
+            req_id: 1,
+            epoch: Epoch(0),
+            lsn: Lsn(10),
+        };
+        assert_eq!(fl.kind(), "FlushRequest");
+    }
+}

@@ -1,0 +1,170 @@
+//! Distributed log flushes (§3.1).
+//!
+//! Before a message crosses a pessimistic boundary — out of the service
+//! domain or to an end client — every state the sender transitively
+//! depends on must be durable. The sender walks its dependency vector:
+//! its own entry becomes a local flush, every other entry becomes a
+//! `FlushRequest` to that MSP. The separate local flushes run in parallel
+//! (requests are sent before the local flush starts; replies are awaited
+//! afterwards), matching the paper's "the separate local flushes required
+//! by a distributed log flush can be done in parallel".
+//!
+//! A flush can *fail*: if a participant crashed and lost the requested
+//! state, the requester is an orphan — it carries a dependency on a state
+//! that no longer exists. The failure is surfaced as
+//! [`MspError::OrphanDependency`] and the caller initiates session (or
+//! shared-variable) orphan recovery.
+
+use std::sync::atomic::Ordering;
+
+use msp_net::EndpointId;
+use msp_types::{DependencyVector, Epoch, Lsn, MspError, MspId, MspResult, StateId};
+
+use crate::envelope::Envelope;
+use crate::runtime::MspInner;
+
+impl MspInner {
+    /// Flush everything `dv` depends on, across the domain. Returns
+    /// `Err(OrphanDependency)` when some depended-upon state is lost.
+    pub(crate) fn distributed_flush(&self, dv: &DependencyVector) -> MspResult<()> {
+        if !self.is_log_based() {
+            return Ok(());
+        }
+        self.stats.distributed_flushes.fetch_add(1, Ordering::Relaxed);
+        let me = self.cfg.id;
+        let mut local: Option<Lsn> = None;
+        let mut remote: Vec<(MspId, StateId)> = Vec::new();
+        for (m, s) in dv.iter() {
+            if m == me {
+                local = Some(local.map_or(s.lsn, |l| l.max(s.lsn)));
+            } else {
+                // Fast path: already-known-lost dependencies fail without
+                // a network round trip.
+                if self.knowledge.read().is_orphan_dep(m, s) {
+                    return Err(MspError::OrphanDependency { msp: m });
+                }
+                remote.push((m, s));
+            }
+        }
+
+        // Fire all remote requests first so they overlap with our local
+        // flush (parallel flushes, §3.1 / §5.2).
+        let mut waits = Vec::with_capacity(remote.len());
+        for &(m, s) in &remote {
+            waits.push((m, s, self.send_flush_request(m, s)));
+        }
+        if let Some(lsn) = local {
+            self.log().flush_to(lsn)?;
+        }
+        for (m, s, mut rx) in waits {
+            let mut attempts = 0u32;
+            loop {
+                match rx.recv_timeout(self.cfg.rpc_timeout) {
+                    Ok(true) => break,
+                    Ok(false) => return Err(MspError::OrphanDependency { msp: m }),
+                    Err(_) => {
+                        if self.stopped() {
+                            return Err(MspError::Shutdown);
+                        }
+                        // While the participant is down we cannot know
+                        // whether our dependency survived; its recovery
+                        // broadcast may settle the question first.
+                        if self.knowledge.read().is_orphan_dep(m, s) {
+                            return Err(MspError::OrphanDependency { msp: m });
+                        }
+                        attempts += 1;
+                        if attempts > self.cfg.flush_retry_limit {
+                            return Err(MspError::FlushFailed {
+                                participant: m,
+                                reason: "participant unreachable".into(),
+                            });
+                        }
+                        rx = self.send_flush_request(m, s);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn send_flush_request(
+        &self,
+        target: MspId,
+        state: StateId,
+    ) -> crossbeam_channel::Receiver<bool> {
+        let req_id = self.next_req_id();
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        self.pending_flushes.lock().insert(req_id, tx);
+        self.send(
+            EndpointId::Msp(target),
+            Envelope::FlushRequest {
+                from: self.me(),
+                req_id,
+                epoch: state.epoch,
+                lsn: state.lsn,
+            },
+        );
+        rx
+    }
+
+    /// Serve a peer's flush request: make our state `(epoch, lsn)`
+    /// durable, or report it lost.
+    pub(crate) fn serve_flush_request(&self, epoch: Epoch, lsn: Lsn) -> bool {
+        self.stats.flush_requests_served.fetch_add(1, Ordering::Relaxed);
+        if !self.is_log_based() {
+            return false;
+        }
+        let current = self.epoch();
+        if epoch == current {
+            // The state is in our current incarnation's log: flush it.
+            self.log().flush_to(lsn).is_ok()
+        } else if epoch < current {
+            // From a previous incarnation: it survived iff it is at or
+            // below the recovered LSN of the first recovery after it —
+            // our own recovery history answers that. Anything that
+            // survived a recovery is durable by construction.
+            self.own_state_survived(epoch, lsn)
+        } else {
+            // A dependency on our future: can only mean a stale message
+            // from before several crashes of the *requester*; refuse.
+            false
+        }
+    }
+
+    /// Absorb a recovery broadcast (§3.1/§4): log it (and flush, so the
+    /// knowledge survives our own crashes), record it, then sweep idle
+    /// sessions for orphans — busy sessions check at their next
+    /// interception point (§4.1).
+    pub(crate) fn absorb_recovery_broadcast(&self, rec: msp_types::RecoveryRecord) {
+        if rec.msp == self.cfg.id {
+            return;
+        }
+        if let Some(log) = &self.log {
+            let lsn = log.append(&msp_wal::LogRecord::RecoveryAnnouncement(rec));
+            // Durable knowledge: recovery broadcasts are sent exactly once
+            // (at the peer's recovery), so losing the record would leave
+            // permanently undetectable orphans. Crashes are rare; one
+            // flush per peer crash is cheap.
+            let _ = log.flush_to(lsn);
+        }
+        self.knowledge.write().record(rec);
+        let cells: Vec<_> = self.sessions.lock().values().cloned().collect();
+        let me = self.cfg.id;
+        for cell in cells {
+            // Idle sessions can be checked right now; their recovery runs
+            // on the worker pool. Busy sessions are intercepted later.
+            let schedule = match cell.state.try_lock() {
+                Some(mut st) if !st.ended && self.knowledge.read().is_orphan(&st.dv, me) => {
+                    st.needs_recovery = true;
+                    true
+                }
+                _ => false,
+            };
+            if schedule {
+                let _ = self
+                    .work_tx
+                    .send(crate::runtime::WorkItem::RecoverSession(cell.id));
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Recovery processing (§4): session orphan recovery, shared-state roll
+//! forward, and MSP crash recovery.
+//!
+//! Three flows share the replay engine in [`crate::replay`]:
+//!
+//! * **Session orphan recovery** (§4.1) — a live session whose DV refers
+//!   to a state some peer lost: reset to the last checkpoint and replay
+//!   the position stream; replay terminates at the orphan record, writes
+//!   an EOS, and the in-progress method continues live.
+//! * **Session recovery after the scan** (§4.3) — the same procedure over
+//!   a position stream rebuilt by the analysis scan, with the EOS-found
+//!   handling for skip ranges recorded by pre-crash recoveries.
+//! * **MSP crash recovery** (§4.3, Figure 12) — re-initialize from the
+//!   anchored MSP checkpoint, run a single-threaded analysis scan that
+//!   rebuilds position streams / rolls shared variables forward / gathers
+//!   recovered-state knowledge, broadcast our own recovered state number,
+//!   checkpoint, then replay all sessions **in parallel** on the worker
+//!   pool while already accepting new work.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+
+use msp_types::{Lsn, MspError, MspResult, RecoveryRecord, SessionId};
+use msp_wal::log::DATA_START;
+use msp_wal::record::MspCheckpointBody;
+use msp_wal::{LogRecord, PositionStream};
+
+use crate::envelope::ReplyStatus;
+use crate::replay::{Consume, ReplayCursor};
+use crate::runtime::MspInner;
+use crate::service::{take_fatal, ServiceContext};
+use crate::session::{SessionCell, SessionState};
+
+/// What `crash_recover` hands back to the builder.
+pub(crate) struct RecoveryOutcome {
+    /// Our recovery record to broadcast in the domain (`None` on a fresh
+    /// log — nothing to recover, nothing to announce).
+    pub announce: Option<RecoveryRecord>,
+    /// Sessions whose replay should be scheduled on the worker pool.
+    pub sessions_to_replay: Vec<SessionId>,
+}
+
+impl MspInner {
+    /// Recover one session to its most recent non-orphan state (§4.1).
+    /// The caller holds the session's state lock, so new requests bounce
+    /// with *Busy* until recovery completes.
+    pub(crate) fn recover_session_locked(
+        &self,
+        cell: &SessionCell,
+        st: &mut SessionState,
+    ) -> MspResult<()> {
+        let r = self.recover_session_inner(cell, st);
+        if r.is_err() {
+            // Leave a breadcrumb so the next interception retries.
+            st.needs_recovery = true;
+        }
+        r
+    }
+
+    fn recover_session_inner(&self, cell: &SessionCell, st: &mut SessionState) -> MspResult<()> {
+        self.stats.orphan_recoveries.fetch_add(1, Ordering::Relaxed);
+        let log = self.log();
+        let me = self.cfg.id;
+
+        // Snapshot the replay window, then reset the session to its most
+        // recent checkpoint (or to a fresh state).
+        let positions: Vec<Lsn> = st.positions.iter().collect();
+        let restored = match st.last_ckpt {
+            Some(ckpt) => match log.read_record(ckpt)? {
+                LogRecord::SessionCheckpoint { body, .. } => {
+                    SessionState::restore_from_checkpoint(&body, me, self.epoch(), ckpt)
+                }
+                other => {
+                    return Err(MspError::LogCorrupt {
+                        offset: ckpt.0,
+                        reason: format!(
+                            "session {} checkpoint anchor points at {}",
+                            cell.id,
+                            other.kind()
+                        ),
+                    })
+                }
+            },
+            None => SessionState::fresh(),
+        };
+        *st = restored;
+
+        // Charge the (mostly sequential) log reads of the replay window
+        // (§5.4: replay reads 64 KB chunks).
+        if let (Some(&first), Some(&last)) = (positions.first(), positions.last()) {
+            log.charge_sequential_read(last.0 - first.0 + 1);
+        }
+
+        let mut cursor = ReplayCursor::new(positions);
+        loop {
+            let step = {
+                // Re-read knowledge each iteration: another MSP may crash
+                // *during* this recovery, and replay must see it (§4.1,
+                // "orphan recovery upon multiple crashes").
+                let knowledge = self.knowledge.read();
+                cursor.consume(log, &knowledge, me, cell.id)?
+            };
+            match step {
+                Consume::WentLive => break,
+                Consume::Record { lsn, record, framed } => match record {
+                    LogRecord::RequestReceive { seq, method, payload, sender_dv, .. } => {
+                        self.stats.replayed_requests.fetch_add(1, Ordering::Relaxed);
+                        if let Some(dv) = &sender_dv {
+                            st.dv.merge_from(dv);
+                        }
+                        st.note_logged(me, self.epoch(), lsn, framed);
+                        let Some(svc) = self.services.get(&method).cloned() else {
+                            return Err(MspError::LogCorrupt {
+                                offset: lsn.0,
+                                reason: format!("logged request for unknown method {method}"),
+                            });
+                        };
+                        // Re-execute; the context consumes this request's
+                        // records from the cursor and may switch to live
+                        // execution at the replay boundary.
+                        let (result, fatal) = {
+                            let mut ctx =
+                                ServiceContext::replaying(self, cell.id, st, &mut cursor);
+                            let r = svc(&mut ctx, &payload);
+                            let f = ctx.fatal.take();
+                            (r, f)
+                        };
+                        let result = take_fatal(result, fatal)?;
+                        let status = match result {
+                            Ok(p) => ReplyStatus::Ok(p),
+                            Err(e) => ReplyStatus::Err(e),
+                        };
+                        // Replies are buffered, never pushed: any client
+                        // that is still waiting is resending, and the
+                        // duplicate path returns the buffered reply.
+                        st.buffered_reply = Some((seq, status));
+                        st.next_expected = seq.next();
+                    }
+                    LogRecord::SessionEnd { .. } => {
+                        st.ended = true;
+                        break;
+                    }
+                    other => {
+                        // SessionCheckpoint cannot appear (streams are
+                        // truncated at checkpoints); SharedRead /
+                        // ReplyReceive outside a request would be a
+                        // determinism violation.
+                        return Err(MspError::LogCorrupt {
+                            offset: lsn.0,
+                            reason: format!(
+                                "unexpected {} at request boundary during replay",
+                                other.kind()
+                            ),
+                        });
+                    }
+                },
+            }
+        }
+        st.needs_recovery = false;
+        cell.sync_anchor(st);
+        if st.ended {
+            self.sessions.lock().remove(&cell.id);
+        }
+        Ok(())
+    }
+
+    /// MSP crash recovery (Figure 12). Runs before the runtime goes live;
+    /// returns the broadcast record and the sessions to replay in
+    /// parallel.
+    pub(crate) fn crash_recover(&self) -> MspResult<RecoveryOutcome> {
+        let log = self.log();
+        if log.durable_lsn().0 <= DATA_START && log.end_lsn().0 <= DATA_START {
+            // Fresh log: nothing to recover.
+            return Ok(RecoveryOutcome { announce: None, sessions_to_replay: Vec::new() });
+        }
+        self.stats.crash_recoveries.fetch_add(1, Ordering::Relaxed);
+        let me = self.cfg.id;
+
+        // 1. Re-initialize from the most recent MSP checkpoint (via the
+        //    log anchor); absent one, scan the whole log.
+        let anchor_lsn = self.anchor.as_ref().expect("LogBased").read()?;
+        let mut epoch_base = msp_types::Epoch(0);
+        let mut scan_start = Lsn(DATA_START);
+        if let Some(ckpt_lsn) = anchor_lsn {
+            match log.read_record(ckpt_lsn)? {
+                LogRecord::MspCheckpoint(body) => {
+                    self.absorb_msp_checkpoint_body(&body, &mut epoch_base);
+                    scan_start = body.min_lsn;
+                }
+                other => {
+                    return Err(MspError::LogCorrupt {
+                        offset: ckpt_lsn.0,
+                        reason: format!("log anchor points at {}", other.kind()),
+                    })
+                }
+            }
+        }
+
+        // 2. Single-threaded analysis scan: rebuild position streams,
+        //    roll shared variables forward, gather knowledge.
+        let mut streams: HashMap<SessionId, PositionStream> = HashMap::new();
+        let mut anchors: HashMap<SessionId, (Lsn, bool)> = HashMap::new();
+        let mut ended: HashSet<SessionId> = HashSet::new();
+        let mut scan = log.scan_from(scan_start);
+        for item in &mut scan {
+            let (lsn, record) = item?;
+            match &record {
+                LogRecord::SessionCheckpoint { session, .. } => {
+                    anchors.insert(*session, (lsn, true));
+                    streams.insert(*session, PositionStream::new());
+                }
+                LogRecord::SessionEnd { session } => {
+                    ended.insert(*session);
+                    anchors.remove(session);
+                    streams.remove(session);
+                }
+                LogRecord::RequestReceive { session, .. }
+                | LogRecord::ReplyReceive { session, .. }
+                | LogRecord::SharedRead { session, .. }
+                | LogRecord::Eos { session, .. } => {
+                    if !ended.contains(session) {
+                        anchors.entry(*session).or_insert((lsn, false));
+                        streams.entry(*session).or_default().push(lsn);
+                    }
+                }
+                LogRecord::SharedCheckpoint { var, value } => {
+                    if let Some(v) = self.shared.get(*var) {
+                        let mut vst = v.state.lock();
+                        vst.value = value.clone();
+                        vst.dv.clear();
+                        vst.chain_head = lsn;
+                        vst.last_ckpt = Some(lsn);
+                        vst.writes_since_ckpt = 0;
+                        v.sync_anchor(&vst);
+                    }
+                }
+                LogRecord::SharedWrite { var, value, writer_dv, .. } => {
+                    if let Some(v) = self.shared.get(*var) {
+                        let mut vst = v.state.lock();
+                        vst.value = value.clone();
+                        vst.dv = writer_dv.clone();
+                        vst.chain_head = lsn;
+                        if vst.first_write.is_none() {
+                            vst.first_write = Some(lsn);
+                        }
+                        vst.writes_since_ckpt += 1;
+                        v.sync_anchor(&vst);
+                    }
+                }
+                LogRecord::RecoveryAnnouncement(rec) => {
+                    self.knowledge.write().record(*rec);
+                }
+                LogRecord::RecoveryComplete { new_epoch, .. } => {
+                    epoch_base = epoch_base.max(*new_epoch);
+                }
+                LogRecord::MspCheckpoint(body) => {
+                    self.absorb_msp_checkpoint_body(body, &mut epoch_base);
+                }
+            }
+        }
+
+        // 3. The largest persistent LSN bounds what survived; everything
+        //    at or beyond the scan end is lost.
+        let recovered_lsn = Lsn(scan.position().0.saturating_sub(1));
+        drop(scan);
+        let new_epoch = epoch_base.next();
+        self.epoch.store(new_epoch.0, Ordering::Release);
+        let own = RecoveryRecord { msp: me, new_epoch, recovered_lsn };
+        // Our own history backs flush-request verdicts about old epochs.
+        self.knowledge.write().record(own);
+        let lsn = log.append(&LogRecord::RecoveryComplete { new_epoch, recovered_lsn });
+        log.flush_to(lsn)?;
+
+        // 4. Materialize the sessions in "awaiting replay" state. Their
+        //    requests bounce Busy until the parallel replay (scheduled by
+        //    the builder) completes.
+        let mut to_replay = Vec::new();
+        {
+            let mut sessions = self.sessions.lock();
+            for (sid, (anchor, is_ckpt)) in anchors {
+                let stream = streams.remove(&sid).unwrap_or_default();
+                let mut st = SessionState::fresh();
+                st.positions = stream;
+                st.first_lsn = Some(anchor);
+                st.last_ckpt = is_ckpt.then_some(anchor);
+                st.needs_recovery = true;
+                sessions.insert(sid, std::sync::Arc::new(SessionCell::new(sid, st)));
+                to_replay.push(sid);
+            }
+        }
+        to_replay.sort_unstable();
+        Ok(RecoveryOutcome { announce: Some(own), sessions_to_replay: to_replay })
+    }
+
+    fn absorb_msp_checkpoint_body(
+        &self,
+        body: &MspCheckpointBody,
+        epoch_base: &mut msp_types::Epoch,
+    ) {
+        self.knowledge.write().merge_from(&body.knowledge);
+        *epoch_base = (*epoch_base).max(body.epoch);
+    }
+}

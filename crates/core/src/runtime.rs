@@ -1,0 +1,1097 @@
+//! The MSP runtime: thread pool, request queue, dispatch, and the normal
+//! execution path of §3.
+//!
+//! One MSP runtime instance ([`MspInner`] behind an [`MspHandle`]) is one
+//! middleware server process. Threads:
+//!
+//! * **dispatcher** — drains the network endpoint and routes envelopes:
+//!   requests to the worker queue, replies/flush-acks to their waiting
+//!   callers, infrastructure traffic to the infra threads;
+//! * **workers** (the paper's thread pool, §2.1) — process requests,
+//!   run session orphan recovery and forced checkpoints;
+//! * **infra** — serve distributed-log-flush requests and recovery
+//!   broadcasts; kept separate from the workers so that flush service
+//!   can never deadlock behind requests that are themselves waiting for
+//!   remote flushes;
+//! * **checkpointer** — takes the periodic fuzzy MSP checkpoint (§3.4).
+//!
+//! A *crash* tears all of this down, discarding every volatile structure
+//! (the un-flushed log tail included); re-`start`ing over the same disk
+//! runs MSP crash recovery (§4.3) before going live.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use msp_kv::KvStore;
+use msp_net::{Endpoint, EndpointId, Network};
+use msp_types::codec;
+use msp_types::{
+    DependencyVector, Epoch, Lsn, MspError, MspId, MspResult, RecoveryKnowledge, RequestSeq,
+    SessionId, StateId,
+};
+use msp_wal::{Disk, DiskModel, FlushPolicy, LogAnchor, LogRecord, PhysicalLog};
+
+use crate::config::{ClusterConfig, MspConfig, SessionStrategy};
+use crate::envelope::{Envelope, ReplyMsg, ReplyStatus, RequestMsg};
+use crate::service::{take_fatal, ServiceContext, ServiceFn};
+use crate::session::{OutgoingSession, SessionCell, SessionState};
+use crate::shared::SharedRegistry;
+
+/// Globally unique session-id source (clients and outgoing sessions share
+/// the id space; the simulation runs in one process).
+static SESSION_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh, globally unique session id.
+pub fn next_session_id() -> SessionId {
+    SessionId(SESSION_IDS.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Reserved method name ending a session (§2.1: sessions are started and
+/// ended by client requests).
+pub const END_SESSION_METHOD: &str = "__end_session";
+
+/// Work consumed by the worker pool.
+pub(crate) enum WorkItem {
+    Request(RequestMsg),
+    RecoverSession(SessionId),
+    ForceSessionCheckpoint(SessionId),
+}
+
+/// Infrastructure traffic handled off the worker pool.
+pub(crate) enum InfraItem {
+    Flush { from: EndpointId, req_id: u64, epoch: Epoch, lsn: Lsn },
+    Recovery(msp_types::RecoveryRecord),
+}
+
+/// Operation counters of a runtime.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    pub requests: AtomicU64,
+    pub replayed_requests: AtomicU64,
+    pub busy_replies: AtomicU64,
+    pub duplicate_requests: AtomicU64,
+    pub orphan_msgs_dropped: AtomicU64,
+    pub orphan_recoveries: AtomicU64,
+    pub session_checkpoints: AtomicU64,
+    pub shared_checkpoints: AtomicU64,
+    pub msp_checkpoints: AtomicU64,
+    pub crash_recoveries: AtomicU64,
+    pub distributed_flushes: AtomicU64,
+    pub flush_requests_served: AtomicU64,
+}
+
+/// Snapshot of [`RuntimeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStatsSnapshot {
+    pub requests: u64,
+    pub replayed_requests: u64,
+    pub busy_replies: u64,
+    pub duplicate_requests: u64,
+    pub orphan_msgs_dropped: u64,
+    pub orphan_recoveries: u64,
+    pub session_checkpoints: u64,
+    pub shared_checkpoints: u64,
+    pub msp_checkpoints: u64,
+    pub crash_recoveries: u64,
+    pub distributed_flushes: u64,
+    pub flush_requests_served: u64,
+}
+
+impl RuntimeStats {
+    pub fn snapshot(&self) -> RuntimeStatsSnapshot {
+        RuntimeStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            replayed_requests: self.replayed_requests.load(Ordering::Relaxed),
+            busy_replies: self.busy_replies.load(Ordering::Relaxed),
+            duplicate_requests: self.duplicate_requests.load(Ordering::Relaxed),
+            orphan_msgs_dropped: self.orphan_msgs_dropped.load(Ordering::Relaxed),
+            orphan_recoveries: self.orphan_recoveries.load(Ordering::Relaxed),
+            session_checkpoints: self.session_checkpoints.load(Ordering::Relaxed),
+            shared_checkpoints: self.shared_checkpoints.load(Ordering::Relaxed),
+            msp_checkpoints: self.msp_checkpoints.load(Ordering::Relaxed),
+            crash_recoveries: self.crash_recoveries.load(Ordering::Relaxed),
+            distributed_flushes: self.distributed_flushes.load(Ordering::Relaxed),
+            flush_requests_served: self.flush_requests_served.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything shared between an MSP's threads.
+pub struct MspInner {
+    pub(crate) cfg: MspConfig,
+    pub(crate) cluster: ClusterConfig,
+    pub(crate) net: Network<Envelope>,
+    /// Present only under the `LogBased` strategy.
+    pub(crate) log: Option<Arc<PhysicalLog>>,
+    pub(crate) anchor: Option<LogAnchor>,
+    pub(crate) epoch: AtomicU32,
+    pub(crate) knowledge: RwLock<RecoveryKnowledge>,
+    pub(crate) sessions: Mutex<HashMap<SessionId, Arc<SessionCell>>>,
+    pub(crate) shared: SharedRegistry,
+    pub(crate) services: HashMap<String, ServiceFn>,
+    pub(crate) work_tx: Sender<WorkItem>,
+    pub(crate) infra_tx: Sender<InfraItem>,
+    pub(crate) pending_replies: Mutex<HashMap<(SessionId, RequestSeq), Sender<ReplyMsg>>>,
+    pub(crate) pending_flushes: Mutex<HashMap<u64, Sender<bool>>>,
+    pub(crate) pending_state: Mutex<HashMap<u64, Sender<Option<Vec<u8>>>>>,
+    pub(crate) req_ids: AtomicU64,
+    pub(crate) stopped: AtomicBool,
+    pub(crate) stats: RuntimeStats,
+}
+
+impl MspInner {
+    pub(crate) fn me(&self) -> EndpointId {
+        EndpointId::Msp(self.cfg.id)
+    }
+
+    pub(crate) fn epoch(&self) -> Epoch {
+        Epoch(self.epoch.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn stopped(&self) -> bool {
+        self.stopped.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn send(&self, to: EndpointId, env: Envelope) {
+        self.net.send(self.me(), to, env);
+    }
+
+    pub(crate) fn next_req_id(&self) -> u64 {
+        self.req_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn is_log_based(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// The log, for paths that only run under `LogBased`.
+    pub(crate) fn log(&self) -> &Arc<PhysicalLog> {
+        self.log.as_ref().expect("operation requires the LogBased strategy")
+    }
+
+    /// Look up or create the session cell for an incoming session id.
+    pub(crate) fn get_or_create_session(&self, id: SessionId) -> Arc<SessionCell> {
+        let mut sessions = self.sessions.lock();
+        Arc::clone(
+            sessions
+                .entry(id)
+                .or_insert_with(|| Arc::new(SessionCell::new(id, SessionState::fresh()))),
+        )
+    }
+
+    pub(crate) fn session(&self, id: SessionId) -> Option<Arc<SessionCell>> {
+        self.sessions.lock().get(&id).cloned()
+    }
+
+    // ------------------------------------------------------------------
+    // Request processing (normal execution, §3)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_request(self: &Arc<Self>, req: RequestMsg) {
+        let cell = self.get_or_create_session(req.session);
+        // At most one request at a time per session (§2.1); a failed
+        // try-lock means the session is busy processing, checkpointing or
+        // recovering — tell the client to back off and resend (§5.4).
+        let Some(mut st) = cell.state.try_lock() else {
+            self.send_busy(&req);
+            return;
+        };
+        if st.ended {
+            return;
+        }
+        match &self.cfg.strategy {
+            SessionStrategy::LogBased => self.handle_request_logbased(&cell, &mut st, req),
+            SessionStrategy::NoLog => self.handle_request_plain(&mut st, req, None, None),
+            SessionStrategy::Psession(db) => {
+                self.handle_request_plain(&mut st, req, Some(Arc::clone(db)), None)
+            }
+            SessionStrategy::StateServer(server) => {
+                self.handle_request_plain(&mut st, req, None, Some(*server))
+            }
+        }
+    }
+
+    fn send_busy(&self, req: &RequestMsg) {
+        self.stats.busy_replies.fetch_add(1, Ordering::Relaxed);
+        self.send(
+            req.reply_to,
+            Envelope::Reply(ReplyMsg {
+                session: req.session,
+                seq: req.seq,
+                status: ReplyStatus::Busy,
+                sender_dv: None,
+            }),
+        );
+    }
+
+    /// Duplicate / out-of-order filtering (§3.1). Returns `true` when the
+    /// request was absorbed here (caller stops).
+    fn dedup(&self, st: &mut SessionState, req: &RequestMsg) -> bool {
+        if req.seq == st.next_expected {
+            return false;
+        }
+        self.stats.duplicate_requests.fetch_add(1, Ordering::Relaxed);
+        if req.seq.next() == st.next_expected {
+            // The latest already-processed request: resend its buffered
+            // reply (it may have been lost on the network).
+            if let Some((seq, status)) = st.buffered_reply.clone() {
+                debug_assert_eq!(seq, req.seq);
+                let _ = self.send_reply(st, req.reply_to, req.session, seq, status);
+            }
+        }
+        // Older duplicates and (impossible under the client protocol)
+        // future sequence numbers are dropped silently.
+        true
+    }
+
+    fn handle_request_logbased(
+        self: &Arc<Self>,
+        cell: &SessionCell,
+        st: &mut SessionState,
+        req: RequestMsg,
+    ) {
+        // Interception point: has this session become an orphan?
+        if (st.needs_recovery || self.knowledge.read().is_orphan(&st.dv, self.cfg.id))
+            && self.recover_session_locked(cell, st).is_err()
+        {
+            return;
+        }
+        if self.dedup(st, &req) {
+            return;
+        }
+        // Figure 7, "after receive": if the message itself is an orphan,
+        // discard it — the sender will roll back and resend.
+        if let Some(dv) = &req.sender_dv {
+            if self.knowledge.read().is_orphan(dv, self.cfg.id) {
+                self.stats.orphan_msgs_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if req.method == END_SESSION_METHOD {
+            self.end_session_locked(st, &req);
+            return;
+        }
+        let Some(svc) = self.services.get(&req.method).cloned() else {
+            let status = ReplyStatus::Err(format!("no such method: {}", req.method));
+            let _ = self.send_reply(st, req.reply_to, req.session, req.seq, status.clone());
+            st.buffered_reply = Some((req.seq, status));
+            st.next_expected = req.seq.next();
+            return;
+        };
+
+        // Log the request receive with the attached DV, merge it, advance
+        // the session's state number (Figure 7).
+        let log = self.log();
+        let record = LogRecord::RequestReceive {
+            session: req.session,
+            seq: req.seq,
+            method: req.method.clone(),
+            payload: req.payload.clone(),
+            sender_dv: req.sender_dv.clone(),
+        };
+        let before = log.end_lsn();
+        let lsn = log.append(&record);
+        let framed = log.end_lsn().0 - before.0;
+        if let Some(dv) = &req.sender_dv {
+            st.dv.merge_from(dv);
+        }
+        st.note_logged(self.cfg.id, self.epoch(), lsn, framed);
+
+        // Execute the method.
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = ServiceContext::live(self, req.session, st);
+        let result = svc(&mut ctx, &req.payload);
+        let fatal = ctx.fatal.take();
+        match take_fatal(result, fatal) {
+            Ok(result) => {
+                let status = match result {
+                    Ok(p) => ReplyStatus::Ok(p),
+                    Err(e) => ReplyStatus::Err(e),
+                };
+                match self.send_reply(st, req.reply_to, req.session, req.seq, status.clone()) {
+                    Ok(()) => {
+                        st.buffered_reply = Some((req.seq, status));
+                        st.next_expected = req.seq.next();
+                    }
+                    Err(e) => {
+                        self.after_infra_failure(cell, st, &req, e);
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                self.after_infra_failure(cell, st, &req, e);
+                return;
+            }
+        }
+
+        // Session checkpoint by log-consumption threshold (§3.2).
+        if self.cfg.logging.checkpoints_enabled
+            && st.log_consumed >= self.cfg.logging.session_ckpt_threshold
+        {
+            let _ = self.session_checkpoint(cell, st);
+        }
+        cell.sync_anchor(st);
+    }
+
+    /// An infrastructure error interrupted request processing. If the
+    /// session turned out to be an orphan, recover it — the replay
+    /// re-executes the interrupted request and completes it live, leaving
+    /// its reply buffered; we then push that reply to the waiting client.
+    /// Transient failures (flush timeout, shutdown) produce no reply: the
+    /// client's resend retries the request.
+    fn after_infra_failure(
+        self: &Arc<Self>,
+        cell: &SessionCell,
+        st: &mut SessionState,
+        req: &RequestMsg,
+        err: MspError,
+    ) {
+        match err {
+            MspError::OrphanDependency { .. } | MspError::Orphan { .. }
+                if self.recover_session_locked(cell, st).is_ok() =>
+            {
+                if let Some((seq, status)) = st.buffered_reply.clone() {
+                    if seq == req.seq {
+                        let _ = self.send_reply(st, req.reply_to, req.session, seq, status);
+                    }
+                }
+            }
+            _ => { /* transient: client resend drives the retry */ }
+        }
+    }
+
+    fn end_session_locked(&self, st: &mut SessionState, req: &RequestMsg) {
+        let log = self.log();
+        let record = LogRecord::SessionEnd { session: req.session };
+        let before = log.end_lsn();
+        let lsn = log.append(&record);
+        let framed = log.end_lsn().0 - before.0;
+        st.note_logged(self.cfg.id, self.epoch(), lsn, framed);
+        let status = ReplyStatus::Ok(Vec::new());
+        if self.send_reply(st, req.reply_to, req.session, req.seq, status.clone()).is_ok() {
+            st.buffered_reply = Some((req.seq, status));
+            st.next_expected = req.seq.next();
+            st.ended = true;
+            st.positions.truncate();
+            self.sessions.lock().remove(&req.session);
+        }
+    }
+
+    /// Baseline request path (NoLog / Psession / StateServer): no logging,
+    /// no dependency tracking; session state optionally round-trips
+    /// through the database or the state server.
+    fn handle_request_plain(
+        self: &Arc<Self>,
+        st: &mut SessionState,
+        req: RequestMsg,
+        db: Option<Arc<KvStore>>,
+        state_server: Option<EndpointId>,
+    ) {
+        let key = session_key(req.session);
+        // Load the externally stored session state *before* duplicate
+        // filtering: the sequence-tracking state is part of the session
+        // state, so a restarted worker resumes the numbering rather than
+        // restarting it.
+        //
+        // Psession fetches in a read transaction on every request (§5.2);
+        // StateServer fetches only when the local copy is cold.
+        if let Some(db) = &db {
+            if let Some(blob) = db.read_txn(&key) {
+                apply_session_blob(st, &blob);
+            }
+        }
+        if let Some(server) = state_server {
+            if st.vars.is_empty() && st.next_expected == RequestSeq::FIRST {
+                if let Ok(Some(blob)) = self.state_rpc(server, key.clone(), None) {
+                    apply_session_blob(st, &blob);
+                }
+            }
+        }
+
+        if self.dedup(st, &req) {
+            return;
+        }
+        if req.method == END_SESSION_METHOD {
+            let status = ReplyStatus::Ok(Vec::new());
+            let _ = self.send_reply(st, req.reply_to, req.session, req.seq, status.clone());
+            st.buffered_reply = Some((req.seq, status));
+            st.next_expected = req.seq.next();
+            st.ended = true;
+            if let Some(db) = &db {
+                let _ = db.write_txn(vec![(key, None)]);
+            }
+            self.sessions.lock().remove(&req.session);
+            return;
+        }
+        let Some(svc) = self.services.get(&req.method).cloned() else {
+            let status = ReplyStatus::Err(format!("no such method: {}", req.method));
+            let _ = self.send_reply(st, req.reply_to, req.session, req.seq, status.clone());
+            st.buffered_reply = Some((req.seq, status));
+            st.next_expected = req.seq.next();
+            return;
+        };
+
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = ServiceContext::live(self, req.session, st);
+        let result = svc(&mut ctx, &req.payload);
+        let status = match result {
+            Ok(p) => ReplyStatus::Ok(p),
+            Err(e) => ReplyStatus::Err(e),
+        };
+        st.buffered_reply = Some((req.seq, status.clone()));
+        st.next_expected = req.seq.next();
+
+        // Write the session state back ("after processing, the session
+        // state is written back to the database"), then reply.
+        if let Some(db) = &db {
+            let _ = db.write_txn(vec![(key.clone(), Some(encode_session_blob(st)))]);
+        }
+        if let Some(server) = state_server {
+            let _ = self.state_rpc(server, key, Some(encode_session_blob(st)));
+        }
+        let _ = self.send_reply(st, req.reply_to, req.session, req.seq, status);
+    }
+
+    /// Blocking RPC to the state server: `value = None` fetches, `Some`
+    /// stores.
+    fn state_rpc(
+        &self,
+        server: EndpointId,
+        key: Vec<u8>,
+        value: Option<Vec<u8>>,
+    ) -> MspResult<Option<Vec<u8>>> {
+        let mut attempts = 0u32;
+        loop {
+            let req_id = self.next_req_id();
+            let (tx, rx) = crossbeam_channel::bounded(1);
+            self.pending_state.lock().insert(req_id, tx);
+            let env = match &value {
+                None => Envelope::StateGet { from: self.me(), req_id, key: key.clone() },
+                Some(v) => Envelope::StatePut {
+                    from: self.me(),
+                    req_id,
+                    key: key.clone(),
+                    value: v.clone(),
+                },
+            };
+            self.send(server, env);
+            match rx.recv_timeout(self.cfg.rpc_timeout) {
+                Ok(v) => return Ok(v),
+                Err(_) => {
+                    self.pending_state.lock().remove(&req_id);
+                    if self.stopped() {
+                        return Err(MspError::Shutdown);
+                    }
+                    attempts += 1;
+                    if attempts > 50 {
+                        return Err(MspError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reply path and outgoing calls
+    // ------------------------------------------------------------------
+
+    /// Send a reply, applying the locally-optimistic rules: attach the
+    /// session DV when the destination is an MSP of our own domain;
+    /// otherwise perform the pessimistic distributed log flush first
+    /// (Figure 7, "before send").
+    pub(crate) fn send_reply(
+        &self,
+        st: &mut SessionState,
+        reply_to: EndpointId,
+        session: SessionId,
+        seq: RequestSeq,
+        status: ReplyStatus,
+    ) -> MspResult<()> {
+        let sender_dv = if self.is_log_based() {
+            let intra = reply_to
+                .as_msp()
+                .is_some_and(|m| self.cluster.same_domain(self.cfg.id, m));
+            if intra {
+                Some(st.dv.clone())
+            } else {
+                self.distributed_flush(&st.dv)?;
+                None
+            }
+        } else {
+            None
+        };
+        self.send(
+            reply_to,
+            Envelope::Reply(ReplyMsg { session, seq, status, sender_dv }),
+        );
+        Ok(())
+    }
+
+    /// A live outgoing call from `session` to `target` (§2.1, Figure 3):
+    /// resend-until-reply over the session's outgoing session, with
+    /// optimistic DV attachment inside the domain and a pessimistic flush
+    /// before sending across domains.
+    pub(crate) fn outgoing_call(
+        &self,
+        st: &mut SessionState,
+        session_id: SessionId,
+        target: MspId,
+        method: &str,
+        payload: &[u8],
+    ) -> MspResult<Vec<u8>> {
+        let intra = self.is_log_based() && self.cluster.same_domain(self.cfg.id, target);
+        let out = st
+            .outgoing
+            .entry(target)
+            .or_insert_with(|| OutgoingSession {
+                id: next_session_id(),
+                next_seq: RequestSeq::FIRST,
+            });
+        let (out_id, seq) = (out.id, out.next_seq);
+        if self.is_log_based() && !intra {
+            // Pessimistic boundary: nothing we depend on may be lost once
+            // this message leaves the domain.
+            self.distributed_flush(&st.dv)?;
+        }
+        let mut attempts = 0u32;
+        loop {
+            if self.stopped() {
+                return Err(MspError::Shutdown);
+            }
+            let (tx, rx) = crossbeam_channel::bounded(1);
+            self.pending_replies.lock().insert((out_id, seq), tx);
+            self.send(
+                EndpointId::Msp(target),
+                Envelope::Request(RequestMsg {
+                    session: out_id,
+                    seq,
+                    method: method.to_string(),
+                    payload: payload.to_vec(),
+                    reply_to: self.me(),
+                    sender_dv: intra.then(|| st.dv.clone()),
+                }),
+            );
+            let rep = match rx.recv_timeout(self.cfg.rpc_timeout) {
+                Ok(rep) => rep,
+                Err(_) => {
+                    self.pending_replies.lock().remove(&(out_id, seq));
+                    attempts += 1;
+                    if attempts > 10_000 {
+                        return Err(MspError::Timeout);
+                    }
+                    continue;
+                }
+            };
+            match rep.status {
+                ReplyStatus::Busy => {
+                    std::thread::sleep(self.cfg.scaled_busy_backoff());
+                    continue;
+                }
+                status => {
+                    // Interception point (§4.1): receiving a reply checks
+                    // both the message and the session. The session check
+                    // must happen BEFORE the merge — merging a newer-epoch
+                    // entry would otherwise mask an orphaned dependency
+                    // forever (found by the DV property tests).
+                    {
+                        let knowledge = self.knowledge.read();
+                        if knowledge.is_orphan(&st.dv, self.cfg.id) {
+                            return Err(MspError::Orphan { session: session_id });
+                        }
+                        // Figure 7, "after receive": orphan replies are
+                        // discarded; the resend will fetch a clean one.
+                        if let Some(dv) = &rep.sender_dv {
+                            if knowledge.is_orphan(dv, self.cfg.id) {
+                                self.stats
+                                    .orphan_msgs_dropped
+                                    .fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                    }
+                    if self.is_log_based() {
+                        let log = self.log();
+                        let record = LogRecord::ReplyReceive {
+                            session: session_id,
+                            outgoing: out_id,
+                            seq,
+                            payload: crate::session::encode_reply(&status),
+                            sender_dv: rep.sender_dv.clone(),
+                        };
+                        let before = log.end_lsn();
+                        let lsn = log.append(&record);
+                        let framed = log.end_lsn().0 - before.0;
+                        if let Some(dv) = &rep.sender_dv {
+                            st.dv.merge_from(dv);
+                        }
+                        st.note_logged(self.cfg.id, self.epoch(), lsn, framed);
+                    }
+                    st.outgoing.get_mut(&target).expect("inserted above").next_seq = seq.next();
+                    return match status {
+                        ReplyStatus::Ok(p) => Ok(p),
+                        ReplyStatus::Err(e) => Err(MspError::Application(e)),
+                        ReplyStatus::Busy => unreachable!("handled above"),
+                    };
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Thread bodies
+    // ------------------------------------------------------------------
+
+    fn dispatcher_loop(self: Arc<Self>, endpoint: Endpoint<Envelope>) {
+        while !self.stopped() {
+            let env = match endpoint.recv_timeout(Duration::from_millis(20)) {
+                Ok(env) => env,
+                Err(MspError::Timeout) => continue,
+                Err(_) => break,
+            };
+            match env {
+                Envelope::Request(req) => {
+                    let _ = self.work_tx.send(WorkItem::Request(req));
+                }
+                Envelope::Reply(rep) => {
+                    let waiter = self.pending_replies.lock().remove(&(rep.session, rep.seq));
+                    if let Some(tx) = waiter {
+                        let _ = tx.send(rep);
+                    }
+                }
+                Envelope::FlushRequest { from, req_id, epoch, lsn } => {
+                    let _ = self.infra_tx.send(InfraItem::Flush { from, req_id, epoch, lsn });
+                }
+                Envelope::FlushReply { req_id, ok } => {
+                    let waiter = self.pending_flushes.lock().remove(&req_id);
+                    if let Some(tx) = waiter {
+                        let _ = tx.send(ok);
+                    }
+                }
+                Envelope::Recovery(rec) => {
+                    let _ = self.infra_tx.send(InfraItem::Recovery(rec));
+                }
+                Envelope::StateResp { req_id, value } => {
+                    let waiter = self.pending_state.lock().remove(&req_id);
+                    if let Some(tx) = waiter {
+                        let _ = tx.send(value);
+                    }
+                }
+                // MSPs are not state servers.
+                Envelope::StateGet { .. } | Envelope::StatePut { .. } => {}
+            }
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>, work_rx: Receiver<WorkItem>) {
+        while !self.stopped() {
+            let item = match work_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(item) => item,
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+            };
+            match item {
+                WorkItem::Request(req) => self.handle_request(req),
+                WorkItem::RecoverSession(id) => {
+                    if let Some(cell) = self.session(id) {
+                        let mut st = cell.state.lock();
+                        if !st.ended
+                            && (st.needs_recovery
+                                || self.knowledge.read().is_orphan(&st.dv, self.cfg.id))
+                        {
+                            let _ = self.recover_session_locked(&cell, &mut st);
+                        }
+                    }
+                }
+                WorkItem::ForceSessionCheckpoint(id) => {
+                    if let Some(cell) = self.session(id) {
+                        let mut st = cell.state.lock();
+                        if !st.ended && st.first_lsn.is_some() {
+                            let _ = self.session_checkpoint(&cell, &mut st);
+                            cell.sync_anchor(&st);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn infra_loop(self: Arc<Self>, infra_rx: Receiver<InfraItem>) {
+        while !self.stopped() {
+            let item = match infra_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(item) => item,
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+            };
+            match item {
+                InfraItem::Flush { from, req_id, epoch, lsn } => {
+                    let ok = self.serve_flush_request(epoch, lsn);
+                    self.send(from, Envelope::FlushReply { req_id, ok });
+                }
+                InfraItem::Recovery(rec) => self.absorb_recovery_broadcast(rec),
+            }
+        }
+    }
+}
+
+/// Key under which a session's variables live in the Psession database /
+/// state server.
+fn session_key(session: SessionId) -> Vec<u8> {
+    let mut k = b"sess:".to_vec();
+    k.extend_from_slice(&session.0.to_le_bytes());
+    k
+}
+
+/// Serialize session variables for the Psession / StateServer baselines.
+pub(crate) fn encode_vars(vars: &HashMap<String, Vec<u8>>) -> Vec<u8> {
+    let mut entries: Vec<(&String, &Vec<u8>)> = vars.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    let mut buf = Vec::new();
+    codec::put_u32(&mut buf, entries.len() as u32);
+    for (k, v) in entries {
+        codec::put_str(&mut buf, k);
+        codec::put_bytes(&mut buf, v);
+    }
+    buf
+}
+
+#[cfg(test)]
+pub(crate) fn decode_vars(mut bytes: &[u8]) -> HashMap<String, Vec<u8>> {
+    decode_vars_cursor(&mut bytes)
+}
+
+fn decode_vars_cursor(buf: &mut &[u8]) -> HashMap<String, Vec<u8>> {
+    let Ok(n) = codec::get_u32(buf) else { return HashMap::new() };
+    let mut map = HashMap::with_capacity(n as usize);
+    for _ in 0..n {
+        let (Ok(k), Ok(v)) = (codec::get_str(buf), codec::get_bytes(buf)) else {
+            return map;
+        };
+        map.insert(k, v);
+    }
+    map
+}
+
+/// Serialize the whole externally stored session state of the Psession /
+/// StateServer baselines: variables plus the request-sequencing state
+/// (without which a restarted worker would mistake the client's next
+/// request for a duplicate — or vice versa).
+pub(crate) fn encode_session_blob(st: &SessionState) -> Vec<u8> {
+    let mut buf = encode_vars(&st.vars);
+    codec::put_u64(&mut buf, st.next_expected.0);
+    match &st.buffered_reply {
+        Some((seq, status)) => {
+            codec::put_u8(&mut buf, 1);
+            codec::put_u64(&mut buf, seq.0);
+            codec::put_bytes(&mut buf, &crate::session::encode_reply(status));
+        }
+        None => codec::put_u8(&mut buf, 0),
+    }
+    buf
+}
+
+/// Inverse of [`encode_session_blob`]; tolerates truncated blobs by
+/// leaving the sequencing state untouched.
+pub(crate) fn apply_session_blob(st: &mut SessionState, mut bytes: &[u8]) {
+    let buf = &mut bytes;
+    st.vars = decode_vars_cursor(buf);
+    if let Ok(next) = codec::get_u64(buf) {
+        st.next_expected = RequestSeq(next);
+    }
+    if let Ok(1) = codec::get_u8(buf) {
+        if let (Ok(seq), Ok(reply)) = (codec::get_u64(buf), codec::get_bytes(buf)) {
+            st.buffered_reply =
+                Some((RequestSeq(seq), crate::session::decode_reply(&reply)));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Builder and handle
+// ----------------------------------------------------------------------
+
+/// Configures and launches an MSP.
+pub struct MspBuilder {
+    cfg: MspConfig,
+    cluster: ClusterConfig,
+    services: HashMap<String, ServiceFn>,
+    shared: SharedRegistry,
+    disk_model: DiskModel,
+    flush_policy: FlushPolicy,
+}
+
+impl MspBuilder {
+    pub fn new(cfg: MspConfig, cluster: ClusterConfig) -> MspBuilder {
+        MspBuilder {
+            cfg,
+            cluster,
+            services: HashMap::new(),
+            shared: SharedRegistry::new(),
+            disk_model: DiskModel::default(),
+            flush_policy: FlushPolicy::immediate(),
+        }
+    }
+
+    /// Register a service method. Must be deterministic — see
+    /// [`crate::service`].
+    #[must_use]
+    pub fn service<F>(mut self, name: &str, f: F) -> MspBuilder
+    where
+        F: Fn(&mut ServiceContext<'_>, &[u8]) -> Result<Vec<u8>, String> + Send + Sync + 'static,
+    {
+        self.services.insert(name.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Register a shared variable with its initial value. Registration
+    /// order fixes the variable's id, so it must be stable across
+    /// restarts (same contract as service registration).
+    #[must_use]
+    pub fn shared_var(mut self, name: &str, initial: Vec<u8>) -> MspBuilder {
+        self.shared.register(name, initial);
+        self
+    }
+
+    #[must_use]
+    pub fn disk_model(mut self, model: DiskModel) -> MspBuilder {
+        self.disk_model = model;
+        self
+    }
+
+    #[must_use]
+    pub fn flush_policy(mut self, policy: FlushPolicy) -> MspBuilder {
+        self.flush_policy = policy;
+        self
+    }
+
+    /// Launch the MSP. If `disk` already contains a log, MSP crash
+    /// recovery (§4.3) runs first: analysis scan, shared-state roll
+    /// forward, recovery broadcast, then parallel session replay on the
+    /// worker pool while new requests are already being accepted.
+    pub fn start(
+        self,
+        net: &Network<Envelope>,
+        disk: Arc<dyn Disk>,
+    ) -> MspResult<MspHandle> {
+        if self.cfg.workers == 0 {
+            return Err(MspError::Config("worker pool must be non-empty".into()));
+        }
+        let log_based = matches!(self.cfg.strategy, SessionStrategy::LogBased);
+        let (log, anchor) = if log_based {
+            let log = PhysicalLog::open(
+                Arc::clone(&disk),
+                self.disk_model.clone(),
+                self.flush_policy,
+            )?;
+            let anchor = LogAnchor::new(Arc::clone(&disk), self.disk_model.clone());
+            (Some(log), Some(anchor))
+        } else {
+            (None, None)
+        };
+
+        let (work_tx, work_rx) = crossbeam_channel::unbounded();
+        let (infra_tx, infra_rx) = crossbeam_channel::unbounded();
+        let inner = Arc::new(MspInner {
+            cfg: self.cfg,
+            cluster: self.cluster,
+            net: net.clone(),
+            log,
+            anchor,
+            epoch: AtomicU32::new(0),
+            knowledge: RwLock::new(RecoveryKnowledge::new()),
+            sessions: Mutex::new(HashMap::new()),
+            shared: self.shared,
+            services: self.services,
+            work_tx,
+            infra_tx,
+            pending_replies: Mutex::new(HashMap::new()),
+            pending_flushes: Mutex::new(HashMap::new()),
+            pending_state: Mutex::new(HashMap::new()),
+            req_ids: AtomicU64::new(1),
+            stopped: AtomicBool::new(false),
+            stats: RuntimeStats::default(),
+        });
+
+        // Crash recovery before going live (no-op on a fresh disk).
+        let recovery_outcome = if log_based {
+            Some(inner.crash_recover()?)
+        } else {
+            None
+        };
+
+        // Register on the network and spawn the threads.
+        let endpoint = net.register(inner.me());
+        let mut threads = Vec::new();
+        {
+            let d = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-dispatch", inner.cfg.id))
+                    .spawn(move || d.dispatcher_loop(endpoint))
+                    .map_err(MspError::Io)?,
+            );
+        }
+        for w in 0..inner.cfg.workers {
+            let i = Arc::clone(&inner);
+            let rx = work_rx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-worker{w}", inner.cfg.id))
+                    .spawn(move || i.worker_loop(rx))
+                    .map_err(MspError::Io)?,
+            );
+        }
+        for n in 0..2 {
+            let i = Arc::clone(&inner);
+            let rx = infra_rx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-infra{n}", inner.cfg.id))
+                    .spawn(move || i.infra_loop(rx))
+                    .map_err(MspError::Io)?,
+            );
+        }
+        if log_based && inner.cfg.logging.checkpoints_enabled {
+            let i = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-ckpt", inner.cfg.id))
+                    .spawn(move || i.checkpointer_loop())
+                    .map_err(MspError::Io)?,
+            );
+        }
+
+        // Post-recovery protocol: broadcast the recovered state number in
+        // the domain, take a fresh MSP checkpoint, then replay sessions in
+        // parallel on the worker pool (Figure 12) — new sessions are
+        // accepted concurrently.
+        if let Some(outcome) = recovery_outcome {
+            if let Some(rec) = outcome.announce {
+                for peer in inner
+                    .cluster
+                    .domain_members(inner.cfg.domain, inner.cfg.id)
+                {
+                    inner.send(EndpointId::Msp(peer), Envelope::Recovery(rec));
+                }
+                let _ = inner.msp_checkpoint();
+                for id in outcome.sessions_to_replay {
+                    let _ = inner.work_tx.send(WorkItem::RecoverSession(id));
+                }
+            }
+        }
+
+        Ok(MspHandle { inner, threads: Mutex::new(threads) })
+    }
+}
+
+/// External handle to a running MSP.
+pub struct MspHandle {
+    inner: Arc<MspInner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl MspHandle {
+    pub fn id(&self) -> MspId {
+        self.inner.cfg.id
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> RuntimeStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Physical-log counters (LogBased only).
+    pub fn log_stats(&self) -> Option<msp_wal::stats::LogStatsSnapshot> {
+        self.inner.log.as_ref().map(|l| l.stats())
+    }
+
+    /// The MSP's current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.inner.epoch()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner.sessions.lock().len()
+    }
+
+    /// Simulate a crash: every volatile structure is dropped, the
+    /// un-flushed log tail is lost, the endpoint goes dark. The disk
+    /// survives; a new `MspBuilder::start` over it runs crash recovery.
+    pub fn crash(&self) {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        self.inner.net.unregister(self.inner.me());
+        if let Some(log) = &self.inner.log {
+            log.crash();
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Clean shutdown: flush the log, stop the threads.
+    pub fn shutdown(&self) {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        self.inner.net.unregister(self.inner.me());
+        if let Some(log) = &self.inner.log {
+            log.close();
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Test/diagnostic access to a session's dependency vector.
+    pub fn session_dv(&self, id: SessionId) -> Option<DependencyVector> {
+        self.inner.session(id).map(|c| c.state.lock().dv.clone())
+    }
+
+    /// Test/diagnostic access to the runtime internals (crate-public
+    /// surface used by the harness for fault injection).
+    pub fn knowledge(&self) -> RecoveryKnowledge {
+        self.inner.knowledge.read().clone()
+    }
+}
+
+impl MspInner {
+    /// Record a dependency-lost verdict helper used by flush handling.
+    pub(crate) fn own_state_survived(&self, epoch: Epoch, lsn: Lsn) -> bool {
+        !self
+            .knowledge
+            .read()
+            .is_orphan_dep(self.cfg.id, StateId::new(epoch, lsn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_ids_are_unique_and_monotone() {
+        let a = next_session_id();
+        let b = next_session_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn vars_codec_roundtrip() {
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), vec![1, 2]);
+        m.insert("b".to_string(), vec![]);
+        assert_eq!(decode_vars(&encode_vars(&m)), m);
+        assert_eq!(decode_vars(&encode_vars(&HashMap::new())), HashMap::new());
+        // Corrupt input degrades to empty, never panics.
+        assert_eq!(decode_vars(&[1, 2, 3]), HashMap::new());
+    }
+
+    #[test]
+    fn session_keys_are_distinct() {
+        assert_ne!(session_key(SessionId(1)), session_key(SessionId(2)));
+    }
+}

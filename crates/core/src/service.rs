@@ -1,0 +1,304 @@
+//! The service-method programming surface.
+//!
+//! A service method is a deterministic function
+//! `Fn(&mut ServiceContext, &[u8]) -> Result<Vec<u8>, String>` registered
+//! under a name. The context exposes exactly the paper's three kinds of
+//! interaction (§2.2):
+//!
+//! * **session variables** — private per-client state, never logged
+//!   (recovery re-executes methods to reconstruct it);
+//! * **shared variables** — value-logged, lock-per-access;
+//! * **outgoing calls** — synchronous RPCs to other MSPs over the
+//!   session's outgoing sessions.
+//!
+//! The *same* context runs normal execution and recovery replay. In
+//! replay mode the nondeterministic inputs come from the log (§4.1):
+//! reads return logged values, calls return logged replies, writes are
+//! skipped. When replay hits the boundary — an orphan record or the end
+//! of the logged history — the context switches itself to live execution
+//! and the method keeps running, now with real effects. Service code
+//! cannot tell the difference, which is what makes the infrastructure
+//! transparent.
+//!
+//! **Determinism contract**: a method's behaviour must be a pure function
+//! of its session state, its payload, and the values the context hands it.
+//! No wall-clock reads, no thread-local randomness, no ambient I/O —
+//! violations surface as `LogCorrupt` replay-mismatch errors at recovery
+//! time rather than silent divergence.
+
+use std::sync::Arc;
+
+use msp_types::{Lsn, MspError, MspId, MspResult, SessionId};
+use msp_wal::LogRecord;
+
+use crate::replay::{replay_mismatch, Consume, ReplayCursor};
+use crate::runtime::MspInner;
+use crate::session::{decode_reply, SessionState, OutgoingSession};
+use crate::envelope::ReplyStatus;
+
+/// A registered service method.
+pub type ServiceFn =
+    Arc<dyn Fn(&mut ServiceContext<'_>, &[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
+
+/// Error string propagated through application code when the
+/// infrastructure must abort the method (session discovered to be an
+/// orphan mid-execution). Worker code detects it via
+/// `ServiceContext::fatal` and runs orphan recovery; the string exists
+/// only because application closures return `Result<_, String>`.
+pub const FATAL_MARKER: &str = "__msp_infra_fatal__";
+
+/// What a service method sees while it runs.
+pub struct ServiceContext<'a> {
+    pub(crate) inner: &'a MspInner,
+    pub(crate) session_id: SessionId,
+    pub(crate) state: &'a mut SessionState,
+    /// `Some` while replaying; the cursor flips itself live at the replay
+    /// boundary.
+    pub(crate) cursor: Option<&'a mut ReplayCursor>,
+    /// Set when the infrastructure aborted the method (e.g. the session
+    /// became an orphan mid-execution); the worker inspects this after
+    /// the method returns.
+    pub(crate) fatal: Option<MspError>,
+}
+
+impl<'a> ServiceContext<'a> {
+    pub(crate) fn live(
+        inner: &'a MspInner,
+        session_id: SessionId,
+        state: &'a mut SessionState,
+    ) -> ServiceContext<'a> {
+        ServiceContext { inner, session_id, state, cursor: None, fatal: None }
+    }
+
+    pub(crate) fn replaying(
+        inner: &'a MspInner,
+        session_id: SessionId,
+        state: &'a mut SessionState,
+        cursor: &'a mut ReplayCursor,
+    ) -> ServiceContext<'a> {
+        ServiceContext { inner, session_id, state, cursor: Some(cursor), fatal: None }
+    }
+
+    /// The session this request runs on.
+    pub fn session_id(&self) -> SessionId {
+        self.session_id
+    }
+
+    /// The MSP executing this method.
+    pub fn msp_id(&self) -> MspId {
+        self.inner.cfg.id
+    }
+
+    /// Whether this execution is (still) recovery replay. Exposed for
+    /// tests and diagnostics; service logic must NOT branch on it.
+    pub fn is_replaying(&self) -> bool {
+        self.cursor.as_ref().is_some_and(|c| !c.went_live)
+    }
+
+    /// Read a session variable (private state; not logged).
+    pub fn get_session(&self, name: &str) -> Option<Vec<u8>> {
+        self.state.vars.get(name).cloned()
+    }
+
+    /// Write a session variable (private state; not logged — recovery
+    /// reconstructs it by re-execution).
+    pub fn set_session(&mut self, name: &str, value: Vec<u8>) {
+        self.state.vars.insert(name.to_string(), value);
+    }
+
+    fn mark_fatal(&mut self, e: MspError) -> String {
+        self.fatal = Some(e);
+        FATAL_MARKER.to_string()
+    }
+
+    /// Read a shared variable (Figure 8, read column).
+    pub fn read_shared(&mut self, name: &str) -> Result<Vec<u8>, String> {
+        let var_id = self
+            .inner
+            .shared
+            .resolve(name)
+            .ok_or_else(|| format!("no such shared variable: {name}"))?;
+
+        // Replay path: take the value from the SharedRead record.
+        if self.is_replaying() {
+            let log = self.inner.log.as_ref().expect("replay requires a log");
+            let knowledge = self.inner.knowledge.read();
+            let cursor = self.cursor.as_mut().expect("is_replaying checked");
+            match cursor
+                .consume(log, &knowledge, self.inner.cfg.id, self.session_id)
+                .map_err(|e| e.to_string())?
+            {
+                Consume::Record { lsn, record, framed } => match record {
+                    LogRecord::SharedRead { var, value, var_dv, .. } if var == var_id => {
+                        self.state.dv.merge_from(&var_dv);
+                        self.state.note_logged(
+                            self.inner.cfg.id,
+                            self.inner.epoch(),
+                            lsn,
+                            framed,
+                        );
+                        return Ok(value);
+                    }
+                    other => {
+                        return Err(replay_mismatch(lsn, "SharedRead", &other).to_string())
+                    }
+                },
+                Consume::WentLive => { /* fall through to the live read */ }
+            }
+        }
+
+        let var = self.inner.shared.get(var_id).expect("resolved id");
+        if let Some(log) = &self.inner.log {
+            let me = self.inner.cfg.id;
+            let epoch = self.inner.epoch();
+            let knowledge = self.inner.knowledge.read();
+            // Interception point (§4.1): accessing a shared variable
+            // re-checks the session — and must do so before the read
+            // merges the variable's DV, which could otherwise mask an
+            // orphaned entry with a newer-epoch one.
+            if knowledge.is_orphan(&self.state.dv, me) {
+                drop(knowledge);
+                return Err(self.mark_fatal(MspError::Orphan { session: self.session_id }));
+            }
+            let env = crate::shared::SharedEnv { me, epoch, log, knowledge: &knowledge };
+            crate::shared::read_shared(&env, var, self.session_id, self.state)
+                .map_err(|e| self.mark_fatal(e))
+        } else {
+            // Baselines: plain in-memory access.
+            Ok(var.state.lock().value.clone())
+        }
+    }
+
+    /// Write a shared variable (Figure 8, write column). During replay
+    /// this is a no-op: the variable is a separate recovery unit and rolls
+    /// forward from its own records.
+    pub fn write_shared(&mut self, name: &str, value: Vec<u8>) -> Result<(), String> {
+        let var_id = self
+            .inner
+            .shared
+            .resolve(name)
+            .ok_or_else(|| format!("no such shared variable: {name}"))?;
+        if self.is_replaying() {
+            return Ok(());
+        }
+        let var = self.inner.shared.get(var_id).expect("resolved id");
+        if let Some(log) = &self.inner.log {
+            let write_lsn = {
+                let me = self.inner.cfg.id;
+                let epoch = self.inner.epoch();
+                let knowledge = self.inner.knowledge.read();
+                // Interception point (§4.1): an orphaned writer must not
+                // push its doomed dependencies into the variable.
+                if knowledge.is_orphan(&self.state.dv, me) {
+                    drop(knowledge);
+                    return Err(self.mark_fatal(MspError::Orphan {
+                        session: self.session_id,
+                    }));
+                }
+                let env = crate::shared::SharedEnv { me, epoch, log, knowledge: &knowledge };
+                crate::shared::write_shared(&env, var, self.session_id, self.state, value)
+                    .map_err(|e| self.mark_fatal(e))?
+            };
+            // Shared-variable checkpointing by write-count threshold (§3.3).
+            self.inner
+                .maybe_shared_checkpoint(var, write_lsn)
+                .map_err(|e| self.mark_fatal(e))?;
+            Ok(())
+        } else {
+            var.state.lock().value = value;
+            Ok(())
+        }
+    }
+
+    /// Call a service method at another MSP over this session's outgoing
+    /// session to that MSP (synchronous RPC).
+    pub fn call(&mut self, target: MspId, method: &str, payload: &[u8]) -> Result<Vec<u8>, String> {
+        // Replay path: the reply comes from the ReplyReceive record;
+        // requests are not re-sent (§4.1).
+        if self.is_replaying() {
+            let log = self.inner.log.as_ref().expect("replay requires a log");
+            let consumed = {
+                let knowledge = self.inner.knowledge.read();
+                let cursor = self.cursor.as_mut().expect("is_replaying checked");
+                cursor
+                    .consume(log, &knowledge, self.inner.cfg.id, self.session_id)
+                    .map_err(|e| e.to_string())?
+            };
+            match consumed {
+                Consume::Record { lsn, record, framed } => match record {
+                    LogRecord::ReplyReceive { outgoing, seq, payload, sender_dv, .. } => {
+                        // Rebind the outgoing session exactly as normal
+                        // execution would have left it.
+                        self.state.outgoing.insert(
+                            target,
+                            OutgoingSession { id: outgoing, next_seq: seq.next() },
+                        );
+                        if let Some(dv) = &sender_dv {
+                            self.state.dv.merge_from(dv);
+                        }
+                        self.state.note_logged(
+                            self.inner.cfg.id,
+                            self.inner.epoch(),
+                            lsn,
+                            framed,
+                        );
+                        return match decode_reply(&payload) {
+                            ReplyStatus::Ok(p) => Ok(p),
+                            ReplyStatus::Err(e) => Err(e),
+                            ReplyStatus::Busy => {
+                                Err("corrupt log: buffered Busy reply".to_string())
+                            }
+                        };
+                    }
+                    other => return Err(replay_mismatch(lsn, "ReplyReceive", &other).to_string()),
+                },
+                Consume::WentLive => {
+                    // If replay terminated *at* the reply we were waiting
+                    // for (it was an orphan), restore the outgoing-session
+                    // binding from the orphan record so the live resend
+                    // reuses the same session and sequence number —
+                    // otherwise the target would execute the request a
+                    // second time under a fresh session.
+                    if let Some(orphan_lsn) = self.orphan_boundary() {
+                        if let Ok(LogRecord::ReplyReceive { outgoing, seq, .. }) =
+                            log.read_record(orphan_lsn)
+                        {
+                            self.state.outgoing.insert(
+                                target,
+                                OutgoingSession { id: outgoing, next_seq: seq },
+                            );
+                        }
+                    }
+                    // Fall through to the live call.
+                }
+            }
+        }
+
+        self.inner
+            .outgoing_call(self.state, self.session_id, target, method, payload)
+            .map_err(|e| match e {
+                MspError::Application(msg) => msg,
+                other => self.mark_fatal(other),
+            })
+    }
+
+    fn orphan_boundary(&self) -> Option<Lsn> {
+        self.cursor.as_ref().and_then(|c| c.orphan_hit)
+    }
+}
+
+/// Extract an infrastructure-fatal error from a method result, if the
+/// marker string came back (used by the worker after running a method).
+pub fn take_fatal(
+    result: Result<Vec<u8>, String>,
+    fatal: Option<MspError>,
+) -> MspResult<Result<Vec<u8>, String>> {
+    match (result, fatal) {
+        (Err(msg), Some(e)) if msg == FATAL_MARKER => Err(e),
+        // The method swallowed or rewrapped the marker but an
+        // infrastructure error occurred: the infra error wins — the
+        // request must not produce a normal reply from a broken run.
+        (_, Some(e)) => Err(e),
+        (r, None) => Ok(r),
+    }
+}

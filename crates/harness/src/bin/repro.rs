@@ -1,0 +1,195 @@
+//! Regenerate every table and figure of the paper's evaluation (§5).
+//!
+//! ```text
+//! repro [--scale S] [--requests N] [--quick] [--only fig14|fig15|fig16|fig17|ablation]
+//! ```
+//!
+//! * `--scale` — global time scale (default 0.1: all simulated latencies
+//!   are a tenth of the paper's; reported numbers are normalized back).
+//! * `--requests` — end-client requests per measured cell (default 400;
+//!   the paper used 20 000).
+//! * `--quick` — small counts for a fast smoke run.
+//!
+//! Output is markdown, suitable for pasting into `EXPERIMENTS.md`.
+
+use msp_harness::experiments::{self, CrashRateRow, Fig14Row, MaxRtRow, MultiClientRow, ThresholdRow};
+
+struct Args {
+    scale: f64,
+    requests: u64,
+    only: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { scale: 0.1, requests: experiments::DEFAULT_REQUESTS, only: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.scale)
+            }
+            "--requests" => {
+                args.requests =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or(args.requests)
+            }
+            "--quick" => args.requests = 100,
+            "--only" => args.only = it.next(),
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn fmt_ms(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn print_fig14(rows: &[Fig14Row], title: &str) {
+    println!("\n## {title}\n");
+    println!("| config | m | avg RT (paper-ms) | p95 | max | throughput (paper req/s) |");
+    println!("|---|---|---|---|---|---|");
+    for r in rows {
+        let s = r.summary;
+        println!(
+            "| {} | {} | {} | {} | {} | {:.1} |",
+            r.config.name(),
+            r.m,
+            fmt_ms(s.avg_ms_paper(r.time_scale)),
+            fmt_ms(s.p95.as_secs_f64() * 1e3 / r.time_scale.max(1e-9)),
+            fmt_ms(s.max_ms_paper(r.time_scale)),
+            s.throughput_paper(r.time_scale),
+        );
+    }
+}
+
+fn print_thresholds(rows: &[ThresholdRow], title: &str) {
+    println!("\n## {title}\n");
+    println!("| ckpt threshold | crash every | crashes | throughput (paper req/s) | avg RT (paper-ms) | max RT |");
+    println!("|---|---|---|---|---|---|");
+    for r in rows {
+        let s = r.summary;
+        let th = r
+            .threshold
+            .map(|t| format!("{} KB", t >> 10))
+            .unwrap_or_else(|| "none".into());
+        println!(
+            "| {} | {} | {} | {:.1} | {} | {} |",
+            th,
+            if r.crash_every == 0 { "-".into() } else { r.crash_every.to_string() },
+            r.crashes,
+            s.throughput_paper(r.time_scale),
+            fmt_ms(s.avg_ms_paper(r.time_scale)),
+            fmt_ms(s.max_ms_paper(r.time_scale)),
+        );
+    }
+}
+
+fn print_crash_rates(rows: &[CrashRateRow]) {
+    println!("\n## Figure 15(b): throughput vs crash rate\n");
+    println!("| config | crash every N requests | crashes | throughput (paper req/s) | avg RT (paper-ms) |");
+    println!("|---|---|---|---|---|");
+    for r in rows {
+        let s = r.summary;
+        println!(
+            "| {} | {} | {} | {:.1} | {} |",
+            r.config.name(),
+            if r.crash_every == 0 { "never".into() } else { r.crash_every.to_string() },
+            r.crashes,
+            s.throughput_paper(r.time_scale),
+            fmt_ms(s.avg_ms_paper(r.time_scale)),
+        );
+    }
+}
+
+fn print_maxrt(rows: &[MaxRtRow]) {
+    println!("\n## Figure 16 table: maximum response time\n");
+    println!("| configuration | max RT (paper-ms) | avg RT (paper-ms) | crashes |");
+    println!("|---|---|---|---|");
+    for r in rows {
+        let s = r.summary;
+        println!(
+            "| {} | {} | {} | {} |",
+            r.label,
+            fmt_ms(s.max_ms_paper(r.time_scale)),
+            fmt_ms(s.avg_ms_paper(r.time_scale)),
+            r.crashes,
+        );
+    }
+}
+
+fn print_fig17(rows: &[MultiClientRow]) {
+    println!("\n## Figure 17: multiple clients, batch flushing\n");
+    println!("| config | flush mode | clients | throughput (paper req/s) | avg RT (paper-ms) |");
+    println!("|---|---|---|---|---|");
+    for r in rows {
+        let s = r.summary;
+        println!(
+            "| {} | {:?} | {} | {:.1} | {} |",
+            r.config.name(),
+            r.mode,
+            r.clients,
+            s.throughput_paper(r.time_scale),
+            fmt_ms(s.avg_ms_paper(r.time_scale)),
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = args.scale;
+    let n = args.requests;
+    let want = |name: &str| args.only.as_deref().is_none_or(|o| o == name);
+    println!("# Reproduction run — scale {scale}, {n} requests per cell");
+
+    if want("fig14") {
+        print_fig14(&experiments::fig14_table(scale, n), "Figure 14 table: response time, m = 1");
+        print_fig14(
+            &experiments::fig14_chart(scale, n),
+            "Figure 14 chart: response time vs calls to ServiceMethod2",
+        );
+    }
+    if want("fig15") {
+        print_thresholds(
+            &experiments::fig15a(scale, n),
+            "Figure 15(a): throughput vs checkpointing threshold",
+        );
+        print_crash_rates(&experiments::fig15b(scale, n));
+    }
+    if want("fig16") {
+        print_maxrt(&experiments::fig16_table(scale, n));
+        print_thresholds(
+            &experiments::fig16_chart(scale, n),
+            "Figure 16 chart: throughput at fixed crash rate vs checkpointing threshold",
+        );
+    }
+    if want("fig17") {
+        print_fig17(&experiments::fig17(scale, n / 2, 8));
+    }
+    if want("ablation") {
+        println!("\n## Ablation: logging overhead per request\n");
+        println!("| config | m | flushes/req | sectors/req | padded B/req | log B/req |");
+        println!("|---|---|---|---|---|---|");
+        for r in experiments::ablation_logging_overhead(scale, n) {
+            println!(
+                "| {} | {} | {:.2} | {:.2} | {:.0} | {:.0} |",
+                r.config.name(),
+                r.m,
+                r.flushes_per_request,
+                r.sectors_per_request,
+                r.padded_bytes_per_request,
+                r.log_bytes_per_request,
+            );
+        }
+        println!("\n## Ablation: batch-flush timeout sweep (4 clients, pessimistic)\n");
+        println!("| timeout (ms) | throughput (paper req/s) | avg RT (paper-ms) |");
+        println!("|---|---|---|");
+        for (ms, s) in experiments::ablation_batch_timeout(scale, n / 2) {
+            println!(
+                "| {} | {:.1} | {} |",
+                ms,
+                s.throughput_paper(scale),
+                fmt_ms(s.avg_ms_paper(scale)),
+            );
+        }
+    }
+}

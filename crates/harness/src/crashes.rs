@@ -1,0 +1,18 @@
+//! Fault injection (§5.4).
+//!
+//! "To generate orphans, in ServiceMethod1 with locally optimistic
+//! logging, when the reply from ServiceMethod2 is received by MSP1, MSP2
+//! is instructed to kill itself. This causes the buffered log records of
+//! MSP2 to be lost. Thus, the distributed log flush initiated at the end
+//! of ServiceMethod1 will fail, making session SE1 at MSP1 an orphan."
+//!
+//! The moving parts live next to the world bootstrap:
+//! [`crate::workload::make_service_method1`] accepts an *after-reply
+//! hook* that fires on every `crash_every`-th live call into
+//! `ServiceMethod2`; [`crate::world::World::start`] wires that hook to a
+//! controller thread which calls [`Msp2Slot::crash_and_restart`] —
+//! killing MSP2 (un-flushed tail lost) and restarting it through full MSP
+//! crash recovery, which then broadcasts its recovered state number and
+//! triggers SE1's orphan recovery at MSP1.
+
+pub use crate::world::Msp2Slot;

@@ -1,0 +1,465 @@
+//! Bootstrapping the five system configurations of §5.2 over the
+//! simulated substrate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use msp_core::client::ClientOptions;
+use msp_core::config::LoggingConfig;
+use msp_core::{
+    ClusterConfig, Envelope, MspBuilder, MspClient, MspConfig, SessionStrategy, StateServer,
+};
+use msp_kv::{KvOptions, KvStore};
+use msp_net::{EndpointId, NetModel, Network};
+use msp_types::DomainId;
+use msp_wal::{DiskModel, FlushPolicy, MemDisk};
+
+use crate::metrics::Series;
+use crate::workload::{
+    self, initial_shared, make_service_method1, request_payload, AfterReplyHook, MSP1, MSP2,
+};
+
+/// Log flush scheduling (§5.5 and beyond).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushMode {
+    /// One device write per flush request — the paper prototype's
+    /// non-batched baseline.
+    PerRequest,
+    /// The paper's batch flushing: wait this long, then serve every
+    /// pending request with one write.
+    Batched(Duration),
+    /// Classic group commit: every write takes the whole tail
+    /// (an engineering extension over the paper's prototype).
+    GroupCommit,
+}
+
+/// The five system configurations of the evaluation (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemConfig {
+    /// Log-based recovery, both MSPs in one service domain: optimistic
+    /// logging between them, pessimistic toward the client.
+    LoOptimistic,
+    /// Log-based recovery, each MSP in its own domain: pessimistic
+    /// logging everywhere.
+    Pessimistic,
+    /// No recovery infrastructure.
+    NoLog,
+    /// Session state persisted to a local DBMS around every request.
+    Psession,
+    /// Session state kept at a remote in-memory state server.
+    StateServer,
+}
+
+impl SystemConfig {
+    pub const ALL: [SystemConfig; 5] = [
+        SystemConfig::LoOptimistic,
+        SystemConfig::Pessimistic,
+        SystemConfig::NoLog,
+        SystemConfig::Psession,
+        SystemConfig::StateServer,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemConfig::LoOptimistic => "LoOptimistic",
+            SystemConfig::Pessimistic => "Pessimistic",
+            SystemConfig::NoLog => "NoLog",
+            SystemConfig::Psession => "Psession",
+            SystemConfig::StateServer => "StateServer",
+        }
+    }
+
+    pub fn is_log_based(self) -> bool {
+        matches!(self, SystemConfig::LoOptimistic | SystemConfig::Pessimistic)
+    }
+}
+
+/// Tuning of a [`World`].
+#[derive(Debug, Clone)]
+pub struct WorldOptions {
+    pub config: SystemConfig,
+    /// Global time scale (1.0 = the paper's native milliseconds).
+    pub time_scale: f64,
+    /// Session checkpointing threshold in log bytes (paper default 1 MB);
+    /// `u64::MAX` effectively disables session checkpoints.
+    pub session_ckpt_threshold: u64,
+    pub checkpoints_enabled: bool,
+    /// How the physical log schedules device writes (§5.5): the paper's
+    /// per-request baseline, the paper's batch flushing, or group commit
+    /// (this implementation's extension).
+    pub flush_mode: FlushMode,
+    pub workers: usize,
+    pub seed: u64,
+    /// Arm the §5.4 fault injector: crash MSP2 after every `crash_every`
+    /// live calls into ServiceMethod2 (0 = never).
+    pub crash_every: u64,
+    /// DB transaction overhead for the Psession baseline (unscaled).
+    pub db_txn_overhead: Duration,
+}
+
+impl WorldOptions {
+    pub fn new(config: SystemConfig) -> WorldOptions {
+        WorldOptions {
+            config,
+            time_scale: 0.1,
+            session_ckpt_threshold: 1 << 20,
+            checkpoints_enabled: true,
+            flush_mode: FlushMode::PerRequest,
+            workers: 8,
+            seed: 1,
+            crash_every: 0,
+            db_txn_overhead: Duration::from_millis(4),
+        }
+    }
+}
+
+/// Everything needed to (re)build MSP2, so the fault injector can crash
+/// and restart it while the experiment runs.
+pub struct Msp2Slot {
+    handle: Mutex<Option<msp_core::MspHandle>>,
+    disk: Arc<MemDisk>,
+    net: Network<Envelope>,
+    cluster: ClusterConfig,
+    cfg: MspConfig,
+    disk_model: DiskModel,
+    flush_policy: FlushPolicy,
+    pub crashes: AtomicU64,
+    /// Cumulative wall time spent with MSP2 down or recovering.
+    pub downtime: Mutex<Duration>,
+}
+
+impl Msp2Slot {
+    fn build(&self) -> msp_core::MspHandle {
+        MspBuilder::new(self.cfg.clone(), self.cluster.clone())
+            .disk_model(self.disk_model.clone())
+            .flush_policy(self.flush_policy)
+            .shared_var("SV2", initial_shared())
+            .shared_var("SV3", initial_shared())
+            .service("ServiceMethod2", workload::service_method2)
+            .start(&self.net, Arc::clone(&self.disk) as Arc<dyn msp_wal::Disk>)
+            .expect("start MSP2")
+    }
+
+    /// Kill MSP2 (losing its buffered log records) and immediately
+    /// restart it; the restart runs MSP crash recovery.
+    pub fn crash_and_restart(&self) {
+        let t0 = Instant::now();
+        if let Some(h) = self.handle.lock().take() {
+            h.crash();
+        }
+        let fresh = self.build();
+        *self.handle.lock() = Some(fresh);
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        *self.downtime.lock() += t0.elapsed();
+    }
+
+    pub fn stats(&self) -> Option<msp_core::runtime::RuntimeStatsSnapshot> {
+        self.handle.lock().as_ref().map(|h| h.stats())
+    }
+
+    fn shutdown(&self) {
+        if let Some(h) = self.handle.lock().take() {
+            h.shutdown();
+        }
+    }
+}
+
+/// A fully wired system configuration: network, MSPs, baseline services.
+pub struct World {
+    pub opts: WorldOptions,
+    pub net: Network<Envelope>,
+    pub cluster: ClusterConfig,
+    pub msp1: msp_core::MspHandle,
+    pub msp2: Arc<Msp2Slot>,
+    state_server: Option<StateServer>,
+    pub db1: Option<Arc<KvStore>>,
+    pub db2: Option<Arc<KvStore>>,
+    crash_thread: Option<std::thread::JoinHandle<()>>,
+    crash_stop: crossbeam_channel::Sender<()>,
+}
+
+const STATE_SERVER_EP: EndpointId = EndpointId::Client(9_999);
+
+impl World {
+    pub fn start(opts: WorldOptions) -> World {
+        let scale = opts.time_scale;
+        let net: Network<Envelope> =
+            Network::new(NetModel::default().with_scale(scale), opts.seed);
+        let cluster = match opts.config {
+            SystemConfig::Pessimistic => ClusterConfig::new()
+                .with_msp(MSP1, DomainId(1))
+                .with_msp(MSP2, DomainId(2)),
+            _ => ClusterConfig::new()
+                .with_msp(MSP1, DomainId(1))
+                .with_msp(MSP2, DomainId(1)),
+        };
+        let disk_model = DiskModel::default().with_scale(scale);
+        let flush_policy = match opts.flush_mode {
+            FlushMode::PerRequest => FlushPolicy::per_request(),
+            FlushMode::Batched(t) => FlushPolicy::batched(t),
+            FlushMode::GroupCommit => FlushPolicy::immediate(),
+        };
+        let logging = LoggingConfig {
+            session_ckpt_threshold: opts.session_ckpt_threshold,
+            shared_ckpt_writes: 256,
+            msp_ckpt_interval: Duration::from_millis(50),
+            force_ckpt_after: 16,
+            checkpoints_enabled: opts.checkpoints_enabled,
+        };
+        let base_cfg = |id, domain| {
+            let mut c = MspConfig::new(id, DomainId(domain))
+                .with_time_scale(scale)
+                .with_workers(opts.workers)
+                .with_logging(logging.clone());
+            c.rpc_timeout = Duration::from_millis(15);
+            c.flush_retry_limit = 2_000;
+            c
+        };
+
+        // Baseline services.
+        let mut state_server = None;
+        let (mut db1, mut db2) = (None, None);
+        let strategy = |db: &mut Option<Arc<KvStore>>| match opts.config {
+            SystemConfig::LoOptimistic | SystemConfig::Pessimistic => SessionStrategy::LogBased,
+            SystemConfig::NoLog => SessionStrategy::NoLog,
+            SystemConfig::Psession => {
+                let store = Arc::new(
+                    KvStore::open(
+                        Arc::new(MemDisk::new()),
+                        disk_model.clone(),
+                        KvOptions {
+                            txn_overhead: opts.db_txn_overhead,
+                            time_scale: scale,
+                            snapshot_every: 100_000,
+                        },
+                    )
+                    .expect("open kv"),
+                );
+                *db = Some(Arc::clone(&store));
+                SessionStrategy::Psession(store)
+            }
+            SystemConfig::StateServer => SessionStrategy::StateServer(STATE_SERVER_EP),
+        };
+        if opts.config == SystemConfig::StateServer {
+            state_server = Some(StateServer::start(&net, STATE_SERVER_EP));
+        }
+
+        // Fault injector plumbing: the workload hook signals the crash
+        // controller thread, which crashes and restarts MSP2.
+        let (crash_tx, crash_rx) = crossbeam_channel::bounded::<()>(1);
+        let (stop_tx, stop_rx) = crossbeam_channel::bounded::<()>(1);
+        let hook: Option<AfterReplyHook> = if opts.crash_every > 0 {
+            let tx = crash_tx.clone();
+            Some(Arc::new(move || {
+                let _ = tx.try_send(());
+            }))
+        } else {
+            None
+        };
+
+        // MSP2 first (MSP1's calls need it).
+        let dom2 = cluster.domain_of(MSP2).expect("registered").0;
+        let msp2 = Arc::new(Msp2Slot {
+            handle: Mutex::new(None),
+            disk: Arc::new(MemDisk::new()),
+            net: net.clone(),
+            cluster: cluster.clone(),
+            cfg: base_cfg(MSP2, dom2).with_strategy(strategy(&mut db2)),
+            disk_model: disk_model.clone(),
+            flush_policy,
+            crashes: AtomicU64::new(0),
+            downtime: Mutex::new(Duration::ZERO),
+        });
+        *msp2.handle.lock() = Some(msp2.build());
+
+        let msp1 = MspBuilder::new(
+            base_cfg(MSP1, 1).with_strategy(strategy(&mut db1)),
+            cluster.clone(),
+        )
+        .disk_model(disk_model)
+        .flush_policy(flush_policy)
+        .shared_var("SV0", initial_shared())
+        .shared_var("SV1", initial_shared())
+        .service(
+            "ServiceMethod1",
+            make_service_method1(hook, opts.crash_every),
+        )
+        .start(&net, Arc::new(MemDisk::new()) as Arc<dyn msp_wal::Disk>)
+        .expect("start MSP1");
+
+        // Crash controller thread.
+        let crash_thread = if opts.crash_every > 0 {
+            let slot = Arc::clone(&msp2);
+            Some(
+                std::thread::Builder::new()
+                    .name("crash-controller".into())
+                    .spawn(move || loop {
+                        crossbeam_channel::select! {
+                            recv(crash_rx) -> r => {
+                                if r.is_err() { return; }
+                                slot.crash_and_restart();
+                            }
+                            recv(stop_rx) -> _ => return,
+                        }
+                    })
+                    .expect("spawn crash controller"),
+            )
+        } else {
+            None
+        };
+
+        World {
+            opts,
+            net,
+            cluster,
+            msp1,
+            msp2,
+            state_server,
+            db1,
+            db2,
+            crash_thread,
+            crash_stop: stop_tx,
+        }
+    }
+
+    /// Register an end client with paper-like link latency (3.9 ms RTT to
+    /// the MSPs, scaled).
+    pub fn client(&self, id: u64) -> MspClient {
+        let ep = EndpointId::Client(id);
+        for msp in [EndpointId::Msp(MSP1), EndpointId::Msp(MSP2)] {
+            let model = NetModel::client_link().with_scale(self.opts.time_scale);
+            self.net.set_link(ep, msp, model.clone());
+            self.net.set_link(msp, ep, model);
+        }
+        MspClient::new(
+            &self.net,
+            id,
+            ClientOptions {
+                resend_timeout: Duration::from_millis(40),
+                busy_backoff: scaled_backoff(self.opts.time_scale),
+                max_attempts: 100_000,
+            },
+        )
+    }
+
+    /// Drive `n` end-client requests with `m` intra-request calls each,
+    /// recording per-request response times.
+    pub fn run_requests(&self, client: &mut MspClient, n: u64, m: u8) -> Series {
+        let payload = request_payload(m);
+        let mut series = Series::new();
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let r0 = Instant::now();
+            client
+                .call(MSP1, "ServiceMethod1", &payload)
+                .expect("request");
+            series.push(r0.elapsed());
+        }
+        series.set_elapsed(t0.elapsed());
+        series
+    }
+
+    /// `clients` concurrent end clients, `n` requests each (§5.5).
+    pub fn run_concurrent(&self, clients: u64, n: u64, m: u8) -> Series {
+        let mut handles = Vec::new();
+        let t0 = Instant::now();
+        for cid in 0..clients {
+            let payload = request_payload(m);
+            let mut c = self.client(100 + cid);
+            handles.push(std::thread::spawn(move || {
+                let mut s = Series::new();
+                for _ in 0..n {
+                    let r0 = Instant::now();
+                    c.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                    s.push(r0.elapsed());
+                }
+                s
+            }));
+        }
+        let mut series = Series::new();
+        for h in handles {
+            series.merge(&h.join().expect("client thread"));
+        }
+        series.set_elapsed(t0.elapsed());
+        series
+    }
+
+    /// Crashes injected so far.
+    pub fn crash_count(&self) -> u64 {
+        self.msp2.crashes.load(Ordering::Relaxed)
+    }
+
+    pub fn shutdown(mut self) {
+        let _ = self.crash_stop.send(());
+        if let Some(t) = self.crash_thread.take() {
+            let _ = t.join();
+        }
+        self.msp1.shutdown();
+        self.msp2.shutdown();
+        if let Some(s) = &self.state_server {
+            s.shutdown();
+        }
+        self.net.shutdown();
+    }
+}
+
+fn scaled_backoff(scale: f64) -> Duration {
+    if scale <= 0.0 {
+        Duration::from_micros(200)
+    } else {
+        Duration::from_millis(100).mul_f64(scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::reply_counter;
+
+    fn tiny(config: SystemConfig) -> WorldOptions {
+        WorldOptions {
+            time_scale: 0.0,
+            ..WorldOptions::new(config)
+        }
+    }
+
+    #[test]
+    fn all_configs_serve_the_workload() {
+        for config in SystemConfig::ALL {
+            let world = World::start(tiny(config));
+            let mut c = world.client(1);
+            for i in 1..=5u64 {
+                let r = c.call(MSP1, "ServiceMethod1", &request_payload(1)).unwrap();
+                assert_eq!(reply_counter(&r), i, "config {}", config.name());
+            }
+            world.shutdown();
+        }
+    }
+
+    #[test]
+    fn m_controls_msp2_request_count() {
+        let world = World::start(tiny(SystemConfig::LoOptimistic));
+        let mut c = world.client(1);
+        c.call(MSP1, "ServiceMethod1", &request_payload(3)).unwrap();
+        let s2 = world.msp2.stats().unwrap();
+        assert_eq!(s2.requests, 3, "m=3 means three ServiceMethod2 executions");
+        world.shutdown();
+    }
+
+    #[test]
+    fn crash_injection_fires_and_system_recovers() {
+        let mut opts = tiny(SystemConfig::LoOptimistic);
+        opts.crash_every = 10;
+        let world = World::start(opts);
+        let mut c = world.client(1);
+        for i in 1..=25u64 {
+            let r = c.call(MSP1, "ServiceMethod1", &request_payload(1)).unwrap();
+            assert_eq!(reply_counter(&r), i, "exactly-once across injected crashes");
+        }
+        assert!(world.crash_count() >= 2, "crashes were injected");
+        world.shutdown();
+    }
+}

@@ -1,0 +1,26 @@
+//! A write-ahead-logged transactional key-value store.
+//!
+//! This is the *database substrate* for the paper's `Psession` baseline
+//! (§5.2): "Configuration Psession provides persistent sessions via the
+//! web server storing session states inside a local DBMS. When a request
+//! is processed, the session state is fetched from the database, and after
+//! processing, the session state is written back." The baseline therefore
+//! needs a durable store with transactions whose *costs* mirror a local
+//! DBMS:
+//!
+//! * every transaction pays a fixed begin/execute/commit overhead
+//!   (`txn_overhead`, calibrated so the Psession response times land near
+//!   the paper's — see `DESIGN.md`), and
+//! * every **write** transaction additionally pays a WAL flush through the
+//!   same [`msp_wal::DiskModel`] the MSP logs use ("the number of flushes in
+//!   Psession increases only by one [per extra call] (due to the write
+//!   transaction)").
+//!
+//! The store itself is honest: committed writes go through a CRC-framed
+//! WAL on a [`msp_wal::Disk`] and crash recovery replays it, so the baseline's
+//! durability claims are real, not merely charged for.
+
+pub mod store;
+pub mod wal;
+
+pub use store::{KvOptions, KvStats, KvStore};

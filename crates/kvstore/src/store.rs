@@ -1,0 +1,307 @@
+//! The transactional KV store over [`crate::wal::KvWal`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use msp_types::MspResult;
+use msp_wal::model::sleep_exact;
+use msp_wal::{Disk, DiskModel};
+
+use crate::wal::{KvRecord, KvWal};
+
+/// Tuning of the store's cost behaviour.
+#[derive(Debug, Clone)]
+pub struct KvOptions {
+    /// Fixed cost charged per transaction (begin/execute/commit of a
+    /// local DBMS — statement processing, not I/O). Calibrated in
+    /// `DESIGN.md` against the paper's Psession response times.
+    pub txn_overhead: Duration,
+    /// Time scale applied to `txn_overhead` (the WAL flush is scaled by
+    /// the disk model itself).
+    pub time_scale: f64,
+    /// Write a compacting snapshot after this many committed write
+    /// transactions.
+    pub snapshot_every: u64,
+}
+
+impl Default for KvOptions {
+    fn default() -> KvOptions {
+        KvOptions {
+            txn_overhead: Duration::from_micros(6000),
+            time_scale: 0.02,
+            snapshot_every: 10_000,
+        }
+    }
+}
+
+impl KvOptions {
+    /// Cost-free store for plain unit tests.
+    pub fn zero() -> KvOptions {
+        KvOptions { time_scale: 0.0, ..KvOptions::default() }
+    }
+}
+
+/// Operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    pub read_txns: u64,
+    pub write_txns: u64,
+    pub snapshots: u64,
+}
+
+/// A durable, transactional map `Vec<u8> → Vec<u8>`.
+///
+/// Concurrency model: reads take a shared lock on the map; write
+/// transactions buffer their operations and serialize at commit (map
+/// write-lock + WAL append). This matches the baseline's usage — per-
+/// session keys with no cross-session write conflicts.
+pub struct KvStore {
+    map: RwLock<HashMap<Vec<u8>, Vec<u8>>>,
+    wal: KvWal,
+    /// Next WAL append offset; guarded by `commit_lock`.
+    commit_lock: Mutex<u64>,
+    opts: KvOptions,
+    read_txns: AtomicU64,
+    write_txns: AtomicU64,
+    snapshots: AtomicU64,
+}
+
+impl KvStore {
+    /// Open the store, replaying the WAL on `disk`.
+    pub fn open(disk: Arc<dyn Disk>, model: DiskModel, opts: KvOptions) -> MspResult<KvStore> {
+        let wal = KvWal::new(disk, model);
+        let (records, end) = wal.scan()?;
+        let mut map = HashMap::new();
+        for rec in records {
+            match rec {
+                KvRecord::Snapshot { entries } => {
+                    map = entries.into_iter().collect();
+                }
+                KvRecord::Txn { ops } => {
+                    for (k, v) in ops {
+                        match v {
+                            Some(v) => {
+                                map.insert(k, v);
+                            }
+                            None => {
+                                map.remove(&k);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(KvStore {
+            map: RwLock::new(map),
+            wal,
+            commit_lock: Mutex::new(end),
+            opts,
+            read_txns: AtomicU64::new(0),
+            write_txns: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+        })
+    }
+
+    fn charge_txn(&self) {
+        if self.opts.time_scale > 0.0 {
+            sleep_exact(self.opts.txn_overhead.mul_f64(self.opts.time_scale));
+        }
+    }
+
+    /// A read-only transaction fetching one key. Charges the transaction
+    /// overhead but no flush (read commits need no WAL force).
+    pub fn read_txn(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.charge_txn();
+        self.read_txns.fetch_add(1, Ordering::Relaxed);
+        self.map.read().get(key).cloned()
+    }
+
+    /// A read-only transaction fetching several keys atomically.
+    pub fn read_many_txn(&self, keys: &[&[u8]]) -> Vec<Option<Vec<u8>>> {
+        self.charge_txn();
+        self.read_txns.fetch_add(1, Ordering::Relaxed);
+        let map = self.map.read();
+        keys.iter().map(|k| map.get(*k).cloned()).collect()
+    }
+
+    /// A write transaction applying `ops` atomically (`None` deletes).
+    /// Durable on return: one WAL flush, as in an autocommit DBMS.
+    pub fn write_txn(&self, ops: Vec<(Vec<u8>, Option<Vec<u8>>)>) -> MspResult<()> {
+        self.charge_txn();
+        let n = self.write_txns.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut offset = self.commit_lock.lock();
+            let rec = KvRecord::Txn { ops: ops.clone() };
+            *offset = self.wal.append(*offset, &rec)?;
+            let mut map = self.map.write();
+            for (k, v) in ops {
+                match v {
+                    Some(v) => {
+                        map.insert(k, v);
+                    }
+                    None => {
+                        map.remove(&k);
+                    }
+                }
+            }
+        }
+        if n.is_multiple_of(self.opts.snapshot_every) {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: durable single-key put.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> MspResult<()> {
+        self.write_txn(vec![(key.to_vec(), Some(value.to_vec()))])
+    }
+
+    /// Convenience: durable single-key delete.
+    pub fn delete(&self, key: &[u8]) -> MspResult<()> {
+        self.write_txn(vec![(key.to_vec(), None)])
+    }
+
+    /// Write a snapshot record so recovery replays less log.
+    pub fn compact(&self) -> MspResult<()> {
+        let mut offset = self.commit_lock.lock();
+        let entries: Vec<_> = {
+            let map = self.map.read();
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        *offset = self.wal.append(*offset, &KvRecord::Snapshot { entries })?;
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            read_txns: self.read_txns.load(Ordering::Relaxed),
+            write_txns: self.write_txns.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_wal::MemDisk;
+
+    fn open(disk: &MemDisk) -> KvStore {
+        KvStore::open(Arc::new(disk.clone()), DiskModel::zero(), KvOptions::zero()).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let disk = MemDisk::new();
+        let kv = open(&disk);
+        assert_eq!(kv.read_txn(b"k"), None);
+        kv.put(b"k", b"v").unwrap();
+        assert_eq!(kv.read_txn(b"k"), Some(b"v".to_vec()));
+        kv.delete(b"k").unwrap();
+        assert_eq!(kv.read_txn(b"k"), None);
+        assert_eq!(kv.stats().write_txns, 2);
+        assert_eq!(kv.stats().read_txns, 3);
+    }
+
+    #[test]
+    fn committed_writes_survive_restart() {
+        let disk = MemDisk::new();
+        {
+            let kv = open(&disk);
+            kv.put(b"a", b"1").unwrap();
+            kv.put(b"b", b"2").unwrap();
+            kv.delete(b"a").unwrap();
+        } // drop without any clean shutdown: commits are already durable
+        let kv = open(&disk);
+        assert_eq!(kv.read_txn(b"a"), None);
+        assert_eq!(kv.read_txn(b"b"), Some(b"2".to_vec()));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn multi_op_txn_is_atomic_across_restart() {
+        let disk = MemDisk::new();
+        {
+            let kv = open(&disk);
+            kv.write_txn(vec![
+                (b"x".to_vec(), Some(b"1".to_vec())),
+                (b"y".to_vec(), Some(b"2".to_vec())),
+            ])
+            .unwrap();
+        }
+        let kv = open(&disk);
+        assert_eq!(kv.read_many_txn(&[b"x", b"y"]), vec![
+            Some(b"1".to_vec()),
+            Some(b"2".to_vec())
+        ]);
+    }
+
+    #[test]
+    fn compaction_preserves_state() {
+        let disk = MemDisk::new();
+        {
+            let kv = open(&disk);
+            for i in 0..20u8 {
+                kv.put(&[i], &[i, i]).unwrap();
+            }
+            kv.compact().unwrap();
+            kv.put(b"late", b"z").unwrap();
+        }
+        let kv = open(&disk);
+        assert_eq!(kv.len(), 21);
+        assert_eq!(kv.read_txn(&[7]), Some(vec![7, 7]));
+        assert_eq!(kv.read_txn(b"late"), Some(b"z".to_vec()));
+    }
+
+    #[test]
+    fn automatic_snapshot_by_threshold() {
+        let disk = MemDisk::new();
+        let kv = KvStore::open(
+            Arc::new(disk.clone()),
+            DiskModel::zero(),
+            KvOptions { snapshot_every: 5, ..KvOptions::zero() },
+        )
+        .unwrap();
+        for i in 0..12u8 {
+            kv.put(&[i], &[i]).unwrap();
+        }
+        assert_eq!(kv.stats().snapshots, 2);
+        drop(kv);
+        let kv = open(&disk);
+        assert_eq!(kv.len(), 12);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_commits() {
+        let disk = MemDisk::new();
+        let kv = Arc::new(open(&disk));
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let kv = Arc::clone(&kv);
+                s.spawn(move || {
+                    for i in 0..25u8 {
+                        kv.put(&[t, i], &[t]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.len(), 100);
+        drop(kv);
+        let kv = open(&disk);
+        assert_eq!(kv.len(), 100, "all commits durable");
+    }
+}

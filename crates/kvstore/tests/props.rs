@@ -1,0 +1,86 @@
+//! Property tests for the KV store: arbitrary operation sequences applied
+//! through crashes must match an in-memory model (linearizable single-node
+//! history, durable prefix = everything committed).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use msp_kv::{KvOptions, KvStore};
+use msp_wal::{DiskModel, MemDisk};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    MultiPut(u8, u8),
+    Restart,
+    Compact,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        any::<u8>().prop_map(Op::Delete),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MultiPut(a, b)),
+        Just(Op::Restart),
+        Just(Op::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The store over a crash-survivable disk equals the in-memory model
+    /// after every operation, including across restarts and compactions.
+    #[test]
+    fn matches_model_across_restarts(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let disk = MemDisk::new();
+        let open = || {
+            KvStore::open(
+                Arc::new(disk.clone()),
+                DiskModel::zero(),
+                KvOptions { snapshot_every: 7, ..KvOptions::zero() },
+            )
+            .unwrap()
+        };
+        let mut kv = open();
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    kv.put(&[k], &v).unwrap();
+                    model.insert(vec![k], v);
+                }
+                Op::Delete(k) => {
+                    kv.delete(&[k]).unwrap();
+                    model.remove(&vec![k]);
+                }
+                Op::MultiPut(a, b) => {
+                    kv.write_txn(vec![
+                        (vec![a], Some(vec![a])),
+                        (vec![b], Some(vec![b])),
+                    ])
+                    .unwrap();
+                    model.insert(vec![a], vec![a]);
+                    model.insert(vec![b], vec![b]);
+                }
+                Op::Restart => {
+                    drop(kv);
+                    kv = open();
+                }
+                Op::Compact => kv.compact().unwrap(),
+            }
+            prop_assert_eq!(kv.len(), model.len());
+        }
+        // Final full comparison after one more restart.
+        drop(kv);
+        let kv = open();
+        for (k, v) in &model {
+            prop_assert_eq!(kv.read_txn(k), Some(v.clone()));
+        }
+        prop_assert_eq!(kv.len(), model.len());
+    }
+}

@@ -1,0 +1,69 @@
+//! Network addresses: MSPs and end-client processes.
+
+use std::fmt;
+
+use msp_types::MspId;
+
+/// Address of a party on the simulated network.
+///
+/// End clients live outside every service domain (§1.3), but share the
+/// same transport; the distinction between pessimistic and optimistic
+/// logging is made by the *recovery* layer from domain membership, not by
+/// the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EndpointId {
+    /// A middleware server process.
+    Msp(MspId),
+    /// An end-client process.
+    Client(u64),
+}
+
+impl EndpointId {
+    /// The MSP id, if this endpoint is an MSP.
+    pub fn as_msp(self) -> Option<MspId> {
+        match self {
+            EndpointId::Msp(m) => Some(m),
+            EndpointId::Client(_) => None,
+        }
+    }
+
+    pub fn is_client(self) -> bool {
+        matches!(self, EndpointId::Client(_))
+    }
+}
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointId::Msp(m) => write!(f, "{m}"),
+            EndpointId::Client(c) => write!(f, "client{c}"),
+        }
+    }
+}
+
+impl From<MspId> for EndpointId {
+    fn from(m: MspId) -> EndpointId {
+        EndpointId::Msp(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: EndpointId = MspId(3).into();
+        assert_eq!(e.as_msp(), Some(MspId(3)));
+        assert!(!e.is_client());
+        let c = EndpointId::Client(7);
+        assert_eq!(c.as_msp(), None);
+        assert!(c.is_client());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EndpointId::Msp(MspId(1)).to_string(), "msp1");
+        assert_eq!(EndpointId::Client(2).to_string(), "client2");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the simulated network: fault injection loses or
+//! duplicates messages but never corrupts, reorders-without-delivering,
+//! or invents them.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use msp_net::{EndpointId, NetModel, Network};
+use msp_types::MspId;
+
+fn msp(n: u32) -> EndpointId {
+    EndpointId::Msp(MspId(n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// With duplication but no loss, every message sent is delivered at
+    /// least once and nothing is invented.
+    #[test]
+    fn dup_only_network_delivers_everything(
+        dup_prob in 0.0f64..0.9,
+        count in 1u32..60,
+        seed in 0u64..1_000,
+    ) {
+        let model = NetModel {
+            one_way: Duration::from_micros(50),
+            jitter: Duration::from_micros(200),
+            drop_prob: 0.0,
+            dup_prob,
+            time_scale: 1.0,
+        };
+        let net: Network<u32> = Network::new(model, seed);
+        let a = net.register(msp(1));
+        let b = net.register(msp(2));
+        for i in 0..count {
+            a.send(msp(2), i);
+        }
+        let mut seen = vec![0u32; count as usize];
+        let mut received = 0u64;
+        while let Ok(v) = b.recv_timeout(Duration::from_millis(40)) {
+            prop_assert!(v < count, "never invents messages");
+            seen[v as usize] += 1;
+            received += 1;
+        }
+        prop_assert!(seen.iter().all(|&c| c >= 1), "no silent loss: {seen:?}");
+        let stats = net.stats();
+        prop_assert_eq!(received, stats.delivered);
+        prop_assert_eq!(stats.delivered, u64::from(count) + stats.duplicated);
+        net.shutdown();
+    }
+
+    /// Dropped + delivered + in-flight always accounts for everything
+    /// sent, under arbitrary fault rates.
+    #[test]
+    fn conservation_of_messages(
+        drop_prob in 0.0f64..1.0,
+        dup_prob in 0.0f64..1.0,
+        count in 1u32..60,
+        seed in 0u64..1_000,
+    ) {
+        let model = NetModel {
+            one_way: Duration::ZERO,
+            jitter: Duration::ZERO,
+            drop_prob,
+            dup_prob,
+            time_scale: 0.0,
+        };
+        let net: Network<u32> = Network::new(model, seed);
+        let a = net.register(msp(1));
+        let b = net.register(msp(2));
+        for i in 0..count {
+            a.send(msp(2), i);
+        }
+        let mut received = 0u64;
+        while b.recv_timeout(Duration::from_millis(25)).is_ok() {
+            received += 1;
+        }
+        let stats = net.stats();
+        prop_assert_eq!(stats.sent, u64::from(count));
+        prop_assert_eq!(received, stats.delivered);
+        prop_assert_eq!(
+            stats.delivered + stats.dropped,
+            u64::from(count) + stats.duplicated,
+            "sent + duplicated = delivered + dropped"
+        );
+        net.shutdown();
+    }
+
+    /// The same seed reproduces the same fault pattern (experiments are
+    /// deterministic modulo thread scheduling).
+    #[test]
+    fn seeded_faults_are_reproducible(
+        drop_prob in 0.1f64..0.9,
+        count in 1u32..40,
+        seed in 0u64..1_000,
+    ) {
+        let run = || {
+            let model = NetModel {
+                one_way: Duration::ZERO,
+                jitter: Duration::ZERO,
+                drop_prob,
+                dup_prob: 0.0,
+                time_scale: 0.0,
+            };
+            let net: Network<u32> = Network::new(model, seed);
+            let a = net.register(msp(1));
+            let b = net.register(msp(2));
+            let mut got = Vec::new();
+            for i in 0..count {
+                a.send(msp(2), i);
+            }
+            while let Ok(v) = b.recv_timeout(Duration::from_millis(25)) {
+                got.push(v);
+            }
+            net.shutdown();
+            got
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

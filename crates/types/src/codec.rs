@@ -1,0 +1,262 @@
+//! A small, explicit binary codec.
+//!
+//! Log records and network envelopes are encoded with fixed little-endian
+//! integers and length-prefixed byte strings. The format is deliberately
+//! simple: the physical log must be re-readable by the analysis scan after a
+//! crash, so every record must be decodable without out-of-band schema
+//! information, and a torn tail must be detectable (the log layer adds
+//! per-block length + checksum framing on top of this codec).
+
+use crate::error::CodecError;
+
+/// Types that can serialize themselves into a byte buffer.
+pub trait Encode {
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Types that can deserialize themselves from a byte slice, advancing it.
+pub trait Decode: Sized {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Convenience: decode from a complete buffer, requiring full consumption.
+    fn from_bytes(mut buf: &[u8]) -> Result<Self, CodecError> {
+        let v = Self::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(CodecError::TrailingBytes(buf.len()));
+        }
+        Ok(v)
+    }
+}
+
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Length-prefixed (u32) byte string.
+pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+/// Length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if buf.len() < n {
+        return Err(CodecError::UnexpectedEof { want: n, have: buf.len() });
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8, CodecError> {
+    Ok(take(buf, 1)?[0])
+}
+
+pub fn get_u16(buf: &mut &[u8]) -> Result<u16, CodecError> {
+    Ok(u16::from_le_bytes(take(buf, 2)?.try_into().expect("exact slice")))
+}
+
+pub fn get_u32(buf: &mut &[u8]) -> Result<u32, CodecError> {
+    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("exact slice")))
+}
+
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().expect("exact slice")))
+}
+
+pub fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, CodecError> {
+    let len = get_u32(buf)? as usize;
+    Ok(take(buf, len)?.to_vec())
+}
+
+pub fn get_str(buf: &mut &[u8]) -> Result<String, CodecError> {
+    let bytes = get_bytes(buf)?;
+    String::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)
+}
+
+/// Encode a `Vec<T>` with a u32 length prefix.
+pub fn put_vec<T: Encode>(buf: &mut Vec<u8>, v: &[T]) {
+    put_u32(buf, v.len() as u32);
+    for item in v {
+        item.encode(buf);
+    }
+}
+
+/// Decode a `Vec<T>` with a u32 length prefix.
+pub fn get_vec<T: Decode>(buf: &mut &[u8]) -> Result<Vec<T>, CodecError> {
+    let len = get_u32(buf)? as usize;
+    // Guard against a corrupt length prefix asking for absurd allocation:
+    // each element needs at least one byte in this codec family.
+    if len > buf.len() {
+        return Err(CodecError::UnexpectedEof { want: len, have: buf.len() });
+    }
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        v.push(T::decode(buf)?);
+    }
+    Ok(v)
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_bytes(buf, self);
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        get_bytes(buf)
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_str(buf, self);
+    }
+}
+
+impl Decode for String {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        get_str(buf)
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, *self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        get_u64(buf)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => put_u8(buf, 0),
+            Some(v) => {
+                put_u8(buf, 1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match get_u8(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            tag => Err(CodecError::InvalidTag { context: "Option", tag }),
+        }
+    }
+}
+
+/// Test helper: encode then decode a value.
+pub fn roundtrip<T: Encode + Decode>(v: &T) -> Result<T, CodecError> {
+    T::from_bytes(&v.to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xAB);
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_bytes(&mut buf, b"hello");
+        put_str(&mut buf, "world");
+
+        let mut cur = buf.as_slice();
+        assert_eq!(get_u8(&mut cur).unwrap(), 0xAB);
+        assert_eq!(get_u16(&mut cur).unwrap(), 0xBEEF);
+        assert_eq!(get_u32(&mut cur).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&mut cur).unwrap(), u64::MAX - 1);
+        assert_eq!(get_bytes(&mut cur).unwrap(), b"hello");
+        assert_eq!(get_str(&mut cur).unwrap(), "world");
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        let mut cur: &[u8] = &[1, 2];
+        assert!(matches!(get_u32(&mut cur), Err(CodecError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // absurd length
+        let mut cur = buf.as_slice();
+        assert!(get_bytes(&mut cur).is_err());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(roundtrip(&Some(42u64)).unwrap(), Some(42));
+        assert_eq!(roundtrip(&None::<u64>).unwrap(), None);
+    }
+
+    #[test]
+    fn option_invalid_tag() {
+        let buf = vec![9u8];
+        assert!(matches!(
+            Option::<u64>::from_bytes(&buf),
+            Err(CodecError::InvalidTag { context: "Option", tag: 9 })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut buf = 7u64.to_bytes();
+        buf.push(0);
+        assert!(matches!(u64::from_bytes(&buf), Err(CodecError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        let mut buf = Vec::new();
+        put_vec(&mut buf, &v);
+        let mut cur = buf.as_slice();
+        assert_eq!(get_vec::<u64>(&mut cur).unwrap(), v);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xFF, 0xFE]);
+        let mut cur = buf.as_slice();
+        assert!(matches!(get_str(&mut cur), Err(CodecError::InvalidUtf8)));
+    }
+}

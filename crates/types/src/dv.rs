@@ -1,0 +1,282 @@
+//! Dependency vectors for optimistic logging (§3.1 of the paper).
+//!
+//! A dependency vector (DV) records, for every MSP a state transitively
+//! depends on, the *state identifier* `(epoch, LSN)` of the most recent
+//! depended-upon state. DVs are attached to messages sent inside a service
+//! domain and merged item-wise (maximization) on receipt. Because
+//! pessimistic logging is used across domain boundaries, a DV only ever
+//! contains entries for MSPs of one service domain, bounding its size —
+//! that is the core of *locally optimistic logging*.
+//!
+//! The paper refines the classical symmetric merge for shared-variable
+//! access (§3.3): a **read** merges the variable's DV into the reader's
+//! (never the reverse), and a **write** *replaces* the variable's DV with
+//! the writer's (the old value's dependencies die with the old value).
+//! Both operations are provided here ([`DependencyVector::merge_from`] and
+//! plain assignment); the asymmetry lives in the shared-state layer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{self, Decode, Encode};
+use crate::error::CodecError;
+use crate::ids::{Epoch, Lsn, MspId, StateId};
+
+/// A dependency vector: a sorted association list `MspId -> StateId`.
+///
+/// Service domains are small (a handful of MSPs), so a sorted `Vec` with
+/// binary search beats a hash map on every axis: size, iteration order
+/// (deterministic encoding), and cache behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependencyVector {
+    entries: Vec<(MspId, StateId)>,
+}
+
+impl DependencyVector {
+    /// An empty vector (depends on nothing).
+    pub fn new() -> DependencyVector {
+        DependencyVector { entries: Vec::new() }
+    }
+
+    /// Build from arbitrary `(msp, state)` pairs; later duplicates are
+    /// merged by maximization.
+    pub fn from_entries(pairs: impl IntoIterator<Item = (MspId, StateId)>) -> DependencyVector {
+        let mut dv = DependencyVector::new();
+        for (m, s) in pairs {
+            dv.bump(m, s);
+        }
+        dv
+    }
+
+    /// Number of MSPs this vector depends on.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The dependency on `msp`, if any.
+    pub fn get(&self, msp: MspId) -> Option<StateId> {
+        self.entries
+            .binary_search_by_key(&msp, |(m, _)| *m)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Raise the dependency on `msp` to at least `state` (item-wise max).
+    pub fn bump(&mut self, msp: MspId, state: StateId) {
+        match self.entries.binary_search_by_key(&msp, |(m, _)| *m) {
+            Ok(i) => {
+                if state > self.entries[i].1 {
+                    self.entries[i].1 = state;
+                }
+            }
+            Err(i) => self.entries.insert(i, (msp, state)),
+        }
+    }
+
+    /// Overwrite the dependency on `msp` regardless of ordering.
+    ///
+    /// Used for the *self*-entry: a process always depends on itself at its
+    /// current state identifier, which advances monotonically anyway, and
+    /// for resetting after checkpoints.
+    pub fn set(&mut self, msp: MspId, state: StateId) {
+        match self.entries.binary_search_by_key(&msp, |(m, _)| *m) {
+            Ok(i) => self.entries[i].1 = state,
+            Err(i) => self.entries.insert(i, (msp, state)),
+        }
+    }
+
+    /// Drop the dependency on `msp` (used when a dependency is subsumed,
+    /// e.g. after a distributed flush made it stable).
+    pub fn remove(&mut self, msp: MspId) -> Option<StateId> {
+        match self.entries.binary_search_by_key(&msp, |(m, _)| *m) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Item-wise maximization: after this call `self` dominates both its
+    /// old value and `other`. This is the merge applied when a message (or
+    /// a shared-variable read) is absorbed (§3.1, Figure 5).
+    pub fn merge_from(&mut self, other: &DependencyVector) {
+        for &(m, s) in &other.entries {
+            self.bump(m, s);
+        }
+    }
+
+    /// Iterate over `(msp, state)` pairs in ascending `MspId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (MspId, StateId)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Whether `self` is dominated by `other` (every entry of `self` is
+    /// present in `other` with an equal or larger state id).
+    pub fn dominated_by(&self, other: &DependencyVector) -> bool {
+        self.entries
+            .iter()
+            .all(|&(m, s)| other.get(m).is_some_and(|o| o >= s))
+    }
+
+    /// Clear all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl fmt::Display for DependencyVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (m, s)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}:{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Encode for DependencyVector {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_u32(buf, self.entries.len() as u32);
+        for &(m, s) in &self.entries {
+            m.encode(buf);
+            s.encode(buf);
+        }
+    }
+}
+
+impl Decode for DependencyVector {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = codec::get_u32(buf)? as usize;
+        if len > buf.len() {
+            return Err(CodecError::UnexpectedEof { want: len, have: buf.len() });
+        }
+        let mut entries = Vec::with_capacity(len);
+        let mut prev: Option<MspId> = None;
+        for _ in 0..len {
+            let m = MspId::decode(buf)?;
+            let s = StateId::decode(buf)?;
+            if let Some(p) = prev {
+                if m <= p {
+                    return Err(CodecError::Corrupt(format!(
+                        "dependency vector entries out of order: {p} then {m}"
+                    )));
+                }
+            }
+            prev = Some(m);
+            entries.push((m, s));
+        }
+        Ok(DependencyVector { entries })
+    }
+}
+
+/// Build a state id quickly in tests and call sites.
+pub fn state(epoch: u32, lsn: u64) -> StateId {
+    StateId::new(Epoch(epoch), Lsn(lsn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+
+    fn dv(pairs: &[(u32, u32, u64)]) -> DependencyVector {
+        DependencyVector::from_entries(
+            pairs.iter().map(|&(m, e, l)| (MspId(m), state(e, l))),
+        )
+    }
+
+    #[test]
+    fn paper_figure5_scenario() {
+        // p1 logs m1 at LSN 10, sends m2 with DV [p1:10].
+        let m2_dv = dv(&[(1, 0, 10)]);
+        // p2 logs at 20 and sends m3 with [p1:10, p2:20] (transitivity).
+        let mut p2 = DependencyVector::new();
+        p2.merge_from(&m2_dv);
+        p2.set(MspId(2), state(0, 20));
+        // p3 receives m3 and logs at 30.
+        let mut p3 = DependencyVector::new();
+        p3.merge_from(&p2);
+        p3.set(MspId(3), state(0, 30));
+        assert_eq!(p3.get(MspId(1)), Some(state(0, 10)));
+        assert_eq!(p3.get(MspId(2)), Some(state(0, 20)));
+        assert_eq!(p3.get(MspId(3)), Some(state(0, 30)));
+        // m5 arrives with [p1:11]; p3 logs at 31.
+        p3.merge_from(&dv(&[(1, 0, 11)]));
+        p3.set(MspId(3), state(0, 31));
+        assert_eq!(p3.get(MspId(1)), Some(state(0, 11)));
+        assert_eq!(p3.get(MspId(2)), Some(state(0, 20)));
+        assert_eq!(p3.get(MspId(3)), Some(state(0, 31)));
+    }
+
+    #[test]
+    fn merge_takes_item_wise_max() {
+        let mut a = dv(&[(1, 0, 10), (2, 0, 5)]);
+        let b = dv(&[(1, 0, 7), (2, 0, 9), (3, 1, 1)]);
+        a.merge_from(&b);
+        assert_eq!(a.get(MspId(1)), Some(state(0, 10)));
+        assert_eq!(a.get(MspId(2)), Some(state(0, 9)));
+        assert_eq!(a.get(MspId(3)), Some(state(1, 1)));
+    }
+
+    #[test]
+    fn later_epoch_dominates_in_merge() {
+        let mut a = dv(&[(1, 0, 1_000)]);
+        a.merge_from(&dv(&[(1, 1, 5)]));
+        assert_eq!(a.get(MspId(1)), Some(state(1, 5)));
+    }
+
+    #[test]
+    fn set_overwrites_even_downward() {
+        let mut a = dv(&[(1, 0, 100)]);
+        a.set(MspId(1), state(0, 50));
+        assert_eq!(a.get(MspId(1)), Some(state(0, 50)));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut a = dv(&[(1, 0, 1), (2, 0, 2)]);
+        assert_eq!(a.remove(MspId(1)), Some(state(0, 1)));
+        assert_eq!(a.remove(MspId(1)), None);
+        assert_eq!(a.len(), 1);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn dominated_by() {
+        let small = dv(&[(1, 0, 5)]);
+        let big = dv(&[(1, 0, 9), (2, 0, 3)]);
+        assert!(small.dominated_by(&big));
+        assert!(!big.dominated_by(&small));
+        assert!(DependencyVector::new().dominated_by(&small));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let a = dv(&[(1, 0, 10), (5, 2, 77), (9, 1, 3)]);
+        assert_eq!(roundtrip(&a).unwrap(), a);
+        assert_eq!(roundtrip(&DependencyVector::new()).unwrap(), DependencyVector::new());
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_entries() {
+        let good = dv(&[(1, 0, 1), (2, 0, 2)]);
+        let mut bytes = good.to_bytes();
+        // Swap the two MspId fields (offsets: 4..8 and 4+4+12..): entry is
+        // (u32 msp, u32 epoch, u64 lsn) = 16 bytes, after a 4-byte count.
+        bytes.swap(4, 20);
+        assert!(DependencyVector::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let a = dv(&[(1, 0, 10)]);
+        assert_eq!(a.to_string(), "[msp1:(ep0, lsn:10)]");
+    }
+}

@@ -1,0 +1,159 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::ids::{MspId, SessionId, VarId};
+
+/// Errors from the binary codec ([`crate::codec`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before a complete value could be read.
+    UnexpectedEof { want: usize, have: usize },
+    /// A discriminant byte had no corresponding variant.
+    InvalidTag { context: &'static str, tag: u8 },
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// `from_bytes` left unconsumed input.
+    TrailingBytes(usize),
+    /// A structural invariant of the decoded value was violated.
+    Corrupt(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { want, have } => {
+                write!(f, "unexpected end of input: wanted {want} bytes, had {have}")
+            }
+            CodecError::InvalidTag { context, tag } => {
+                write!(f, "invalid tag {tag} while decoding {context}")
+            }
+            CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            CodecError::Corrupt(msg) => write!(f, "corrupt value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Top-level error type of the recovery stack.
+#[derive(Debug)]
+pub enum MspError {
+    /// Encoding/decoding failure (log corruption, bad envelope).
+    Codec(CodecError),
+    /// Underlying storage failure.
+    Io(std::io::Error),
+    /// The physical log is structurally corrupt at the given offset.
+    LogCorrupt { offset: u64, reason: String },
+    /// A session was found to be an orphan; the operation was abandoned and
+    /// orphan recovery has been (or must be) initiated.
+    Orphan { session: SessionId },
+    /// A shared variable's current value is an orphan (surfaced internally;
+    /// readers roll the variable back instead of failing).
+    OrphanVariable { var: VarId },
+    /// A dependency on another MSP turned out to refer to a state that MSP
+    /// lost in a crash — whoever carries this dependency is an orphan.
+    OrphanDependency { msp: MspId },
+    /// A distributed log flush could not complete because a participant had
+    /// crashed or had already declared the requested LSN unrecoverable.
+    FlushFailed { participant: MspId, reason: String },
+    /// The target MSP is not reachable / not registered in the network.
+    Unreachable(MspId),
+    /// The MSP is shutting down or has been killed.
+    Shutdown,
+    /// A request timed out waiting for its reply.
+    Timeout,
+    /// The named service method is not registered at the target MSP.
+    NoSuchMethod(String),
+    /// An operation referenced a shared variable that was never registered.
+    NoSuchVariable(String),
+    /// Service-method code signalled an application-level failure.
+    Application(String),
+    /// A request was rejected because a newer one was already processed on
+    /// the session (stale / out-of-order duplicate).
+    StaleRequest,
+    /// Invalid configuration (e.g. zero-sized thread pool).
+    Config(String),
+}
+
+impl fmt::Display for MspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MspError::Codec(e) => write!(f, "codec error: {e}"),
+            MspError::Io(e) => write!(f, "I/O error: {e}"),
+            MspError::LogCorrupt { offset, reason } => {
+                write!(f, "log corrupt at offset {offset}: {reason}")
+            }
+            MspError::Orphan { session } => write!(f, "session {session} is an orphan"),
+            MspError::OrphanVariable { var } => write!(f, "shared variable {var} is an orphan"),
+            MspError::OrphanDependency { msp } => {
+                write!(f, "dependency on a state lost by {msp}")
+            }
+            MspError::FlushFailed { participant, reason } => {
+                write!(f, "distributed log flush failed at {participant}: {reason}")
+            }
+            MspError::Unreachable(m) => write!(f, "MSP {m} unreachable"),
+            MspError::Shutdown => write!(f, "MSP is shut down"),
+            MspError::Timeout => write!(f, "request timed out"),
+            MspError::NoSuchMethod(m) => write!(f, "no such service method: {m}"),
+            MspError::NoSuchVariable(v) => write!(f, "no such shared variable: {v}"),
+            MspError::Application(msg) => write!(f, "application error: {msg}"),
+            MspError::StaleRequest => write!(f, "stale or out-of-order request"),
+            MspError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MspError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MspError::Codec(e) => Some(e),
+            MspError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for MspError {
+    fn from(e: CodecError) -> Self {
+        MspError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for MspError {
+    fn from(e: std::io::Error) -> Self {
+        MspError::Io(e)
+    }
+}
+
+/// Convenient result alias used across the workspace.
+pub type MspResult<T> = Result<T, MspError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MspError::Orphan { session: SessionId(4) };
+        assert!(e.to_string().contains("se4"));
+        let e = MspError::FlushFailed { participant: MspId(2), reason: "crashed".into() };
+        assert!(e.to_string().contains("msp2"));
+        assert!(e.to_string().contains("crashed"));
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        let e: MspError = CodecError::InvalidUtf8.into();
+        assert!(matches!(e, MspError::Codec(CodecError::InvalidUtf8)));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e: MspError = CodecError::InvalidUtf8.into();
+        assert!(e.source().is_some());
+        assert!(MspError::Timeout.source().is_none());
+    }
+}

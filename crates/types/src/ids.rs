@@ -1,0 +1,250 @@
+//! Identifier newtypes for the distributed system's units.
+//!
+//! The paper distinguishes *crash units* (MSPs) from *recovery units*
+//! (sessions and shared variables): a session never crashes by itself, only
+//! as part of its MSP, but it recovers independently (§3.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Decode, Encode};
+use crate::error::CodecError;
+
+/// Identifier of a Middleware Server Process — the paper's *crash unit*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MspId(pub u32);
+
+/// Identifier of a *service domain*: a set of tightly associated MSPs with
+/// fast, reliable communication among them (§1.3). Domains are disjoint and
+/// end clients are outside every domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DomainId(pub u32);
+
+/// Identifier of a client session at an MSP — the paper's *recovery unit*.
+///
+/// Session ids are chosen by the client when it starts the session and are
+/// globally unique, so a session survives (is re-identified across) both
+/// client resends and MSP crash recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+/// Index of a shared variable in an MSP's shared-state registry.
+///
+/// The paper observes that the number of shared variables is limited, which
+/// is why per-variable locks (no lock table) are affordable (§3.3); a dense
+/// index keeps the registry a flat vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+/// Request sequence number used to detect duplicate and out-of-order
+/// messages over a session (§3.1). The client keeps the *next available*
+/// number, the MSP the *next expected* one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestSeq(pub u64);
+
+impl RequestSeq {
+    /// The first sequence number of a fresh session.
+    pub const FIRST: RequestSeq = RequestSeq(0);
+
+    /// The sequence number following this one.
+    #[must_use]
+    pub fn next(self) -> RequestSeq {
+        RequestSeq(self.0 + 1)
+    }
+}
+
+/// Log sequence number: a byte offset into an MSP's physical log.
+///
+/// LSNs are monotone over the whole life of the log, across crashes: after
+/// recovery the MSP keeps appending to the same physical log, so a state
+/// number from an earlier epoch is still a valid position.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// Smallest possible LSN (start of the log's record area).
+    pub const ZERO: Lsn = Lsn(0);
+    /// Sentinel for "no LSN" (e.g. the back-pointer of the first write of a
+    /// shared variable, which has no predecessor).
+    pub const NULL: Lsn = Lsn(u64::MAX);
+
+    /// Whether this is the [`Lsn::NULL`] sentinel.
+    pub fn is_null(self) -> bool {
+        self == Lsn::NULL
+    }
+}
+
+/// Epoch number: identifies a failure-free period of an MSP's execution and
+/// is incremented by each crash recovery (§3.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Epoch(pub u32);
+
+impl Epoch {
+    /// The epoch of an MSP that has never crashed.
+    pub const INITIAL: Epoch = Epoch(0);
+
+    /// The epoch entered by the next crash recovery.
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+/// A process *state identifier*: `(epoch, state number)` where the state
+/// number is the LSN of the process's most recent log record (§3.1).
+///
+/// Ordering is lexicographic — epochs dominate — so that item-wise
+/// maximization of dependency vectors treats any post-recovery state as
+/// newer than every lost pre-crash state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId {
+    pub epoch: Epoch,
+    pub lsn: Lsn,
+}
+
+impl StateId {
+    /// State identifier of a freshly started, never-logged process.
+    pub const INITIAL: StateId = StateId { epoch: Epoch::INITIAL, lsn: Lsn::ZERO };
+
+    pub fn new(epoch: Epoch, lsn: Lsn) -> StateId {
+        StateId { epoch, lsn }
+    }
+}
+
+impl fmt::Display for MspId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "msp{}", self.0)
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "se{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sv{}", self.0)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "lsn:null")
+        } else {
+            write!(f, "lsn:{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.epoch, self.lsn)
+    }
+}
+
+macro_rules! codec_newtype {
+    ($ty:ty, $inner:ty, $put:ident, $get:ident) => {
+        impl Encode for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                crate::codec::$put(buf, self.0);
+            }
+        }
+        impl Decode for $ty {
+            fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+                Ok(Self(crate::codec::$get(buf)?))
+            }
+        }
+    };
+}
+
+codec_newtype!(MspId, u32, put_u32, get_u32);
+codec_newtype!(DomainId, u32, put_u32, get_u32);
+codec_newtype!(SessionId, u64, put_u64, get_u64);
+codec_newtype!(VarId, u32, put_u32, get_u32);
+codec_newtype!(RequestSeq, u64, put_u64, get_u64);
+codec_newtype!(Lsn, u64, put_u64, get_u64);
+codec_newtype!(Epoch, u32, put_u32, get_u32);
+
+impl Encode for StateId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.epoch.encode(buf);
+        self.lsn.encode(buf);
+    }
+}
+
+impl Decode for StateId {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(StateId { epoch: Epoch::decode(buf)?, lsn: Lsn::decode(buf)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+
+    #[test]
+    fn state_id_ordering_is_lexicographic() {
+        let old = StateId::new(Epoch(0), Lsn(1_000_000));
+        let new = StateId::new(Epoch(1), Lsn(10));
+        assert!(new > old, "a later epoch dominates any LSN of an earlier one");
+        let a = StateId::new(Epoch(1), Lsn(10));
+        let b = StateId::new(Epoch(1), Lsn(20));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn lsn_null_sentinel() {
+        assert!(Lsn::NULL.is_null());
+        assert!(!Lsn::ZERO.is_null());
+        assert!(Lsn(42) < Lsn::NULL);
+    }
+
+    #[test]
+    fn request_seq_next_increments() {
+        assert_eq!(RequestSeq::FIRST.next(), RequestSeq(1));
+        assert_eq!(RequestSeq(7).next(), RequestSeq(8));
+    }
+
+    #[test]
+    fn epoch_next_increments() {
+        assert_eq!(Epoch::INITIAL.next(), Epoch(1));
+    }
+
+    #[test]
+    fn id_codec_roundtrips() {
+        assert_eq!(roundtrip(&MspId(7)).unwrap(), MspId(7));
+        assert_eq!(roundtrip(&DomainId(3)).unwrap(), DomainId(3));
+        assert_eq!(roundtrip(&SessionId(u64::MAX)).unwrap(), SessionId(u64::MAX));
+        assert_eq!(roundtrip(&VarId(0)).unwrap(), VarId(0));
+        assert_eq!(roundtrip(&Lsn::NULL).unwrap(), Lsn::NULL);
+        assert_eq!(
+            roundtrip(&StateId::new(Epoch(2), Lsn(99))).unwrap(),
+            StateId::new(Epoch(2), Lsn(99))
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MspId(1).to_string(), "msp1");
+        assert_eq!(SessionId(9).to_string(), "se9");
+        assert_eq!(Lsn::NULL.to_string(), "lsn:null");
+        assert_eq!(StateId::new(Epoch(1), Lsn(5)).to_string(), "(ep1, lsn:5)");
+    }
+}

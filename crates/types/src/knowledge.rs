@@ -1,0 +1,283 @@
+//! Recovered-state-number knowledge and the orphan test (§3.1, §4).
+//!
+//! After crash recovery an MSP broadcasts, within its service domain, the
+//! *recovered state number*: the largest LSN that survived on disk. Every
+//! other MSP in the domain logs and remembers this. A dependency
+//! `(epoch e, lsn l)` on MSP `M` is an **orphan** iff some recovery of `M`
+//! with new epoch `e' > e` recovered only up to `r < l` — the depended-upon
+//! state was lost in that crash.
+//!
+//! Because an MSP keeps appending to the same physical log across crashes,
+//! recovered LSNs are monotone over successive recoveries; hence it is
+//! enough to test against the *first* recovery after epoch `e`, and testing
+//! against all known records is equivalent (and what we do).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{self, Decode, Encode};
+use crate::dv::DependencyVector;
+use crate::error::CodecError;
+use crate::ids::{Epoch, Lsn, MspId, StateId};
+
+/// One recovery announcement: "`msp` entered `new_epoch`, having recovered
+/// its log up to `recovered_lsn`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    pub msp: MspId,
+    pub new_epoch: Epoch,
+    pub recovered_lsn: Lsn,
+}
+
+impl Encode for RecoveryRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.msp.encode(buf);
+        self.new_epoch.encode(buf);
+        self.recovered_lsn.encode(buf);
+    }
+}
+
+impl Decode for RecoveryRecord {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(RecoveryRecord {
+            msp: MspId::decode(buf)?,
+            new_epoch: Epoch::decode(buf)?,
+            recovered_lsn: Lsn::decode(buf)?,
+        })
+    }
+}
+
+/// An MSP's accumulated knowledge of recovered state numbers in its domain.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryKnowledge {
+    /// Per MSP: `new_epoch -> recovered_lsn`, ascending by epoch.
+    records: BTreeMap<MspId, BTreeMap<Epoch, Lsn>>,
+}
+
+impl RecoveryKnowledge {
+    pub fn new() -> RecoveryKnowledge {
+        RecoveryKnowledge::default()
+    }
+
+    /// Absorb a recovery announcement (idempotent).
+    ///
+    /// A given `(msp, new_epoch)` pair corresponds to exactly one recovery
+    /// event, so duplicates normally carry identical LSNs; should
+    /// conflicting reports ever appear (corruption, buggy peer), the
+    /// *smaller* recovered LSN is kept — the conservative choice that can
+    /// only turn questionable states into orphans, never resurrect lost
+    /// ones, and which keeps orphan verdicts monotone in knowledge.
+    pub fn record(&mut self, rec: RecoveryRecord) {
+        self.records
+            .entry(rec.msp)
+            .or_default()
+            .entry(rec.new_epoch)
+            .and_modify(|lsn| *lsn = (*lsn).min(rec.recovered_lsn))
+            .or_insert(rec.recovered_lsn);
+    }
+
+    /// Absorb everything another knowledge table knows (used when merging
+    /// checkpointed knowledge with log-scanned knowledge during recovery).
+    pub fn merge_from(&mut self, other: &RecoveryKnowledge) {
+        for rec in other.iter() {
+            self.record(rec);
+        }
+    }
+
+    /// The current (highest known) epoch of `msp`, if any recovery of it
+    /// has been observed.
+    pub fn current_epoch(&self, msp: MspId) -> Option<Epoch> {
+        self.records
+            .get(&msp)
+            .and_then(|m| m.keys().next_back().copied())
+    }
+
+    /// Orphan test for a single dependency `(msp, state)`.
+    ///
+    /// The dependency is an orphan iff some known recovery of `msp` with
+    /// `new_epoch > state.epoch` recovered only up to an LSN smaller than
+    /// `state.lsn`.
+    pub fn is_orphan_dep(&self, msp: MspId, state: StateId) -> bool {
+        let Some(recs) = self.records.get(&msp) else {
+            return false;
+        };
+        recs.range((
+            std::ops::Bound::Excluded(state.epoch),
+            std::ops::Bound::Unbounded,
+        ))
+        .any(|(_, &recovered)| state.lsn > recovered)
+    }
+
+    /// Orphan test for a whole dependency vector, excluding the owner's
+    /// self-entry (a process is never an orphan of itself: its own log is
+    /// the ground truth it recovers from).
+    pub fn is_orphan(&self, dv: &DependencyVector, owner: MspId) -> bool {
+        dv.iter()
+            .any(|(m, s)| m != owner && self.is_orphan_dep(m, s))
+    }
+
+    /// The first orphan dependency in `dv` (excluding `owner`), if any.
+    /// Useful for diagnostics and tests.
+    pub fn find_orphan(&self, dv: &DependencyVector, owner: MspId) -> Option<(MspId, StateId)> {
+        dv.iter()
+            .find(|&(m, s)| m != owner && self.is_orphan_dep(m, s))
+    }
+
+    /// Iterate over all known records.
+    pub fn iter(&self) -> impl Iterator<Item = RecoveryRecord> + '_ {
+        self.records.iter().flat_map(|(&msp, m)| {
+            m.iter().map(move |(&new_epoch, &recovered_lsn)| RecoveryRecord {
+                msp,
+                new_epoch,
+                recovered_lsn,
+            })
+        })
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.records.values().map(|m| m.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl Encode for RecoveryKnowledge {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let all: Vec<RecoveryRecord> = self.iter().collect();
+        codec::put_vec(buf, &all);
+    }
+}
+
+impl Decode for RecoveryKnowledge {
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let all: Vec<RecoveryRecord> = codec::get_vec(buf)?;
+        let mut k = RecoveryKnowledge::new();
+        for rec in all {
+            k.record(rec);
+        }
+        Ok(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+    use crate::dv::state;
+
+    fn rec(msp: u32, new_epoch: u32, recovered: u64) -> RecoveryRecord {
+        RecoveryRecord {
+            msp: MspId(msp),
+            new_epoch: Epoch(new_epoch),
+            recovered_lsn: Lsn(recovered),
+        }
+    }
+
+    #[test]
+    fn surviving_dependency_is_not_orphan() {
+        let mut k = RecoveryKnowledge::new();
+        k.record(rec(1, 1, 100));
+        // Logged at LSN 50 in epoch 0, recovered up to 100: survived.
+        assert!(!k.is_orphan_dep(MspId(1), state(0, 50)));
+        // Exactly at the recovered LSN: survived.
+        assert!(!k.is_orphan_dep(MspId(1), state(0, 100)));
+    }
+
+    #[test]
+    fn lost_dependency_is_orphan() {
+        let mut k = RecoveryKnowledge::new();
+        k.record(rec(1, 1, 100));
+        assert!(k.is_orphan_dep(MspId(1), state(0, 101)));
+    }
+
+    #[test]
+    fn dependency_on_new_epoch_is_not_orphan() {
+        let mut k = RecoveryKnowledge::new();
+        k.record(rec(1, 1, 100));
+        // A state produced *after* recovery (epoch 1) is not affected.
+        assert!(!k.is_orphan_dep(MspId(1), state(1, 500)));
+    }
+
+    #[test]
+    fn unknown_msp_is_never_orphan() {
+        let k = RecoveryKnowledge::new();
+        assert!(!k.is_orphan_dep(MspId(9), state(0, 1)));
+    }
+
+    #[test]
+    fn multiple_crashes_first_recovery_decides() {
+        let mut k = RecoveryKnowledge::new();
+        k.record(rec(1, 1, 100));
+        k.record(rec(1, 2, 250));
+        // Epoch-0 state at 120: lost at the first crash even though the
+        // second recovery reached 250 (LSN monotonicity means it could not
+        // have been resurrected).
+        assert!(k.is_orphan_dep(MspId(1), state(0, 120)));
+        // Epoch-0 state at 80 survived crash 1, therefore also crash 2.
+        assert!(!k.is_orphan_dep(MspId(1), state(0, 80)));
+        // Epoch-1 state at 260: lost at the second crash.
+        assert!(k.is_orphan_dep(MspId(1), state(1, 260)));
+        assert!(!k.is_orphan_dep(MspId(1), state(1, 240)));
+    }
+
+    #[test]
+    fn dv_orphan_check_skips_owner() {
+        let mut k = RecoveryKnowledge::new();
+        k.record(rec(1, 1, 100));
+        let dv = DependencyVector::from_entries([
+            (MspId(1), state(0, 999)), // would be orphan...
+        ]);
+        // ...but msp1 checking its own session against itself is exempt.
+        assert!(k.is_orphan(&dv, MspId(2)));
+        assert!(!k.is_orphan(&dv, MspId(1)));
+    }
+
+    #[test]
+    fn find_orphan_reports_culprit() {
+        let mut k = RecoveryKnowledge::new();
+        k.record(rec(2, 1, 10));
+        let dv = DependencyVector::from_entries([
+            (MspId(1), state(0, 5)),
+            (MspId(2), state(0, 50)),
+        ]);
+        assert_eq!(k.find_orphan(&dv, MspId(3)), Some((MspId(2), state(0, 50))));
+    }
+
+    #[test]
+    fn record_is_idempotent_and_merge_works() {
+        let mut a = RecoveryKnowledge::new();
+        a.record(rec(1, 1, 100));
+        a.record(rec(1, 1, 100));
+        assert_eq!(a.len(), 1);
+
+        let mut b = RecoveryKnowledge::new();
+        b.record(rec(2, 1, 7));
+        a.merge_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.current_epoch(MspId(2)), Some(Epoch(1)));
+    }
+
+    #[test]
+    fn current_epoch_is_max() {
+        let mut k = RecoveryKnowledge::new();
+        assert_eq!(k.current_epoch(MspId(1)), None);
+        k.record(rec(1, 1, 100));
+        k.record(rec(1, 3, 400));
+        k.record(rec(1, 2, 250));
+        assert_eq!(k.current_epoch(MspId(1)), Some(Epoch(3)));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut k = RecoveryKnowledge::new();
+        k.record(rec(1, 1, 100));
+        k.record(rec(1, 2, 250));
+        k.record(rec(4, 1, 9));
+        assert_eq!(roundtrip(&k).unwrap(), k);
+        assert_eq!(roundtrip(&RecoveryKnowledge::new()).unwrap(), RecoveryKnowledge::new());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the foundation types: the dependency-vector
+//! lattice laws, the orphan rule, and codec roundtrips.
+
+use proptest::prelude::*;
+
+use msp_types::codec::roundtrip;
+use msp_types::{
+    DependencyVector, Epoch, Lsn, MspId, RecoveryKnowledge, RecoveryRecord, StateId,
+};
+
+fn arb_state() -> impl Strategy<Value = StateId> {
+    (0u32..4, 0u64..1_000).prop_map(|(e, l)| StateId::new(Epoch(e), Lsn(l)))
+}
+
+fn arb_dv() -> impl Strategy<Value = DependencyVector> {
+    proptest::collection::vec((0u32..6, arb_state()), 0..8).prop_map(|pairs| {
+        DependencyVector::from_entries(pairs.into_iter().map(|(m, s)| (MspId(m), s)))
+    })
+}
+
+fn arb_knowledge() -> impl Strategy<Value = RecoveryKnowledge> {
+    proptest::collection::vec((0u32..6, 1u32..5, 0u64..1_000), 0..10).prop_map(|recs| {
+        let mut k = RecoveryKnowledge::new();
+        for (m, e, l) in recs {
+            k.record(RecoveryRecord {
+                msp: MspId(m),
+                new_epoch: Epoch(e),
+                recovered_lsn: Lsn(l),
+            });
+        }
+        k
+    })
+}
+
+proptest! {
+    /// Merge is commutative: a ⊔ b == b ⊔ a.
+    #[test]
+    fn dv_merge_commutative(a in arb_dv(), b in arb_dv()) {
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+    #[test]
+    fn dv_merge_associative(a in arb_dv(), b in arb_dv(), c in arb_dv()) {
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merge is idempotent: a ⊔ a == a.
+    #[test]
+    fn dv_merge_idempotent(a in arb_dv()) {
+        let mut aa = a.clone();
+        aa.merge_from(&a);
+        prop_assert_eq!(aa, a);
+    }
+
+    /// The merge result dominates both inputs.
+    #[test]
+    fn dv_merge_dominates_inputs(a in arb_dv(), b in arb_dv()) {
+        let mut m = a.clone();
+        m.merge_from(&b);
+        prop_assert!(a.dominated_by(&m));
+        prop_assert!(b.dominated_by(&m));
+    }
+
+    /// DVs roundtrip through the binary codec.
+    #[test]
+    fn dv_codec_roundtrip(a in arb_dv()) {
+        prop_assert_eq!(roundtrip(&a).unwrap(), a);
+    }
+
+    /// Knowledge tables roundtrip through the binary codec.
+    #[test]
+    fn knowledge_codec_roundtrip(k in arb_knowledge()) {
+        prop_assert_eq!(roundtrip(&k).unwrap(), k);
+    }
+
+    /// Orphanhood is monotone in the dependency's LSN: if (e, l) is clean,
+    /// any (e, l') with l' <= l is clean too.
+    #[test]
+    fn orphan_monotone_in_lsn(k in arb_knowledge(), e in 0u32..4, l in 0u64..1_000) {
+        let msp = MspId(0);
+        if !k.is_orphan_dep(msp, StateId::new(Epoch(e), Lsn(l))) {
+            for smaller in [0, l / 2, l.saturating_sub(1)] {
+                prop_assert!(!k.is_orphan_dep(msp, StateId::new(Epoch(e), Lsn(smaller))));
+            }
+        }
+    }
+
+    /// Learning more recovery records can only turn clean states into
+    /// orphans, never the reverse.
+    #[test]
+    fn orphan_monotone_in_knowledge(
+        k in arb_knowledge(),
+        extra in (0u32..6, 1u32..5, 0u64..1_000),
+        s in arb_state(),
+        m in 0u32..6,
+    ) {
+        let msp = MspId(m);
+        let before = k.is_orphan_dep(msp, s);
+        let mut k2 = k.clone();
+        k2.record(RecoveryRecord {
+            msp: MspId(extra.0),
+            new_epoch: Epoch(extra.1),
+            recovered_lsn: Lsn(extra.2),
+        });
+        if before {
+            prop_assert!(k2.is_orphan_dep(msp, s));
+        }
+    }
+
+    /// A whole-vector orphan verdict is exactly the disjunction of its
+    /// entries' verdicts — `is_orphan` hides no extra state.
+    #[test]
+    fn dv_orphan_is_entrywise_disjunction(k in arb_knowledge(), a in arb_dv()) {
+        let owner = MspId(99); // not in the generated id range
+        let expected = a.iter().any(|(m, s)| k.is_orphan_dep(m, s));
+        prop_assert_eq!(k.is_orphan(&a, owner), expected);
+    }
+
+    /// Merging can MASK orphanhood: if `b` carries a newer-epoch entry
+    /// for the same MSP, the item-wise max replaces the doomed entry and
+    /// the merged vector looks clean. This is why the protocol must check
+    /// a session's own DV at every interception point BEFORE absorbing a
+    /// message (§4.1) — the check-then-merge discipline in `msp-core`.
+    /// The property documents the hazard: whenever the merge of an orphan
+    /// `a` is clean, `b` must have dominated every orphaned entry.
+    #[test]
+    fn dv_merge_masking_requires_domination(
+        k in arb_knowledge(),
+        a in arb_dv(),
+        b in arb_dv(),
+    ) {
+        let owner = MspId(99);
+        if k.is_orphan(&a, owner) {
+            let mut m = a.clone();
+            m.merge_from(&b);
+            if !k.is_orphan(&m, owner) {
+                for (msp, s) in a.iter() {
+                    if k.is_orphan_dep(msp, s) {
+                        let masked = b.get(msp);
+                        prop_assert!(
+                            masked.is_some_and(|bs| bs > s),
+                            "clean merge must dominate orphan entry {msp}:{s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

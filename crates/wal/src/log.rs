@@ -1,0 +1,913 @@
+//! The physical log: one per MSP, shared by all sessions (§1.3, §3).
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! sector 0          : log anchor (see `anchor.rs`)
+//! offset 512 ..     : framed records, zero-padded to sector boundaries
+//! ```
+//!
+//! Each record is framed as `[magic 0xA5][len u32][crc u32][payload]`; the
+//! **LSN of a record is the file offset of its magic byte**. A flush takes
+//! the whole in-memory tail, pads it with zeros to the next sector
+//! boundary and writes it as one device write — reproducing the paper's
+//! observation that "log blocks are aligned at sector boundaries and when
+//! a log block is flushed, its last sector may not be full. On average, a
+//! half sector is wasted on every flush."
+//!
+//! # Flush discipline
+//!
+//! A single flusher thread serializes device writes (like a real disk arm)
+//! and charges the [`DiskModel`] cost per flush. `flush_to(lsn)` blocks
+//! until the record at `lsn` is durable; concurrent callers coalesce into
+//! one device write (group commit). With [`FlushPolicy::batch_timeout`]
+//! set, the flusher additionally waits that long before writing, giving
+//! the paper's §5.5 *batch flushing*.
+//!
+//! # Crash semantics
+//!
+//! Dropping the log (or calling [`PhysicalLog::crash`]) discards the
+//! un-flushed tail — exactly the information a real crash loses. Re-opening
+//! the same disk scans forward from the start (or any known-valid LSN) and
+//! resumes appending after the last intact record, overwriting any torn
+//! tail.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use msp_types::{Decode, Encode, Lsn, MspError};
+
+use crate::crc::crc32;
+use crate::disk::Disk;
+use crate::model::DiskModel;
+use crate::record::LogRecord;
+use crate::stats::{LogStats, LogStatsSnapshot};
+
+/// Device sector size; the paper's disks use 512-byte sectors.
+pub const SECTOR_SIZE: usize = 512;
+
+/// First byte of the record area (sector 0 is the log anchor).
+pub const DATA_START: u64 = SECTOR_SIZE as u64;
+
+/// Marker byte opening every record frame.
+const FRAME_MAGIC: u8 = 0xA5;
+
+/// Frame header: magic (1) + len (4) + crc (4).
+const FRAME_HEADER: usize = 9;
+
+/// Upper bound on a single record's payload; a decoded length beyond this
+/// is treated as corruption.
+const MAX_RECORD: u32 = 64 << 20;
+
+/// Size of the sequential-read unit used by recovery scans (§5.4: "Log
+/// reads are 128 sectors (= 64KB)").
+pub const SCAN_CHUNK: usize = 128 * SECTOR_SIZE;
+
+/// When and how much the flusher writes per device operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// `None`: flush as soon as requested. `Some(t)`: wait `t` after the
+    /// first request so several requests share one device write — the
+    /// paper's §5.5 *batch flushing*.
+    pub batch_timeout: Option<Duration>,
+    /// `true`: every device write takes the *whole* tail, padded to a
+    /// sector boundary (classic group commit — an engineering improvement
+    /// over the paper's prototype, whose baseline writes per request).
+    /// `false`: each write covers only the records flush requests asked
+    /// for, ending exactly at a record boundary (the partial last sector
+    /// is rewritten by the next flush, as on a real log disk).
+    pub group_commit: bool,
+}
+
+impl Default for FlushPolicy {
+    fn default() -> FlushPolicy {
+        FlushPolicy::immediate()
+    }
+}
+
+impl FlushPolicy {
+    /// Flush on demand with group commit — the library default.
+    pub fn immediate() -> FlushPolicy {
+        FlushPolicy { batch_timeout: None, group_commit: true }
+    }
+
+    /// The paper's §5.5 batch flushing: delay by `timeout`, then write
+    /// exactly what was requested.
+    pub fn batched(timeout: Duration) -> FlushPolicy {
+        FlushPolicy { batch_timeout: Some(timeout), group_commit: false }
+    }
+
+    /// The paper prototype's non-batched baseline: one write per flush
+    /// request, no group commit.
+    pub fn per_request() -> FlushPolicy {
+        FlushPolicy { batch_timeout: None, group_commit: false }
+    }
+}
+
+/// Volatile state of the log.
+struct Buffer {
+    /// Framed bytes not yet handed to the device.
+    tail: Vec<u8>,
+    /// LSN of `tail[0]`.
+    tail_start: u64,
+    /// Every byte below this is durable.
+    durable: u64,
+    /// Absolute end offsets of the unflushed records, in order — the
+    /// legal split points for non-group-commit flushes.
+    record_ends: Vec<u64>,
+}
+
+/// The append/flush/read interface over one MSP's log device.
+pub struct PhysicalLog {
+    disk: Arc<dyn Disk>,
+    model: DiskModel,
+    inner: Mutex<Buffer>,
+    durable_cv: Condvar,
+    wakeup_tx: Sender<u64>,
+    stopped: AtomicBool,
+    stats: LogStats,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl PhysicalLog {
+    /// Open a log over `disk`, scanning forward from `DATA_START` to find
+    /// the end of the intact record stream, and start the flusher thread.
+    pub fn open(
+        disk: Arc<dyn Disk>,
+        model: DiskModel,
+        policy: FlushPolicy,
+    ) -> Result<Arc<PhysicalLog>, MspError> {
+        // Determine the append position: walk the durable records until the
+        // first torn / absent frame.
+        let append_at = {
+            let probe = RawScanner::new(disk.clone(), DATA_START, None, None);
+            probe.find_end()?
+        };
+        Self::open_at(disk, model, policy, append_at)
+    }
+
+    /// Open with a known append position (used by tests and by recovery
+    /// paths that have already scanned).
+    pub fn open_at(
+        disk: Arc<dyn Disk>,
+        model: DiskModel,
+        policy: FlushPolicy,
+        append_at: u64,
+    ) -> Result<Arc<PhysicalLog>, MspError> {
+        let (wakeup_tx, wakeup_rx) = crossbeam_channel::unbounded::<u64>();
+        let log = Arc::new(PhysicalLog {
+            disk,
+            model,
+            inner: Mutex::new(Buffer {
+                tail: Vec::with_capacity(64 * 1024),
+                tail_start: append_at.max(DATA_START),
+                durable: append_at.max(DATA_START),
+                record_ends: Vec::new(),
+            }),
+            durable_cv: Condvar::new(),
+            wakeup_tx,
+            stopped: AtomicBool::new(false),
+            stats: LogStats::default(),
+            flusher: Mutex::new(None),
+        });
+        let worker = Arc::clone(&log);
+        let handle = std::thread::Builder::new()
+            .name("log-flusher".into())
+            .spawn(move || worker.flusher_loop(wakeup_rx, policy))
+            .map_err(MspError::Io)?;
+        *log.flusher.lock() = Some(handle);
+        Ok(log)
+    }
+
+    /// The disk this log writes to (shared with the restarted MSP after a
+    /// simulated crash).
+    pub fn disk(&self) -> Arc<dyn Disk> {
+        Arc::clone(&self.disk)
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Overhead counters.
+    pub fn stats(&self) -> LogStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Append `record` to the volatile tail; returns its LSN. Does not
+    /// make it durable — pair with [`flush_to`](Self::flush_to).
+    pub fn append(&self, record: &LogRecord) -> Lsn {
+        let payload = record.to_bytes();
+        debug_assert!(payload.len() as u32 <= MAX_RECORD);
+        let crc = crc32(&payload);
+        let mut inner = self.inner.lock();
+        let lsn = inner.tail_start + inner.tail.len() as u64;
+        inner.tail.push(FRAME_MAGIC);
+        inner.tail.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        inner.tail.extend_from_slice(&crc.to_le_bytes());
+        inner.tail.extend_from_slice(&payload);
+        let end = inner.tail_start + inner.tail.len() as u64;
+        inner.record_ends.push(end);
+        self.stats.on_append((FRAME_HEADER + payload.len()) as u64);
+        Lsn(lsn)
+    }
+
+    /// LSN the next append will receive.
+    pub fn end_lsn(&self) -> Lsn {
+        let inner = self.inner.lock();
+        Lsn(inner.tail_start + inner.tail.len() as u64)
+    }
+
+    /// LSN of the most recently appended record's *end*; every record with
+    /// LSN strictly below the durable point is safe.
+    pub fn durable_lsn(&self) -> Lsn {
+        Lsn(self.inner.lock().durable)
+    }
+
+    /// Block until the record at `lsn` (and everything before it) is
+    /// durable. Wakes the flusher if needed.
+    pub fn flush_to(&self, lsn: Lsn) -> Result<(), MspError> {
+        let mut inner = self.inner.lock();
+        while inner.durable <= lsn.0 {
+            if self.stopped.load(Ordering::SeqCst) {
+                return Err(MspError::Shutdown);
+            }
+            let tail_end = inner.tail_start + inner.tail.len() as u64;
+            if tail_end <= lsn.0 {
+                // Nothing at that LSN has even been appended; treat the
+                // current end as the target (defensive).
+                break;
+            }
+            // The flush target is the end of the record containing `lsn`.
+            let target = match inner.record_ends.iter().find(|&&e| e > lsn.0) {
+                Some(&e) => e,
+                None => tail_end,
+            };
+            drop(inner);
+            if self.wakeup_tx.send(target).is_err() {
+                return Err(MspError::Shutdown);
+            }
+            inner = self.inner.lock();
+            if inner.durable <= lsn.0 {
+                self.durable_cv.wait_for(&mut inner, Duration::from_millis(20));
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush everything appended so far.
+    pub fn flush_all(&self) -> Result<(), MspError> {
+        let end = self.end_lsn();
+        if end.0 == 0 {
+            return Ok(());
+        }
+        self.flush_to(Lsn(end.0 - 1))
+    }
+
+    /// Like [`read_record`](Self::read_record) but also returns the
+    /// record's framed size in the log (header + payload) — used by
+    /// replay to maintain the per-session log-consumption counter that
+    /// drives checkpointing.
+    pub fn read_record_sized(&self, lsn: Lsn) -> Result<(LogRecord, u64), MspError> {
+        let rec = self.read_record(lsn)?;
+        let framed = (FRAME_HEADER + rec.to_bytes().len()) as u64;
+        Ok((rec, framed))
+    }
+
+    /// Read and decode the record at `lsn`, serving from the volatile tail
+    /// if it has not been flushed yet (orphan recovery runs while the MSP
+    /// is alive, so the record may still be buffered).
+    pub fn read_record(&self, lsn: Lsn) -> Result<LogRecord, MspError> {
+        self.stats.on_record_read();
+        let frame = {
+            let inner = self.inner.lock();
+            if lsn.0 >= inner.tail_start {
+                let off = (lsn.0 - inner.tail_start) as usize;
+                if off >= inner.tail.len() {
+                    return Err(MspError::LogCorrupt {
+                        offset: lsn.0,
+                        reason: "read past end of log".into(),
+                    });
+                }
+                Some(read_frame_from_slice(&inner.tail, off, lsn.0)?)
+            } else {
+                None
+            }
+        };
+        let payload = match frame {
+            Some(p) => p,
+            None => read_frame_from_disk(self.disk.as_ref(), lsn.0)?,
+        };
+        LogRecord::from_bytes(&payload).map_err(|e| MspError::LogCorrupt {
+            offset: lsn.0,
+            reason: e.to_string(),
+        })
+    }
+
+    /// Sequential scanner over the *durable* log starting at `from`,
+    /// charging the disk model's sequential-read cost per 64 KB chunk.
+    /// Used by crash recovery; the volatile tail is, by definition of a
+    /// crash, not present.
+    pub fn scan_from(&self, from: Lsn) -> LogScanner<'_> {
+        LogScanner {
+            raw: RawScanner::new(
+                self.disk.clone(),
+                from.0.max(DATA_START),
+                Some(&self.model),
+                Some(&self.stats),
+            ),
+        }
+    }
+
+    /// Charge the model's sequential-read cost for `bytes` of log read by
+    /// a recovery path that reads via [`read_record`](Self::read_record)
+    /// (position-stream driven replay reads 64 KB chunks in the paper).
+    pub fn charge_sequential_read(&self, bytes: u64) {
+        let chunks = bytes.div_ceil(SCAN_CHUNK as u64);
+        for _ in 0..chunks {
+            self.stats.on_scan_chunk();
+            self.model.charge_read(128);
+        }
+    }
+
+    /// Stop the flusher *without* flushing the tail: the simulated crash.
+    /// Buffered records are lost, exactly as in a real power failure.
+    pub fn crash(&self) {
+        self.shutdown(false);
+    }
+
+    /// Flush everything and stop the flusher: clean shutdown.
+    pub fn close(&self) {
+        let _ = self.flush_all();
+        self.shutdown(true);
+    }
+
+    fn shutdown(&self, clean: bool) {
+        if !clean {
+            // Discard the volatile tail so the flusher's final drain
+            // cannot accidentally make it durable.
+            let mut inner = self.inner.lock();
+            inner.tail.clear();
+            inner.record_ends.clear();
+            drop(inner);
+        }
+        self.stopped.store(true, Ordering::SeqCst);
+        let _ = self.wakeup_tx.send(u64::MAX);
+        if let Some(h) = self.flusher.lock().take() {
+            let _ = h.join();
+        }
+        // Wake any stragglers stuck in flush_to.
+        self.durable_cv.notify_all();
+    }
+
+    fn flusher_loop(self: Arc<PhysicalLog>, wakeup_rx: Receiver<u64>, policy: FlushPolicy) {
+        loop {
+            let first = match wakeup_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(t) => t,
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    if self.stopped.load(Ordering::SeqCst) {
+                        // Final drain so close() callers are not stranded.
+                        self.perform_flush(None);
+                        return;
+                    }
+                    continue;
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+            };
+            if self.stopped.load(Ordering::SeqCst) {
+                self.perform_flush(None);
+                return;
+            }
+            if let Some(t) = policy.batch_timeout {
+                // Batch flushing (§5.5): delay so several requests are
+                // served by one device write.
+                crate::model::sleep_exact(t.mul_f64(self.model.time_scale.max(0.0)));
+            }
+            if policy.group_commit {
+                // Group commit: one write takes everything pending.
+                while wakeup_rx.try_recv().is_ok() {}
+                self.perform_flush(None);
+            } else if policy.batch_timeout.is_some() {
+                // Batch flushing (§5.5): the timeout window coalesces all
+                // requests that arrived during it into one write.
+                let mut target = first;
+                while let Ok(t) = wakeup_rx.try_recv() {
+                    target = target.max(t);
+                }
+                self.perform_flush(Some(target));
+            } else {
+                // The paper prototype's baseline: one device write per
+                // flush request (already-covered targets are no-ops).
+                self.perform_flush(Some(first));
+            }
+        }
+    }
+
+    /// One device write. `limit = None` takes the whole tail and pads it
+    /// to a sector boundary (group commit); `limit = Some(end)` writes
+    /// only up to the record boundary `end`, unpadded — the next flush
+    /// rewrites the partial last sector, as on a real log disk.
+    fn perform_flush(&self, limit: Option<u64>) {
+        let (start, bytes, padded, end) = {
+            let mut inner = self.inner.lock();
+            if inner.tail.is_empty() {
+                self.durable_cv.notify_all();
+                return;
+            }
+            let start = inner.tail_start;
+            let tail_end = start + inner.tail.len() as u64;
+            match limit {
+                None => {
+                    let mut bytes = std::mem::take(&mut inner.tail);
+                    let pad =
+                        (SECTOR_SIZE as u64 - tail_end % SECTOR_SIZE as u64) % SECTOR_SIZE as u64;
+                    bytes.resize(bytes.len() + pad as usize, 0);
+                    inner.tail_start = tail_end + pad;
+                    inner.record_ends.clear();
+                    (start, bytes, pad, tail_end + pad)
+                }
+                Some(l) => {
+                    // Clamp to a record boundary within the tail.
+                    let end = l.clamp(start, tail_end);
+                    if end <= start {
+                        self.durable_cv.notify_all();
+                        return;
+                    }
+                    debug_assert!(
+                        inner.record_ends.binary_search(&end).is_ok() || end == tail_end,
+                        "flush limit must be a record boundary"
+                    );
+                    let take = (end - start) as usize;
+                    let bytes: Vec<u8> = inner.tail.drain(..take).collect();
+                    inner.tail_start = end;
+                    let keep = inner.record_ends.partition_point(|&e| e <= end);
+                    inner.record_ends.drain(..keep);
+                    // The unwritten remainder of the last sector is waste
+                    // this flush pays for (it will be rewritten).
+                    let waste = (SECTOR_SIZE as u64 - end % SECTOR_SIZE as u64)
+                        % SECTOR_SIZE as u64;
+                    (start, bytes, waste, end)
+                }
+            }
+        };
+        // Sector span actually touched by this write (the first sector may
+        // be a partial rewrite).
+        let first_sector = start / SECTOR_SIZE as u64;
+        let last_sector = end.div_ceil(SECTOR_SIZE as u64);
+        let sectors = last_sector - first_sector;
+        self.model.charge_flush(sectors);
+        // MemDisk writes cannot fail; FileDisk failures would need real
+        // error propagation — surfaced as a poisoned durable horizon.
+        if self.disk.write(start, &bytes).is_ok() {
+            let mut inner = self.inner.lock();
+            inner.durable = inner.durable.max(end);
+            self.stats.on_flush(sectors, padded);
+        }
+        self.durable_cv.notify_all();
+    }
+}
+
+impl Drop for PhysicalLog {
+    fn drop(&mut self) {
+        // Crash-consistent by default: the tail is NOT flushed. Callers
+        // wanting durability must call `close()`.
+        {
+            let mut inner = self.inner.lock();
+            inner.tail.clear();
+            inner.record_ends.clear();
+        }
+        self.stopped.store(true, Ordering::SeqCst);
+        let _ = self.wakeup_tx.send(u64::MAX);
+        if let Some(h) = self.flusher.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn read_frame_from_slice(buf: &[u8], off: usize, lsn: u64) -> Result<Vec<u8>, MspError> {
+    let corrupt = |reason: &str| MspError::LogCorrupt { offset: lsn, reason: reason.into() };
+    if buf.len() < off + FRAME_HEADER {
+        return Err(corrupt("truncated frame header"));
+    }
+    if buf[off] != FRAME_MAGIC {
+        return Err(corrupt("bad frame magic"));
+    }
+    let len = u32::from_le_bytes(buf[off + 1..off + 5].try_into().expect("slice")) as usize;
+    let crc = u32::from_le_bytes(buf[off + 5..off + 9].try_into().expect("slice"));
+    if len as u32 > MAX_RECORD || buf.len() < off + FRAME_HEADER + len {
+        return Err(corrupt("truncated frame payload"));
+    }
+    let payload = &buf[off + FRAME_HEADER..off + FRAME_HEADER + len];
+    if crc32(payload) != crc {
+        return Err(corrupt("crc mismatch"));
+    }
+    Ok(payload.to_vec())
+}
+
+fn read_frame_from_disk(disk: &dyn Disk, lsn: u64) -> Result<Vec<u8>, MspError> {
+    let corrupt = |reason: &str| MspError::LogCorrupt { offset: lsn, reason: reason.into() };
+    let mut header = [0u8; FRAME_HEADER];
+    let n = disk.read(lsn, &mut header).map_err(MspError::Io)?;
+    if n < FRAME_HEADER {
+        return Err(corrupt("truncated frame header"));
+    }
+    if header[0] != FRAME_MAGIC {
+        return Err(corrupt("bad frame magic"));
+    }
+    let len = u32::from_le_bytes(header[1..5].try_into().expect("slice")) as usize;
+    let crc = u32::from_le_bytes(header[5..9].try_into().expect("slice"));
+    if len as u32 > MAX_RECORD {
+        return Err(corrupt("oversized frame"));
+    }
+    let mut payload = vec![0u8; len];
+    let n = disk.read(lsn + FRAME_HEADER as u64, &mut payload).map_err(MspError::Io)?;
+    if n < len {
+        return Err(corrupt("truncated frame payload"));
+    }
+    if crc32(&payload) != crc {
+        return Err(corrupt("crc mismatch"));
+    }
+    Ok(payload)
+}
+
+/// Low-level frame walker over the durable portion of a disk.
+struct RawScanner<'a> {
+    disk: Arc<dyn Disk>,
+    offset: u64,
+    limit: u64,
+    charge: Option<DiskModel>,
+    charged_until: u64,
+    stats: Option<&'a LogStats>,
+}
+
+impl<'a> RawScanner<'a> {
+    fn new(
+        disk: Arc<dyn Disk>,
+        from: u64,
+        model: Option<&DiskModel>,
+        stats: Option<&'a LogStats>,
+    ) -> RawScanner<'a> {
+        let limit = disk.len();
+        RawScanner {
+            disk,
+            offset: from,
+            limit,
+            charge: model.cloned(),
+            charged_until: from,
+            stats,
+        }
+    }
+
+    /// Walk frames until the stream ends; return the offset where the
+    /// next append should go.
+    fn find_end(mut self) -> Result<u64, MspError> {
+        while self.step()?.is_some() {}
+        Ok(self.offset)
+    }
+
+    /// Yield the next `(lsn, payload)` pair, skipping sector padding;
+    /// `None` at the intact end of the stream (including a torn tail,
+    /// which is indistinguishable from "the crash hit mid-flush" and is
+    /// therefore treated as the end).
+    fn step(&mut self) -> Result<Option<(u64, Vec<u8>)>, MspError> {
+        loop {
+            if self.offset >= self.limit {
+                return Ok(None);
+            }
+            // Charge sequential-read cost lazily, 64 KB at a time.
+            if let Some(model) = &self.charge {
+                while self.offset >= self.charged_until {
+                    model.charge_read(128);
+                    if let Some(s) = self.stats {
+                        s.on_scan_chunk();
+                    }
+                    self.charged_until += SCAN_CHUNK as u64;
+                }
+            }
+            let mut first = [0u8; 1];
+            if self.disk.read(self.offset, &mut first).map_err(MspError::Io)? == 0 {
+                return Ok(None);
+            }
+            if first[0] == 0 {
+                // Sector padding: skip to the next boundary.
+                let next = (self.offset / SECTOR_SIZE as u64 + 1) * SECTOR_SIZE as u64;
+                self.offset = next;
+                continue;
+            }
+            return match read_frame_from_disk(self.disk.as_ref(), self.offset) {
+                Ok(payload) => {
+                    let lsn = self.offset;
+                    self.offset += (FRAME_HEADER + payload.len()) as u64;
+                    Ok(Some((lsn, payload)))
+                }
+                // A torn tail reads as corruption at the very end of the
+                // stream; the scan simply ends there.
+                Err(MspError::LogCorrupt { .. }) => Ok(None),
+                Err(e) => Err(e),
+            };
+        }
+    }
+}
+
+/// Iterator over `(Lsn, LogRecord)` pairs of the durable log.
+pub struct LogScanner<'a> {
+    raw: RawScanner<'a>,
+}
+
+impl LogScanner<'_> {
+    /// Offset the scan has reached (the append point when exhausted).
+    pub fn position(&self) -> Lsn {
+        Lsn(self.raw.offset)
+    }
+}
+
+impl Iterator for LogScanner<'_> {
+    type Item = Result<(Lsn, LogRecord), MspError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.raw.step() {
+            Ok(Some((lsn, payload))) => match LogRecord::from_bytes(&payload) {
+                Ok(rec) => Some(Ok((Lsn(lsn), rec))),
+                Err(e) => Some(Err(MspError::LogCorrupt {
+                    offset: lsn,
+                    reason: e.to_string(),
+                })),
+            },
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use msp_types::{RequestSeq, SessionId};
+
+    fn rec(session: u64, seq: u64) -> LogRecord {
+        LogRecord::RequestReceive {
+            session: SessionId(session),
+            seq: RequestSeq(seq),
+            method: "m".into(),
+            payload: vec![7; 50],
+            sender_dv: None,
+        }
+    }
+
+    fn open_mem() -> (MemDisk, Arc<PhysicalLog>) {
+        let disk = MemDisk::new();
+        let log = PhysicalLog::open(
+            Arc::new(disk.clone()),
+            DiskModel::zero(),
+            FlushPolicy::immediate(),
+        )
+        .unwrap();
+        (disk, log)
+    }
+
+    #[test]
+    fn append_assigns_monotone_lsns() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        let b = log.append(&rec(1, 1));
+        assert_eq!(a, Lsn(DATA_START));
+        assert!(b > a);
+        log.close();
+    }
+
+    #[test]
+    fn flush_makes_records_durable_and_padded() {
+        let (disk, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        log.flush_to(a).unwrap();
+        assert!(log.durable_lsn().0 > a.0);
+        // Durable extent is sector aligned.
+        assert_eq!(disk.len() % SECTOR_SIZE as u64, 0);
+        let stats = log.stats();
+        assert_eq!(stats.flushes, 1);
+        assert!(stats.padded_bytes > 0, "a 50-byte record must leave padding");
+        log.close();
+    }
+
+    #[test]
+    fn read_record_from_tail_and_disk() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        // Unflushed: served from the tail.
+        assert_eq!(log.read_record(a).unwrap(), rec(1, 0));
+        log.flush_to(a).unwrap();
+        let b = log.append(&rec(1, 1));
+        // `a` now on disk, `b` still in the tail.
+        assert_eq!(log.read_record(a).unwrap(), rec(1, 0));
+        assert_eq!(log.read_record(b).unwrap(), rec(1, 1));
+        log.close();
+    }
+
+    #[test]
+    fn crash_loses_tail_close_keeps_it() {
+        let disk = MemDisk::new();
+        let lsns: Vec<Lsn>;
+        {
+            let log = PhysicalLog::open(
+                Arc::new(disk.clone()),
+                DiskModel::zero(),
+                FlushPolicy::immediate(),
+            )
+            .unwrap();
+            let a = log.append(&rec(1, 0));
+            log.flush_to(a).unwrap();
+            let b = log.append(&rec(1, 1)); // never flushed
+            lsns = vec![a, b];
+            log.crash();
+        }
+        let log = PhysicalLog::open(
+            Arc::new(disk.clone()),
+            DiskModel::zero(),
+            FlushPolicy::immediate(),
+        )
+        .unwrap();
+        assert_eq!(log.read_record(lsns[0]).unwrap(), rec(1, 0));
+        assert!(log.read_record(lsns[1]).is_err(), "unflushed record must be lost");
+        log.close();
+    }
+
+    #[test]
+    fn reopen_appends_after_last_intact_record() {
+        let disk = MemDisk::new();
+        {
+            let log = PhysicalLog::open(
+                Arc::new(disk.clone()),
+                DiskModel::zero(),
+                FlushPolicy::immediate(),
+            )
+            .unwrap();
+            let a = log.append(&rec(1, 0));
+            log.flush_to(a).unwrap();
+            log.crash();
+        }
+        let log = PhysicalLog::open(
+            Arc::new(disk.clone()),
+            DiskModel::zero(),
+            FlushPolicy::immediate(),
+        )
+        .unwrap();
+        let c = log.append(&rec(2, 0));
+        log.flush_to(c).unwrap();
+        // Scan sees both records in order.
+        let recs: Vec<_> = log
+            .scan_from(Lsn(DATA_START))
+            .map(|r| r.unwrap().1)
+            .collect();
+        assert_eq!(recs, vec![rec(1, 0), rec(2, 0)]);
+        log.close();
+    }
+
+    #[test]
+    fn scan_skips_padding_between_flushes() {
+        let (_, log) = open_mem();
+        for i in 0..5 {
+            let l = log.append(&rec(1, i));
+            log.flush_to(l).unwrap(); // one flush per record → padding each time
+        }
+        let got: Vec<_> = log
+            .scan_from(Lsn(DATA_START))
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got.len(), 5);
+        for (i, (lsn, r)) in got.iter().enumerate() {
+            assert_eq!(*r, rec(1, i as u64));
+            if i > 0 {
+                assert_eq!(lsn.0 % SECTOR_SIZE as u64, 0, "post-flush records start on boundaries");
+            }
+        }
+        log.close();
+    }
+
+    #[test]
+    fn torn_tail_stops_scan_cleanly() {
+        let disk = MemDisk::new();
+        {
+            let log = PhysicalLog::open(
+                Arc::new(disk.clone()),
+                DiskModel::zero(),
+                FlushPolicy::immediate(),
+            )
+            .unwrap();
+            let a = log.append(&rec(1, 0));
+            log.flush_to(a).unwrap();
+            log.close();
+        }
+        // Simulate a torn write: a frame whose payload was cut short.
+        let end = disk.len();
+        disk.write(end, &[FRAME_MAGIC, 100, 0, 0, 0, 1, 2, 3, 4, 42]).unwrap();
+        let log = PhysicalLog::open(
+            Arc::new(disk.clone()),
+            DiskModel::zero(),
+            FlushPolicy::immediate(),
+        )
+        .unwrap();
+        let recs: Vec<_> = log
+            .scan_from(Lsn(DATA_START))
+            .map(|r| r.unwrap().1)
+            .collect();
+        assert_eq!(recs, vec![rec(1, 0)]);
+        // And new appends overwrite the garbage.
+        let b = log.append(&rec(2, 2));
+        assert_eq!(b.0, end, "append resumes at the torn frame");
+        log.close();
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_flushes() {
+        let (_, log) = open_mem();
+        let mut lsns = Vec::new();
+        for i in 0..32 {
+            lsns.push(log.append(&rec(1, i)));
+        }
+        std::thread::scope(|s| {
+            for &lsn in &lsns {
+                let log = &log;
+                s.spawn(move || log.flush_to(lsn).unwrap());
+            }
+        });
+        let stats = log.stats();
+        assert!(
+            stats.flushes < 32,
+            "32 concurrent flush_to calls must coalesce, got {} flushes",
+            stats.flushes
+        );
+        log.close();
+    }
+
+    #[test]
+    fn flush_to_already_durable_is_noop() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        log.flush_to(a).unwrap();
+        let before = log.stats().flushes;
+        log.flush_to(a).unwrap();
+        assert_eq!(log.stats().flushes, before);
+        log.close();
+    }
+
+    #[test]
+    fn batch_flushing_merges_requests() {
+        let disk = MemDisk::new();
+        // Use a tiny real timeout with paper-scale model disabled: scale 0
+        // makes the sleep zero, so emulate with an unscaled model of 1.0
+        // but a microscopic timeout to keep the test fast.
+        let log = PhysicalLog::open(
+            Arc::new(disk),
+            DiskModel::zero().with_scale(1.0),
+            FlushPolicy::batched(Duration::from_millis(2)),
+        )
+        .unwrap();
+        let mut lsns = Vec::new();
+        for i in 0..8 {
+            lsns.push(log.append(&rec(1, i)));
+        }
+        std::thread::scope(|s| {
+            for &lsn in &lsns {
+                let log = &log;
+                s.spawn(move || log.flush_to(lsn).unwrap());
+            }
+        });
+        assert!(log.stats().flushes <= 3, "batching should merge most requests");
+        log.close();
+    }
+
+    #[test]
+    fn flush_after_shutdown_errors() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        log.crash();
+        assert!(matches!(log.flush_to(a), Err(MspError::Shutdown)));
+    }
+
+    #[test]
+    fn end_lsn_tracks_appends() {
+        let (_, log) = open_mem();
+        let e0 = log.end_lsn();
+        assert_eq!(e0, Lsn(DATA_START));
+        log.append(&rec(1, 0));
+        assert!(log.end_lsn() > e0);
+        log.close();
+    }
+
+    #[test]
+    fn scanner_position_reports_append_point() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        log.flush_to(a).unwrap();
+        let mut scan = log.scan_from(Lsn(DATA_START));
+        while scan.next().is_some() {}
+        assert_eq!(scan.position().0 % SECTOR_SIZE as u64, 0);
+        log.close();
+    }
+}

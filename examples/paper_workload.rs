@@ -1,0 +1,59 @@
+//! Run the paper's §5.1 workload (Figure 13) once and print what the
+//! logging layer actually did — the per-request flush counts behind the
+//! locally-optimistic-vs-pessimistic comparison.
+//!
+//! ```text
+//! cargo run --release -p msp-harness --example paper_workload -- [requests] [scale]
+//! ```
+
+use msp_harness::workload::{request_payload, reply_counter, MSP1};
+use msp_harness::{SystemConfig, World, WorldOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let requests: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.1);
+
+    for config in [SystemConfig::LoOptimistic, SystemConfig::Pessimistic] {
+        let opts = WorldOptions { time_scale: scale, ..WorldOptions::new(config) };
+        let world = World::start(opts);
+        let mut client = world.client(1);
+
+        let series = world.run_requests(&mut client, requests, 1);
+        let summary = series.summary();
+
+        // Exactly-once sanity: the session counter equals the request count.
+        let last = client.call(MSP1, "ServiceMethod1", &request_payload(1)).unwrap();
+        assert_eq!(reply_counter(&last), requests + 1);
+
+        let log1 = world.msp1.log_stats().expect("log-based");
+        let log2 = world.msp2.stats().expect("msp2 alive");
+        println!("== {} ({requests} requests, scale {scale})", config.name());
+        println!(
+            "   avg RT {:.2} paper-ms   max {:.2}   throughput {:.1} paper-req/s",
+            summary.avg_ms_paper(scale),
+            summary.max_ms_paper(scale),
+            summary.throughput_paper(scale),
+        );
+        println!(
+            "   MSP1 log: {} flushes ({:.2}/request), {} sectors, {} bytes appended, {} wasted",
+            log1.flushes,
+            log1.flushes as f64 / requests as f64,
+            log1.flushed_sectors,
+            log1.appended_bytes,
+            log1.padded_bytes,
+        );
+        println!(
+            "   MSP1 runtime: {} requests, {} distributed flushes, {} session ckpts, {} MSP ckpts",
+            world.msp1.stats().requests,
+            world.msp1.stats().distributed_flushes,
+            world.msp1.stats().session_checkpoints,
+            world.msp1.stats().msp_checkpoints,
+        );
+        println!(
+            "   MSP2 runtime: {} requests, {} flush requests served",
+            log2.requests, log2.flush_requests_served,
+        );
+        world.shutdown();
+    }
+}

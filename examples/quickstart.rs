@@ -1,0 +1,87 @@
+//! Quickstart: a recoverable middleware server in ~60 lines.
+//!
+//! Builds one MSP with a session-scoped counter and a shared greeting,
+//! drives a few requests, crashes the server, restarts it over the same
+//! disk, and shows that both the private session state and the shared
+//! state survive — with the client none the wiser.
+//!
+//! ```text
+//! cargo run -p msp-harness --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use msp_core::client::ClientOptions;
+use msp_core::{ClusterConfig, Envelope, MspBuilder, MspClient, MspConfig};
+use msp_net::{NetModel, Network};
+use msp_types::{DomainId, MspId};
+use msp_wal::{DiskModel, MemDisk};
+
+const SERVER: MspId = MspId(1);
+
+fn build_server(
+    net: &Network<Envelope>,
+    disk: Arc<MemDisk>,
+) -> msp_core::MspHandle {
+    let cluster = ClusterConfig::new().with_msp(SERVER, DomainId(1));
+    MspBuilder::new(
+        MspConfig::new(SERVER, DomainId(1)).with_time_scale(0.0),
+        cluster,
+    )
+    .disk_model(DiskModel::zero())
+    .shared_var("greeting", b"hello".to_vec())
+    // A service method sees its session state, the shared state, and
+    // outgoing calls — and must be deterministic. That's the whole
+    // contract; recovery is transparent.
+    .service("visit", |ctx, name| {
+        let visits = ctx
+            .get_session("visits")
+            .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+            .unwrap_or(0)
+            + 1;
+        ctx.set_session("visits", visits.to_le_bytes().to_vec());
+        let greeting = ctx.read_shared("greeting")?;
+        Ok(format!(
+            "{} {} (visit #{visits})",
+            String::from_utf8_lossy(&greeting),
+            String::from_utf8_lossy(name),
+        )
+        .into_bytes())
+    })
+    .service("set_greeting", |ctx, g| {
+        ctx.write_shared("greeting", g.to_vec())?;
+        Ok(Vec::new())
+    })
+    .start(net, disk)
+    .expect("start server")
+}
+
+fn main() {
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 7);
+    let disk = Arc::new(MemDisk::new());
+
+    let server = build_server(&net, Arc::clone(&disk));
+    let mut client = MspClient::new(&net, 1, ClientOptions::default());
+
+    let say = |c: &mut MspClient, method: &str, arg: &[u8]| {
+        String::from_utf8_lossy(&c.call(SERVER, method, arg).expect("call")).into_owned()
+    };
+
+    println!("{}", say(&mut client, "visit", b"ada"));
+    println!("{}", say(&mut client, "visit", b"ada"));
+    say(&mut client, "set_greeting", b"bonjour");
+    println!("{}", say(&mut client, "visit", b"ada"));
+
+    println!("--- crash! (buffered state lost, disk survives) ---");
+    server.crash();
+    let server = build_server(&net, disk);
+
+    // Same client, same session: the visit counter and the shared
+    // greeting both recovered from the log.
+    println!("{}", say(&mut client, "visit", b"ada"));
+    assert!(say(&mut client, "visit", b"ada").contains("visit #5"));
+    println!("exactly-once: 5 visits counted across the crash");
+
+    server.shutdown();
+    net.shutdown();
+}

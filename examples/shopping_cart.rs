@@ -1,0 +1,138 @@
+//! An e-commerce front end with a cached catalog — the scenario the
+//! paper's introduction motivates.
+//!
+//! * `storefront` (MSP 1) keeps each customer's **cart in session state**
+//!   and a **cached product catalog in shared state** ("an MSP program
+//!   can now cache shared state retrieved from a database, enabling later
+//!   requests to have speedy access to it", §1.3).
+//! * `inventory` (MSP 2) owns stock counts in shared state and decrements
+//!   them at checkout.
+//!
+//! Both MSPs live in one service domain (locally optimistic logging). The
+//! inventory server is crashed in the middle of the run; exactly-once
+//! execution guarantees no item is ever sold twice and no cart loses an
+//! entry.
+//!
+//! ```text
+//! cargo run -p msp-harness --example shopping_cart
+//! ```
+
+use std::sync::Arc;
+
+use msp_core::client::ClientOptions;
+use msp_core::{ClusterConfig, Envelope, MspBuilder, MspClient, MspConfig};
+use msp_net::{NetModel, Network};
+use msp_types::{DomainId, MspId};
+use msp_wal::{DiskModel, MemDisk};
+
+const STOREFRONT: MspId = MspId(1);
+const INVENTORY: MspId = MspId(2);
+const DOMAIN: DomainId = DomainId(1);
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig::new()
+        .with_msp(STOREFRONT, DOMAIN)
+        .with_msp(INVENTORY, DOMAIN)
+}
+
+fn start_storefront(net: &Network<Envelope>, disk: Arc<MemDisk>) -> msp_core::MspHandle {
+    MspBuilder::new(
+        MspConfig::new(STOREFRONT, DOMAIN).with_time_scale(0.0),
+        cluster(),
+    )
+    .disk_model(DiskModel::zero())
+    // The cached catalog: shared state, read by every session.
+    .shared_var("catalog", b"apples:3;pears:2".to_vec())
+    .service("browse", |ctx, _| ctx.read_shared("catalog"))
+    .service("add_to_cart", |ctx, item| {
+        let mut cart = ctx.get_session("cart").unwrap_or_default();
+        if !cart.is_empty() {
+            cart.push(b',');
+        }
+        cart.extend_from_slice(item);
+        ctx.set_session("cart", cart.clone());
+        Ok(cart)
+    })
+    .service("checkout", |ctx, _| {
+        let cart = ctx.get_session("cart").unwrap_or_default();
+        if cart.is_empty() {
+            return Err("cart is empty".into());
+        }
+        // One reservation call per item; each is exactly-once even if
+        // the inventory server crashes mid-checkout.
+        let mut receipt = Vec::new();
+        for item in cart.split(|&b| b == b',') {
+            let line = ctx.call(INVENTORY, "reserve", item)?;
+            if !receipt.is_empty() {
+                receipt.push(b';');
+            }
+            receipt.extend_from_slice(&line);
+        }
+        ctx.set_session("cart", Vec::new());
+        Ok(receipt)
+    })
+    .start(net, disk)
+    .expect("start storefront")
+}
+
+fn start_inventory(net: &Network<Envelope>, disk: Arc<MemDisk>) -> msp_core::MspHandle {
+    MspBuilder::new(
+        MspConfig::new(INVENTORY, DOMAIN).with_time_scale(0.0),
+        cluster(),
+    )
+    .disk_model(DiskModel::zero())
+    .shared_var("stock:apples", 3u64.to_le_bytes().to_vec())
+    .shared_var("stock:pears", 2u64.to_le_bytes().to_vec())
+    .service("reserve", |ctx, item| {
+        let var = format!("stock:{}", String::from_utf8_lossy(item));
+        let raw = ctx.read_shared(&var)?;
+        let left = u64::from_le_bytes(raw[..8].try_into().unwrap());
+        if left == 0 {
+            return Err(format!("{} sold out", String::from_utf8_lossy(item)));
+        }
+        ctx.write_shared(&var, (left - 1).to_le_bytes().to_vec())?;
+        Ok(format!("{}#{}", String::from_utf8_lossy(item), left).into_bytes())
+    })
+    .service("stock_report", |ctx, _| {
+        let apples = u64::from_le_bytes(ctx.read_shared("stock:apples")?[..8].try_into().unwrap());
+        let pears = u64::from_le_bytes(ctx.read_shared("stock:pears")?[..8].try_into().unwrap());
+        Ok(format!("apples={apples} pears={pears}").into_bytes())
+    })
+    .start(net, disk)
+    .expect("start inventory")
+}
+
+fn main() {
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 11);
+    let store_disk = Arc::new(MemDisk::new());
+    let inv_disk = Arc::new(MemDisk::new());
+
+    let storefront = start_storefront(&net, Arc::clone(&store_disk));
+    let inventory = start_inventory(&net, Arc::clone(&inv_disk));
+
+    let mut alice = MspClient::new(&net, 1, ClientOptions::default());
+    let mut bob = MspClient::new(&net, 2, ClientOptions::default());
+
+    let s = |v: Vec<u8>| String::from_utf8_lossy(&v).into_owned();
+
+    println!("catalog: {}", s(alice.call(STOREFRONT, "browse", &[]).unwrap()));
+    alice.call(STOREFRONT, "add_to_cart", b"apples").unwrap();
+    alice.call(STOREFRONT, "add_to_cart", b"pears").unwrap();
+    bob.call(STOREFRONT, "add_to_cart", b"apples").unwrap();
+
+    println!("alice checks out: {}", s(alice.call(STOREFRONT, "checkout", &[]).unwrap()));
+
+    println!("--- inventory server crashes and recovers ---");
+    inventory.crash();
+    let inventory = start_inventory(&net, inv_disk);
+
+    // Bob's checkout happens against the *recovered* stock counts.
+    println!("bob checks out:   {}", s(bob.call(STOREFRONT, "checkout", &[]).unwrap()));
+    let report = s(bob.call(INVENTORY, "stock_report", &[]).unwrap());
+    println!("final stock:      {report}");
+    assert_eq!(report, "apples=1 pears=1", "no double-sell, no lost sale");
+
+    storefront.shutdown();
+    inventory.shutdown();
+    net.shutdown();
+}

@@ -1,0 +1,146 @@
+//! A three-MSP travel-booking workflow with cross-domain interaction.
+//!
+//! * `booking` (MSP 1) orchestrates: for each trip it reserves a flight
+//!   at `flights` (MSP 2) and a room at `hotels` (MSP 3).
+//! * `booking` and `flights` share a service domain (fast, reliable link
+//!   → locally optimistic logging between them); `hotels` belongs to a
+//!   different provider in its own domain, so every message to it crosses
+//!   a pessimistic boundary and forces a distributed log flush first.
+//!
+//! The run crashes the *flights* server between bookings; recovery
+//! independence means the hotels domain never rolls back, while the
+//! booking session's orphan recovery re-executes exactly what was lost.
+//!
+//! ```text
+//! cargo run -p msp-harness --example travel_booking
+//! ```
+
+use std::sync::Arc;
+
+use msp_core::client::ClientOptions;
+use msp_core::{ClusterConfig, Envelope, MspBuilder, MspClient, MspConfig};
+use msp_net::{NetModel, Network};
+use msp_types::{DomainId, MspId};
+use msp_wal::{DiskModel, MemDisk};
+
+const BOOKING: MspId = MspId(1);
+const FLIGHTS: MspId = MspId(2);
+const HOTELS: MspId = MspId(3);
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig::new()
+        .with_msp(BOOKING, DomainId(1))
+        .with_msp(FLIGHTS, DomainId(1)) // same domain as booking
+        .with_msp(HOTELS, DomainId(2)) // separate provider
+}
+
+fn seat_counter(name: &'static str, start: u64) -> (String, Vec<u8>) {
+    (name.to_string(), start.to_le_bytes().to_vec())
+}
+
+fn start_reserver(
+    net: &Network<Envelope>,
+    disk: Arc<MemDisk>,
+    id: MspId,
+    domain: DomainId,
+    resource: &'static str,
+    capacity: u64,
+) -> msp_core::MspHandle {
+    let (var, init) = seat_counter(resource, capacity);
+    MspBuilder::new(MspConfig::new(id, domain).with_time_scale(0.0), cluster())
+        .disk_model(DiskModel::zero())
+        .shared_var(&var, init)
+        .service("reserve", move |ctx, who| {
+            let raw = ctx.read_shared(resource)?;
+            let left = u64::from_le_bytes(raw[..8].try_into().unwrap());
+            if left == 0 {
+                return Err(format!("{resource}: none left"));
+            }
+            ctx.write_shared(resource, (left - 1).to_le_bytes().to_vec())?;
+            Ok(format!("{resource}-{left}-for-{}", String::from_utf8_lossy(who)).into_bytes())
+        })
+        .service("remaining", move |ctx, _| {
+            let raw = ctx.read_shared(resource)?;
+            Ok(raw[..8].to_vec())
+        })
+        .start(net, disk)
+        .expect("start reserver")
+}
+
+fn start_booking(net: &Network<Envelope>, disk: Arc<MemDisk>) -> msp_core::MspHandle {
+    MspBuilder::new(
+        MspConfig::new(BOOKING, DomainId(1)).with_time_scale(0.0),
+        cluster(),
+    )
+    .disk_model(DiskModel::zero())
+    .service("book_trip", |ctx, who| {
+        // One flight (intra-domain call: optimistic, DV attached)...
+        let flight = ctx.call(FLIGHTS, "reserve", who)?;
+        // ...and one hotel night (cross-domain call: distributed log
+        // flush *before* the request leaves the domain).
+        let room = ctx.call(HOTELS, "reserve", who)?;
+        let trips = ctx
+            .get_session("trips")
+            .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+            .unwrap_or(0)
+            + 1;
+        ctx.set_session("trips", trips.to_le_bytes().to_vec());
+        Ok(format!(
+            "trip#{trips}: {} + {}",
+            String::from_utf8_lossy(&flight),
+            String::from_utf8_lossy(&room)
+        )
+        .into_bytes())
+    })
+    .service("trips_booked", |ctx, _| {
+        Ok(ctx.get_session("trips").unwrap_or_else(|| 0u64.to_le_bytes().to_vec()))
+    })
+    .start(net, disk)
+    .expect("start booking")
+}
+
+fn main() {
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 23);
+    let (bd, fd, hd) = (
+        Arc::new(MemDisk::new()),
+        Arc::new(MemDisk::new()),
+        Arc::new(MemDisk::new()),
+    );
+
+    let booking = start_booking(&net, Arc::clone(&bd));
+    let flights = start_reserver(&net, Arc::clone(&fd), FLIGHTS, DomainId(1), "seats", 10);
+    let hotels = start_reserver(&net, Arc::clone(&hd), HOTELS, DomainId(2), "rooms", 10);
+
+    let mut traveller = MspClient::new(&net, 1, ClientOptions::default());
+    let s = |v: Vec<u8>| String::from_utf8_lossy(&v).into_owned();
+
+    for _ in 0..3 {
+        println!("{}", s(traveller.call(BOOKING, "book_trip", b"ada").unwrap()));
+    }
+
+    println!("--- flights server crashes (same domain as booking) ---");
+    flights.crash();
+    let flights = start_reserver(&net, fd, FLIGHTS, DomainId(1), "seats", 10);
+
+    for _ in 0..2 {
+        println!("{}", s(traveller.call(BOOKING, "book_trip", b"ada").unwrap()));
+    }
+
+    let trips = traveller.call(BOOKING, "trips_booked", &[]).unwrap();
+    let seats = traveller.call(FLIGHTS, "remaining", &[]).unwrap();
+    let rooms = traveller.call(HOTELS, "remaining", &[]).unwrap();
+    let (trips, seats, rooms) = (
+        u64::from_le_bytes(trips[..8].try_into().unwrap()),
+        u64::from_le_bytes(seats[..8].try_into().unwrap()),
+        u64::from_le_bytes(rooms[..8].try_into().unwrap()),
+    );
+    println!("summary: {trips} trips, {seats} seats left, {rooms} rooms left");
+    assert_eq!(trips, 5);
+    assert_eq!(seats, 5, "every flight reservation exactly once across the crash");
+    assert_eq!(rooms, 5, "the independent hotels domain never rolled back");
+
+    booking.shutdown();
+    flights.shutdown();
+    hotels.shutdown();
+    net.shutdown();
+}

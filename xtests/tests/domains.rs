@@ -1,0 +1,150 @@
+//! Recovery independence between service domains (§1.2, §3.1).
+//!
+//! "An MSP crash can cause only other MSPs in the same service domain to
+//! roll back. But recovery independence is maintained between service
+//! domains." — a crash of a cross-domain peer must never orphan our
+//! sessions, because every message that crossed the boundary was
+//! pessimistically flushed first.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use msp_core::client::ClientOptions;
+use msp_core::{ClusterConfig, Envelope, MspBuilder, MspClient, MspConfig};
+use msp_net::{NetModel, Network};
+use msp_types::{DomainId, MspId};
+use msp_wal::{DiskModel, MemDisk};
+
+const FRONT: MspId = MspId(1);
+const BACK: MspId = MspId(2);
+
+fn cluster(same_domain: bool) -> ClusterConfig {
+    ClusterConfig::new()
+        .with_msp(FRONT, DomainId(1))
+        .with_msp(BACK, DomainId(if same_domain { 1 } else { 2 }))
+}
+
+fn cfg(id: MspId, domain: u32) -> MspConfig {
+    let mut c = MspConfig::new(id, DomainId(domain)).with_time_scale(0.0).with_workers(4);
+    c.rpc_timeout = Duration::from_millis(60);
+    c
+}
+
+fn start_back(
+    net: &Network<Envelope>,
+    disk: Arc<MemDisk>,
+    same_domain: bool,
+) -> msp_core::MspHandle {
+    let domain = if same_domain { 1 } else { 2 };
+    MspBuilder::new(cfg(BACK, domain), cluster(same_domain))
+        .disk_model(DiskModel::zero())
+        .service("count", |ctx, _| {
+            let n = ctx
+                .get_session("n")
+                .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                .unwrap_or(0)
+                + 1;
+            ctx.set_session("n", n.to_le_bytes().to_vec());
+            Ok(n.to_le_bytes().to_vec())
+        })
+        .start(net, disk)
+        .unwrap()
+}
+
+fn start_front(
+    net: &Network<Envelope>,
+    disk: Arc<MemDisk>,
+    same_domain: bool,
+) -> msp_core::MspHandle {
+    MspBuilder::new(cfg(FRONT, 1), cluster(same_domain))
+        .disk_model(DiskModel::zero())
+        .service("relay", |ctx, payload| ctx.call(BACK, "count", payload))
+        .start(net, disk)
+        .unwrap()
+}
+
+fn drive(client: &mut MspClient, from: u64, to: u64) {
+    for i in from..=to {
+        let r = client.call(FRONT, "relay", &[]).unwrap();
+        assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), i);
+    }
+}
+
+#[test]
+fn cross_domain_crash_never_orphans_the_front() {
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 3);
+    let (df, db) = (Arc::new(MemDisk::new()), Arc::new(MemDisk::new()));
+    let front = start_front(&net, Arc::clone(&df), false);
+    let back = start_back(&net, Arc::clone(&db), false);
+    let mut client = MspClient::new(&net, 1, ClientOptions::default());
+    drive(&mut client, 1, 8);
+    back.crash();
+    let back = start_back(&net, db, false);
+    drive(&mut client, 9, 16);
+    // Pessimistic boundary: everything the front consumed from the back
+    // was durable before it was sent, so the front never rolls back.
+    assert_eq!(
+        front.stats().orphan_recoveries,
+        0,
+        "cross-domain crashes must not orphan the front MSP"
+    );
+    front.shutdown();
+    back.shutdown();
+    net.shutdown();
+}
+
+#[test]
+fn same_domain_crash_can_orphan_but_recovers() {
+    // Control experiment: same scenario inside one domain — orphan
+    // recovery at the front is now possible (optimistic logging), and the
+    // end-to-end behaviour is still exactly-once.
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 4);
+    let (df, db) = (Arc::new(MemDisk::new()), Arc::new(MemDisk::new()));
+    let front = start_front(&net, Arc::clone(&df), true);
+    let back = start_back(&net, Arc::clone(&db), true);
+    let mut client = MspClient::new(&net, 1, ClientOptions::default());
+    drive(&mut client, 1, 8);
+    back.crash();
+    let back = start_back(&net, db, true);
+    drive(&mut client, 9, 16);
+    front.shutdown();
+    back.shutdown();
+    net.shutdown();
+}
+
+#[test]
+fn cross_domain_messages_carry_no_dv() {
+    // The DV must not leak across the boundary: the front's session
+    // should have no dependency entry for the cross-domain back MSP.
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 5);
+    let (df, db) = (Arc::new(MemDisk::new()), Arc::new(MemDisk::new()));
+    let front = start_front(&net, Arc::clone(&df), false);
+    let back = start_back(&net, Arc::clone(&db), false);
+    let mut client = MspClient::new(&net, 1, ClientOptions::default());
+    drive(&mut client, 1, 3);
+    let session = client.session_with(FRONT).unwrap();
+    let dv = front.session_dv(session).unwrap();
+    assert!(
+        dv.get(BACK).is_none(),
+        "cross-domain replies are pessimistically logged and carry no DV, got {dv}"
+    );
+    front.shutdown();
+    back.shutdown();
+    net.shutdown();
+}
+
+#[test]
+fn same_domain_messages_do_carry_dv() {
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 5);
+    let (df, db) = (Arc::new(MemDisk::new()), Arc::new(MemDisk::new()));
+    let front = start_front(&net, Arc::clone(&df), true);
+    let back = start_back(&net, Arc::clone(&db), true);
+    let mut client = MspClient::new(&net, 1, ClientOptions::default());
+    drive(&mut client, 1, 3);
+    let session = client.session_with(FRONT).unwrap();
+    let dv = front.session_dv(session).unwrap();
+    assert!(dv.get(BACK).is_some(), "intra-domain replies propagate the DV, got {dv}");
+    front.shutdown();
+    back.shutdown();
+    net.shutdown();
+}

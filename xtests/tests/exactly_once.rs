@@ -1,0 +1,136 @@
+//! Property-based failure injection: for *any* crash schedule, the
+//! client-observed execution equals the crash-free one.
+//!
+//! The workload is a session counter plus a shared-variable counter; both
+//! must advance by exactly one per acknowledged request, no matter when
+//! the MSP crashes — between requests, mid-request, several times in a
+//! row — and no matter how unreliable the network is.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use msp_core::client::ClientOptions;
+use msp_core::config::LoggingConfig;
+use msp_core::{ClusterConfig, Envelope, MspBuilder, MspClient, MspConfig};
+use msp_net::{NetModel, Network};
+use msp_types::{DomainId, MspId};
+use msp_wal::{DiskModel, MemDisk};
+
+const SERVER: MspId = MspId(1);
+
+fn start_server(
+    net: &Network<Envelope>,
+    disk: Arc<MemDisk>,
+    ckpt_threshold: u64,
+) -> msp_core::MspHandle {
+    let cluster = ClusterConfig::new().with_msp(SERVER, DomainId(1));
+    let logging = LoggingConfig {
+        session_ckpt_threshold: ckpt_threshold,
+        shared_ckpt_writes: 7, // exercise shared checkpoints too
+        msp_ckpt_interval: Duration::from_millis(10),
+        force_ckpt_after: 3,
+        checkpoints_enabled: true,
+    };
+    MspBuilder::new(
+        MspConfig::new(SERVER, DomainId(1))
+            .with_time_scale(0.0)
+            .with_logging(logging)
+            .with_workers(3),
+        cluster,
+    )
+    .disk_model(DiskModel::zero())
+    .shared_var("total", 0u64.to_le_bytes().to_vec())
+    .service("tick", |ctx, _| {
+        let mine = ctx
+            .get_session("n")
+            .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+            .unwrap_or(0)
+            + 1;
+        ctx.set_session("n", mine.to_le_bytes().to_vec());
+        let total =
+            u64::from_le_bytes(ctx.read_shared("total")?[..8].try_into().unwrap()) + 1;
+        ctx.write_shared("total", total.to_le_bytes().to_vec())?;
+        let mut out = mine.to_le_bytes().to_vec();
+        out.extend_from_slice(&total.to_le_bytes());
+        Ok(out)
+    })
+    .start(net, disk)
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Crash the MSP after arbitrary subsets of requests; the session
+    /// counter and the shared counter must both be exactly-once.
+    #[test]
+    fn exactly_once_under_arbitrary_crash_schedules(
+        crash_after in proptest::collection::btree_set(0u64..20, 0..5),
+        ckpt_threshold in prop_oneof![Just(200u64), Just(2_000), Just(u64::MAX)],
+        seed in 0u64..1_000,
+    ) {
+        let net: Network<Envelope> = Network::new(NetModel::zero(), seed);
+        let disk = Arc::new(MemDisk::new());
+        let mut server = Some(start_server(&net, Arc::clone(&disk), ckpt_threshold));
+        let mut client = MspClient::new(&net, 1, ClientOptions {
+            resend_timeout: Duration::from_millis(60),
+            busy_backoff: Duration::from_millis(1),
+            max_attempts: 100_000,
+        });
+        for i in 1..=20u64 {
+            let r = client.call(SERVER, "tick", &[]).unwrap();
+            let mine = u64::from_le_bytes(r[..8].try_into().unwrap());
+            let total = u64::from_le_bytes(r[8..16].try_into().unwrap());
+            prop_assert_eq!(mine, i, "session counter at request {}", i);
+            prop_assert_eq!(total, i, "shared counter at request {}", i);
+            if crash_after.contains(&i) {
+                server.take().unwrap().crash();
+                server = Some(start_server(&net, Arc::clone(&disk), ckpt_threshold));
+            }
+        }
+        server.take().unwrap().shutdown();
+        net.shutdown();
+    }
+
+    /// Same invariant under a hostile network (drops, duplicates,
+    /// reordering) combined with crashes.
+    #[test]
+    fn exactly_once_under_faulty_network_and_crashes(
+        crash_after in proptest::collection::btree_set(1u64..12, 0..3),
+        drop_prob in 0.0f64..0.25,
+        dup_prob in 0.0f64..0.25,
+        seed in 0u64..1_000,
+    ) {
+        let model = NetModel {
+            one_way: Duration::from_micros(100),
+            jitter: Duration::from_micros(300),
+            drop_prob,
+            dup_prob,
+            time_scale: 1.0,
+        };
+        let net: Network<Envelope> = Network::new(model, seed);
+        let disk = Arc::new(MemDisk::new());
+        let mut server = Some(start_server(&net, Arc::clone(&disk), 500));
+        let mut client = MspClient::new(&net, 1, ClientOptions {
+            resend_timeout: Duration::from_millis(30),
+            busy_backoff: Duration::from_millis(1),
+            max_attempts: 100_000,
+        });
+        for i in 1..=12u64 {
+            let r = client.call(SERVER, "tick", &[]).unwrap();
+            prop_assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), i);
+            prop_assert_eq!(u64::from_le_bytes(r[8..16].try_into().unwrap()), i);
+            if crash_after.contains(&i) {
+                server.take().unwrap().crash();
+                server = Some(start_server(&net, Arc::clone(&disk), 500));
+            }
+        }
+        server.take().unwrap().shutdown();
+        net.shutdown();
+    }
+}

@@ -1,0 +1,187 @@
+//! Multiple concurrent and repeated crashes (§4.1, "Orphan Recovery upon
+//! Multiple Crashes"; §1 "can deal with multiple concurrent crashes").
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use msp_core::client::ClientOptions;
+use msp_core::{ClusterConfig, Envelope, MspBuilder, MspClient, MspConfig};
+use msp_net::{NetModel, Network};
+use msp_types::{DomainId, MspId};
+use msp_wal::{DiskModel, MemDisk};
+
+const M1: MspId = MspId(1);
+const M2: MspId = MspId(2);
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig::new()
+        .with_msp(M1, DomainId(1))
+        .with_msp(M2, DomainId(1))
+}
+
+fn cfg(id: MspId) -> MspConfig {
+    let mut c = MspConfig::new(id, DomainId(1)).with_time_scale(0.0).with_workers(4);
+    c.rpc_timeout = Duration::from_millis(60);
+    c
+}
+
+fn start_back(net: &Network<Envelope>, disk: Arc<MemDisk>) -> msp_core::MspHandle {
+    MspBuilder::new(cfg(M2), cluster())
+        .disk_model(DiskModel::zero())
+        .shared_var("sv", 0u64.to_le_bytes().to_vec())
+        .service("count", |ctx, _| {
+            let n = ctx
+                .get_session("n")
+                .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                .unwrap_or(0)
+                + 1;
+            ctx.set_session("n", n.to_le_bytes().to_vec());
+            let sv = u64::from_le_bytes(ctx.read_shared("sv")?[..8].try_into().unwrap()) + 1;
+            ctx.write_shared("sv", sv.to_le_bytes().to_vec())?;
+            Ok(n.to_le_bytes().to_vec())
+        })
+        .start(net, disk)
+        .unwrap()
+}
+
+fn start_front(net: &Network<Envelope>, disk: Arc<MemDisk>) -> msp_core::MspHandle {
+    MspBuilder::new(cfg(M1), cluster())
+        .disk_model(DiskModel::zero())
+        .service("relay", |ctx, payload| {
+            let theirs = ctx.call(M2, "count", payload)?;
+            let mine = ctx
+                .get_session("m")
+                .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                .unwrap_or(0)
+                + 1;
+            ctx.set_session("m", mine.to_le_bytes().to_vec());
+            let mut out = mine.to_le_bytes().to_vec();
+            out.extend_from_slice(&theirs);
+            Ok(out)
+        })
+        .start(net, disk)
+        .unwrap()
+}
+
+fn client_id(net: &Network<Envelope>, id: u64) -> MspClient {
+    MspClient::new(
+        net,
+        id,
+        ClientOptions {
+            resend_timeout: Duration::from_millis(80),
+            busy_backoff: Duration::from_millis(1),
+            max_attempts: 100_000,
+        },
+    )
+}
+
+fn pair(v: &[u8]) -> (u64, u64) {
+    (
+        u64::from_le_bytes(v[..8].try_into().unwrap()),
+        u64::from_le_bytes(v[8..16].try_into().unwrap()),
+    )
+}
+
+#[test]
+fn both_msps_crash_simultaneously() {
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 9);
+    let (d1, d2) = (Arc::new(MemDisk::new()), Arc::new(MemDisk::new()));
+    let front = start_front(&net, Arc::clone(&d1));
+    let back = start_back(&net, Arc::clone(&d2));
+    let mut c = client_id(&net, 1);
+    for i in 1..=6u64 {
+        assert_eq!(pair(&c.call(M1, "relay", &[]).unwrap()), (i, i));
+    }
+    // Crash both at once — each recovers independently, exchanging
+    // recovery broadcasts; any orphan on either side is repaired.
+    front.crash();
+    back.crash();
+    let back = start_back(&net, Arc::clone(&d2));
+    let front = start_front(&net, Arc::clone(&d1));
+    for i in 7..=12u64 {
+        assert_eq!(pair(&c.call(M1, "relay", &[]).unwrap()), (i, i));
+    }
+    front.shutdown();
+    back.shutdown();
+    net.shutdown();
+}
+
+#[test]
+fn rapid_repeated_crashes_of_the_same_msp() {
+    // Back-to-back crashes: the second recovery sees the first's
+    // RecoveryComplete record and the epoch climbs monotonically; EOS
+    // skip ranges from the first orphan recovery survive the second
+    // (Figure 11's disjoint/embedded combinations through the real
+    // runtime).
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 10);
+    let (d1, d2) = (Arc::new(MemDisk::new()), Arc::new(MemDisk::new()));
+    let front = start_front(&net, Arc::clone(&d1));
+    let mut back = start_back(&net, Arc::clone(&d2));
+    let mut c = client_id(&net, 1);
+    let mut expected = 0u64;
+    for round in 1..=3u32 {
+        for _ in 0..4 {
+            expected += 1;
+            assert_eq!(pair(&c.call(M1, "relay", &[]).unwrap()), (expected, expected));
+        }
+        // Two crashes in quick succession.
+        back.crash();
+        back = start_back(&net, Arc::clone(&d2));
+        back.crash();
+        back = start_back(&net, Arc::clone(&d2));
+        assert_eq!(back.epoch().0, 2 * round, "two recoveries per round");
+    }
+    for _ in 0..4 {
+        expected += 1;
+        assert_eq!(pair(&c.call(M1, "relay", &[]).unwrap()), (expected, expected));
+    }
+    front.shutdown();
+    back.shutdown();
+    net.shutdown();
+}
+
+#[test]
+fn crash_during_peer_recovery() {
+    // M2 crashes; while the front is still converging (resending its
+    // in-flight work), M2 crashes again. The session's orphan recovery
+    // must cope with knowledge arriving in two steps (§4.1: "session
+    // orphan recovery can be initiated during an ongoing session
+    // recovery").
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 11);
+    let (d1, d2) = (Arc::new(MemDisk::new()), Arc::new(MemDisk::new()));
+    let front = start_front(&net, Arc::clone(&d1));
+    let mut back = start_back(&net, Arc::clone(&d2));
+    let mut c = client_id(&net, 1);
+    for i in 1..=5u64 {
+        assert_eq!(pair(&c.call(M1, "relay", &[]).unwrap()), (i, i));
+    }
+    // Crash M2, restart, and crash again almost immediately from a
+    // separate thread while the client keeps driving load.
+    let driver = std::thread::spawn({
+        let net = net.clone();
+        move || {
+            let mut c2 = client_id(&net, 2);
+            // A second client rides through the double crash.
+            let mut last = 0;
+            for _ in 0..8 {
+                let r = c2.call(M1, "relay", &[]).unwrap();
+                let (mine, _) = pair(&r);
+                assert_eq!(mine, last + 1);
+                last = mine;
+            }
+            last
+        }
+    });
+    for _ in 0..2 {
+        back.crash();
+        back = start_back(&net, Arc::clone(&d2));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(driver.join().unwrap(), 8);
+    for i in 6..=9u64 {
+        assert_eq!(pair(&c.call(M1, "relay", &[]).unwrap()), (i, i));
+    }
+    front.shutdown();
+    back.shutdown();
+    net.shutdown();
+}
