@@ -35,7 +35,9 @@ fn bench_shared_variable_paths(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let t0 = Instant::now();
                 for _ in 0..iters {
-                    client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                    client
+                        .call(MSP1, "ServiceMethod1", &payload)
+                        .expect("request");
                 }
                 t0.elapsed()
             })
@@ -52,7 +54,9 @@ fn bench_shared_variable_paths(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let t0 = Instant::now();
                 for _ in 0..iters {
-                    client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                    client
+                        .call(MSP1, "ServiceMethod1", &payload)
+                        .expect("request");
                 }
                 t0.elapsed()
             })
@@ -65,12 +69,13 @@ fn bench_shared_variable_paths(c: &mut Criterion) {
 fn bench_dv_merge_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_dv_merge");
     for size in [2usize, 8, 32, 128] {
-        let a = DependencyVector::from_entries((0..size as u32).map(|i| {
-            (MspId(i), StateId::new(Epoch(0), Lsn(u64::from(i) * 10)))
-        }));
-        let b = DependencyVector::from_entries((0..size as u32).map(|i| {
-            (MspId(i), StateId::new(Epoch(0), Lsn(u64::from(i) * 10 + 5)))
-        }));
+        let a = DependencyVector::from_entries(
+            (0..size as u32).map(|i| (MspId(i), StateId::new(Epoch(0), Lsn(u64::from(i) * 10)))),
+        );
+        let b = DependencyVector::from_entries(
+            (0..size as u32)
+                .map(|i| (MspId(i), StateId::new(Epoch(0), Lsn(u64::from(i) * 10 + 5)))),
+        );
         group.bench_function(BenchmarkId::from_parameter(size), |bch| {
             bch.iter(|| {
                 let mut m = std::hint::black_box(a.clone());

@@ -29,7 +29,9 @@ fn bench_fig14_table(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let t0 = Instant::now();
                 for _ in 0..iters {
-                    client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                    client
+                        .call(MSP1, "ServiceMethod1", &payload)
+                        .expect("request");
                 }
                 t0.elapsed()
             })
@@ -47,25 +49,27 @@ fn bench_fig14_chart(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
     // The chart's decisive comparison: LoOptimistic stays flat-ish while
     // Pessimistic grows by two flushes per extra call.
-    for config in [SystemConfig::LoOptimistic, SystemConfig::Pessimistic, SystemConfig::StateServer]
-    {
+    for config in [
+        SystemConfig::LoOptimistic,
+        SystemConfig::Pessimistic,
+        SystemConfig::StateServer,
+    ] {
         let world = bench_world(config);
         let mut client = world.client(1);
         let _ = world.run_requests(&mut client, 10, 1);
         for m in 1..=4u8 {
             let payload = request_payload(m);
-            group.bench_function(
-                BenchmarkId::new(config.name(), m),
-                |b| {
-                    b.iter_custom(|iters| {
-                        let t0 = Instant::now();
-                        for _ in 0..iters {
-                            client.call(MSP1, "ServiceMethod1", &payload).expect("request");
-                        }
-                        t0.elapsed()
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(config.name(), m), |b| {
+                b.iter_custom(|iters| {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        client
+                            .call(MSP1, "ServiceMethod1", &payload)
+                            .expect("request");
+                    }
+                    t0.elapsed()
+                })
+            });
         }
         world.shutdown();
     }

@@ -39,7 +39,9 @@ fn bench_fig15a_thresholds(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let t0 = Instant::now();
                 for _ in 0..iters {
-                    client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                    client
+                        .call(MSP1, "ServiceMethod1", &payload)
+                        .expect("request");
                 }
                 t0.elapsed()
             })
@@ -78,7 +80,9 @@ fn bench_fig15b_crash_rates(c: &mut Criterion) {
                 b.iter_custom(|iters| {
                     let t0 = Instant::now();
                     for _ in 0..iters {
-                        client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                        client
+                            .call(MSP1, "ServiceMethod1", &payload)
+                            .expect("request");
                     }
                     t0.elapsed()
                 })

@@ -81,7 +81,9 @@ fn bench_request_through_crash(c: &mut Criterion) {
                     // session recovery.
                     world.msp2.crash_and_restart();
                     let t0 = Instant::now();
-                    client.call(MSP1, "ServiceMethod1", &payload).expect("request");
+                    client
+                        .call(MSP1, "ServiceMethod1", &payload)
+                        .expect("request");
                     total += t0.elapsed();
                     // A few normal requests to restore steady state.
                     let _ = world.run_requests(&mut client, 5, 1);
@@ -94,5 +96,9 @@ fn bench_request_through_crash(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crash_recovery_cycle, bench_request_through_crash);
+criterion_group!(
+    benches,
+    bench_crash_recovery_cycle,
+    bench_request_through_crash
+);
 criterion_main!(benches);

@@ -74,8 +74,7 @@ fn bench_record_codec(c: &mut Criterion) {
 
 fn bench_log_scan(c: &mut Criterion) {
     let disk = Arc::new(MemDisk::new());
-    let log =
-        PhysicalLog::open(disk.clone(), DiskModel::zero(), FlushPolicy::immediate()).unwrap();
+    let log = PhysicalLog::open(disk.clone(), DiskModel::zero(), FlushPolicy::immediate()).unwrap();
     let rec = sample_record();
     for _ in 0..1_000 {
         log.append(&rec);

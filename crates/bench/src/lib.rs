@@ -17,5 +17,8 @@ pub fn bench_world(config: SystemConfig) -> World {
 
 /// Bench options for `config` at the bench scale.
 pub fn bench_opts(config: SystemConfig) -> WorldOptions {
-    WorldOptions { time_scale: BENCH_SCALE, ..WorldOptions::new(config) }
+    WorldOptions {
+        time_scale: BENCH_SCALE,
+        ..WorldOptions::new(config)
+    }
 }

@@ -50,7 +50,10 @@ impl MspInner {
         }
         let log = self.log();
         let body = st.to_checkpoint_body();
-        let lsn = log.append(&LogRecord::SessionCheckpoint { session: cell.id, body });
+        let lsn = log.append(&LogRecord::SessionCheckpoint {
+            session: cell.id,
+            body,
+        });
         // The state as of checkpoint completion can never be an orphan:
         // reset the DV to the self-entry only; discard prior positions.
         st.dv.clear();
@@ -61,7 +64,9 @@ impl MspInner {
         st.positions.truncate();
         cell.msp_ckpts_since_ckpt.store(0, Ordering::Release);
         cell.sync_anchor(st);
-        self.stats.session_checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .session_checkpoints
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -114,7 +119,9 @@ impl MspInner {
         st.writes_since_ckpt = 0;
         var.msp_ckpts_since_ckpt.store(0, Ordering::Release);
         var.sync_anchor(&st);
-        self.stats.shared_checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .shared_checkpoints
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -132,7 +139,11 @@ impl MspInner {
         let cells: Vec<_> = self.sessions.lock().values().cloned().collect();
         for cell in &cells {
             if let Some((lsn, is_checkpoint)) = cell.anchor() {
-                sessions.push(SessionAnchor { session: cell.id, lsn, is_checkpoint });
+                sessions.push(SessionAnchor {
+                    session: cell.id,
+                    lsn,
+                    is_checkpoint,
+                });
                 min_lsn = min_lsn.min(lsn);
                 max_lsn = max_lsn.max(lsn);
             }
@@ -177,9 +188,7 @@ impl MspInner {
         for cell in &cells {
             let n = cell.msp_ckpts_since_ckpt.fetch_add(1, Ordering::AcqRel) + 1;
             if n >= force_after && cell.anchor().is_some() {
-                let _ = self
-                    .work_tx
-                    .send(WorkItem::ForceSessionCheckpoint(cell.id));
+                let _ = self.work_tx.send(WorkItem::ForceSessionCheckpoint(cell.id));
             }
         }
         for var in self.shared.iter() {

@@ -61,7 +61,12 @@ impl MspClient {
     /// Register client number `client_id` on the network.
     pub fn new(net: &Network<Envelope>, client_id: u64, opts: ClientOptions) -> MspClient {
         let me = EndpointId::Client(client_id);
-        MspClient { endpoint: net.register(me), me, sessions: HashMap::new(), opts }
+        MspClient {
+            endpoint: net.register(me),
+            me,
+            sessions: HashMap::new(),
+            opts,
+        }
     }
 
     /// The session this client holds with `target`, if any.
@@ -96,10 +101,13 @@ impl MspClient {
         method: &str,
         payload: &[u8],
     ) -> MspResult<ReplyStatus> {
-        let session = self.sessions.entry(target).or_insert_with(|| ClientSession {
-            id: next_session_id(),
-            next_seq: RequestSeq::FIRST,
-        });
+        let session = self
+            .sessions
+            .entry(target)
+            .or_insert_with(|| ClientSession {
+                id: next_session_id(),
+                next_seq: RequestSeq::FIRST,
+            });
         let (sid, seq) = (session.id, session.next_seq);
         let mut attempts = 0u32;
         loop {
@@ -116,6 +124,7 @@ impl MspClient {
                     payload: payload.to_vec(),
                     reply_to: self.me,
                     sender_dv: None, // end clients are outside all domains
+                    durable_hint: None,
                 }),
             );
             // Wait for the matching reply, discarding stale ones.
@@ -143,7 +152,7 @@ impl MspClient {
                             }
                         }
                     }
-                    Ok(_) => continue,   // stale duplicate reply
+                    Ok(_) => continue,               // stale duplicate reply
                     Err(MspError::Timeout) => break, // resend
                     Err(e) => return Err(e),
                 }

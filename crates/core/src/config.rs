@@ -135,6 +135,16 @@ pub struct MspConfig {
     /// before giving up (it normally stops earlier: either the participant
     /// answers or its recovery broadcast marks the requester orphan).
     pub flush_retry_limit: u32,
+    /// How many resends an outgoing call makes before reporting
+    /// [`msp_types::MspError::Timeout`]. The default is effectively
+    /// "retry forever" (the client protocol owns liveness); tests and
+    /// experiments that want fast failure lower it.
+    pub rpc_retry_limit: u32,
+    /// Track peers' durable watermarks and elide distributed-flush work
+    /// for dependencies already known durable (§3.1 fast path). Purely an
+    /// optimisation: turning it off restores one flush RPC per remote
+    /// dependency per boundary crossing.
+    pub durability_watermarks: bool,
     /// Back-off before resending when the server answered *Busy*
     /// (checkpointing / recovering). Paper: 100 ms, scaled.
     pub busy_backoff: Duration,
@@ -154,6 +164,8 @@ impl MspConfig {
             workers: 8,
             rpc_timeout: Duration::from_millis(400),
             flush_retry_limit: 200,
+            rpc_retry_limit: 10_000,
+            durability_watermarks: true,
             busy_backoff: Duration::from_millis(100),
             time_scale: 0.02,
         }
@@ -183,6 +195,18 @@ impl MspConfig {
         self
     }
 
+    #[must_use]
+    pub fn with_rpc_retry_limit(mut self, limit: u32) -> MspConfig {
+        self.rpc_retry_limit = limit;
+        self
+    }
+
+    #[must_use]
+    pub fn with_durability_watermarks(mut self, enabled: bool) -> MspConfig {
+        self.durability_watermarks = enabled;
+        self
+    }
+
     /// The busy backoff after scaling.
     pub fn scaled_busy_backoff(&self) -> Duration {
         if self.time_scale <= 0.0 {
@@ -205,7 +229,10 @@ mod tests {
             .with_msp(MspId(3), DomainId(2));
         assert!(c.same_domain(MspId(1), MspId(2)));
         assert!(!c.same_domain(MspId(1), MspId(3)));
-        assert!(!c.same_domain(MspId(1), MspId(9)), "unknown MSPs share nothing");
+        assert!(
+            !c.same_domain(MspId(1), MspId(9)),
+            "unknown MSPs share nothing"
+        );
         assert_eq!(c.domain_members(DomainId(1), MspId(1)), vec![MspId(2)]);
         assert_eq!(c.domain_of(MspId(3)), Some(DomainId(2)));
     }
@@ -216,6 +243,18 @@ mod tests {
         assert!(cfg.scaled_busy_backoff() > Duration::ZERO);
         let cfg = MspConfig::new(MspId(1), DomainId(1)).with_time_scale(0.02);
         assert_eq!(cfg.scaled_busy_backoff(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn knob_builders() {
+        let cfg = MspConfig::new(MspId(1), DomainId(1))
+            .with_rpc_retry_limit(3)
+            .with_durability_watermarks(false);
+        assert_eq!(cfg.rpc_retry_limit, 3);
+        assert!(!cfg.durability_watermarks);
+        let cfg = MspConfig::new(MspId(1), DomainId(1));
+        assert_eq!(cfg.rpc_retry_limit, 10_000);
+        assert!(cfg.durability_watermarks);
     }
 
     #[test]

@@ -6,7 +6,20 @@
 //! recovery plumbing: distributed log flushes and recovery broadcasts.
 
 use msp_net::EndpointId;
-use msp_types::{DependencyVector, Epoch, Lsn, RecoveryRecord, RequestSeq, SessionId};
+use msp_types::{DependencyVector, Epoch, Lsn, MspId, RecoveryRecord, RequestSeq, SessionId};
+
+/// Piggybacked durability evidence: "`msp`'s log is durable up to
+/// (exclusive) `durable` in `epoch`". Carried on flush acknowledgements
+/// and on intra-domain request/reply traffic; the receiver feeds it into
+/// its [`crate::watermark::WatermarkTable`] so later distributed flushes
+/// can skip provably redundant flush RPCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableHint {
+    pub msp: MspId,
+    pub epoch: Epoch,
+    /// Exclusive end of the sender's durable log prefix.
+    pub durable: Lsn,
+}
 
 /// Outcome carried by a reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +47,8 @@ pub struct RequestMsg {
     /// domain (optimistic logging); absent on pessimistically logged
     /// paths (end clients, cross-domain).
     pub sender_dv: Option<DependencyVector>,
+    /// Sender's durable watermark, piggybacked on intra-domain traffic.
+    pub durable_hint: Option<DurableHint>,
 }
 
 /// The reply to a [`RequestMsg`], matched by `(session, seq)`.
@@ -44,6 +59,8 @@ pub struct ReplyMsg {
     pub status: ReplyStatus,
     /// Sender's session DV when the reply stays inside the service domain.
     pub sender_dv: Option<DependencyVector>,
+    /// Sender's durable watermark, piggybacked on intra-domain traffic.
+    pub durable_hint: Option<DurableHint>,
 }
 
 /// Everything that can travel over the simulated network.
@@ -53,18 +70,41 @@ pub enum Envelope {
     Reply(ReplyMsg),
     /// Part of a distributed log flush (§3.1): "flush your log so the
     /// state `(epoch, lsn)` of yours that I depend on is durable".
-    FlushRequest { from: EndpointId, req_id: u64, epoch: Epoch, lsn: Lsn },
+    FlushRequest {
+        from: EndpointId,
+        req_id: u64,
+        epoch: Epoch,
+        lsn: Lsn,
+    },
     /// Answer to a flush request; `ok = false` means the requested state
-    /// was lost in a crash — the requester is an orphan.
-    FlushReply { req_id: u64, ok: bool },
+    /// was lost in a crash — the requester is an orphan. Successful
+    /// replies carry the responder's durable watermark so the requester
+    /// can elide future flushes of already-durable dependencies.
+    FlushReply {
+        req_id: u64,
+        ok: bool,
+        durable: Option<DurableHint>,
+    },
     /// Recovery broadcast within the service domain: the sender recovered.
     Recovery(RecoveryRecord),
     /// StateServer baseline: fetch a session-state blob.
-    StateGet { from: EndpointId, req_id: u64, key: Vec<u8> },
+    StateGet {
+        from: EndpointId,
+        req_id: u64,
+        key: Vec<u8>,
+    },
     /// StateServer baseline: store a session-state blob.
-    StatePut { from: EndpointId, req_id: u64, key: Vec<u8>, value: Vec<u8> },
+    StatePut {
+        from: EndpointId,
+        req_id: u64,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
     /// StateServer baseline: response to either of the above.
-    StateResp { req_id: u64, value: Option<Vec<u8>> },
+    StateResp {
+        req_id: u64,
+        value: Option<Vec<u8>>,
+    },
 }
 
 impl Envelope {
@@ -97,6 +137,7 @@ mod tests {
             payload: vec![],
             reply_to: EndpointId::Client(1),
             sender_dv: None,
+            durable_hint: None,
         });
         assert_eq!(req.kind(), "Request");
         let fl = Envelope::FlushRequest {

@@ -30,8 +30,11 @@ impl MspInner {
         if !self.is_log_based() {
             return Ok(());
         }
-        self.stats.distributed_flushes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .distributed_flushes
+            .fetch_add(1, Ordering::Relaxed);
         let me = self.cfg.id;
+        let use_watermarks = self.cfg.durability_watermarks;
         let mut local: Option<Lsn> = None;
         let mut remote: Vec<(MspId, StateId)> = Vec::new();
         for (m, s) in dv.iter() {
@@ -42,6 +45,13 @@ impl MspInner {
                 // a network round trip.
                 if self.knowledge.read().is_orphan_dep(m, s) {
                     return Err(MspError::OrphanDependency { msp: m });
+                }
+                // Watermark elision: a dependency provably durable at the
+                // peer (same epoch, strictly below its reported durable
+                // end) needs no flush RPC — durability never un-happens.
+                if use_watermarks && self.watermarks.lock().covers(m, s) {
+                    self.stats.flush_rpcs_elided.fetch_add(1, Ordering::Relaxed);
+                    continue;
                 }
                 remote.push((m, s));
             }
@@ -54,7 +64,13 @@ impl MspInner {
             waits.push((m, s, self.send_flush_request(m, s)));
         }
         if let Some(lsn) = local {
-            self.log().flush_to(lsn)?;
+            // `durable` is the exclusive end of the durable prefix, so a
+            // record starting at `lsn` is durable iff `durable > lsn`.
+            if use_watermarks && self.log().durable_lsn() > lsn {
+                self.stats.flushes_elided.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.log().flush_to(lsn)?;
+            }
         }
         for (m, s, mut rx) in waits {
             let mut attempts = 0u32;
@@ -110,7 +126,9 @@ impl MspInner {
     /// Serve a peer's flush request: make our state `(epoch, lsn)`
     /// durable, or report it lost.
     pub(crate) fn serve_flush_request(&self, epoch: Epoch, lsn: Lsn) -> bool {
-        self.stats.flush_requests_served.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .flush_requests_served
+            .fetch_add(1, Ordering::Relaxed);
         if !self.is_log_based() {
             return false;
         }
@@ -148,6 +166,10 @@ impl MspInner {
             let _ = log.flush_to(lsn);
         }
         self.knowledge.write().record(rec);
+        // The peer crashed and recovered: every watermark learned from its
+        // previous incarnation is void. The next flush involving it will
+        // go over the wire and re-learn the (new-epoch) watermark.
+        self.watermarks.lock().invalidate(rec.msp);
         let cells: Vec<_> = self.sessions.lock().values().cloned().collect();
         let me = self.cfg.id;
         for cell in cells {

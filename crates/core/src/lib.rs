@@ -50,6 +50,7 @@ pub mod service;
 pub mod session;
 pub mod shared;
 pub mod state_server;
+pub mod watermark;
 
 pub use client::MspClient;
 pub use config::{ClusterConfig, LoggingConfig, MspConfig, SessionStrategy};

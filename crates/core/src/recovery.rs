@@ -102,8 +102,18 @@ impl MspInner {
             };
             match step {
                 Consume::WentLive => break,
-                Consume::Record { lsn, record, framed } => match record {
-                    LogRecord::RequestReceive { seq, method, payload, sender_dv, .. } => {
+                Consume::Record {
+                    lsn,
+                    record,
+                    framed,
+                } => match record {
+                    LogRecord::RequestReceive {
+                        seq,
+                        method,
+                        payload,
+                        sender_dv,
+                        ..
+                    } => {
                         self.stats.replayed_requests.fetch_add(1, Ordering::Relaxed);
                         if let Some(dv) = &sender_dv {
                             st.dv.merge_from(dv);
@@ -119,8 +129,7 @@ impl MspInner {
                         // records from the cursor and may switch to live
                         // execution at the replay boundary.
                         let (result, fatal) = {
-                            let mut ctx =
-                                ServiceContext::replaying(self, cell.id, st, &mut cursor);
+                            let mut ctx = ServiceContext::replaying(self, cell.id, st, &mut cursor);
                             let r = svc(&mut ctx, &payload);
                             let f = ctx.fatal.take();
                             (r, f)
@@ -171,7 +180,10 @@ impl MspInner {
         let log = self.log();
         if log.durable_lsn().0 <= DATA_START && log.end_lsn().0 <= DATA_START {
             // Fresh log: nothing to recover.
-            return Ok(RecoveryOutcome { announce: None, sessions_to_replay: Vec::new() });
+            return Ok(RecoveryOutcome {
+                announce: None,
+                sessions_to_replay: Vec::new(),
+            });
         }
         self.stats.crash_recoveries.fetch_add(1, Ordering::Relaxed);
         let me = self.cfg.id;
@@ -234,7 +246,12 @@ impl MspInner {
                         v.sync_anchor(&vst);
                     }
                 }
-                LogRecord::SharedWrite { var, value, writer_dv, .. } => {
+                LogRecord::SharedWrite {
+                    var,
+                    value,
+                    writer_dv,
+                    ..
+                } => {
                     if let Some(v) = self.shared.get(*var) {
                         let mut vst = v.state.lock();
                         vst.value = value.clone();
@@ -265,10 +282,17 @@ impl MspInner {
         drop(scan);
         let new_epoch = epoch_base.next();
         self.epoch.store(new_epoch.0, Ordering::Release);
-        let own = RecoveryRecord { msp: me, new_epoch, recovered_lsn };
+        let own = RecoveryRecord {
+            msp: me,
+            new_epoch,
+            recovered_lsn,
+        };
         // Our own history backs flush-request verdicts about old epochs.
         self.knowledge.write().record(own);
-        let lsn = log.append(&LogRecord::RecoveryComplete { new_epoch, recovered_lsn });
+        let lsn = log.append(&LogRecord::RecoveryComplete {
+            new_epoch,
+            recovered_lsn,
+        });
         log.flush_to(lsn)?;
 
         // 4. Materialize the sessions in "awaiting replay" state. Their
@@ -289,7 +313,10 @@ impl MspInner {
             }
         }
         to_replay.sort_unstable();
-        Ok(RecoveryOutcome { announce: Some(own), sessions_to_replay: to_replay })
+        Ok(RecoveryOutcome {
+            announce: Some(own),
+            sessions_to_replay: to_replay,
+        })
     }
 
     fn absorb_msp_checkpoint_body(

@@ -37,7 +37,11 @@ use msp_wal::{LogRecord, PhysicalLog};
 #[derive(Debug)]
 pub enum Consume {
     /// A live (non-orphan) record to feed into re-execution.
-    Record { lsn: Lsn, record: LogRecord, framed: u64 },
+    Record {
+        lsn: Lsn,
+        record: LogRecord,
+        framed: u64,
+    },
     /// The cursor switched to live execution (orphan found with no EOS,
     /// or stream exhausted). Check [`ReplayCursor::orphan_hit`] for why.
     WentLive,
@@ -106,16 +110,24 @@ impl ReplayCursor {
 
             // Orphan check on the record's logged dependency vector.
             let orphan = match &record {
-                LogRecord::RequestReceive { sender_dv: Some(dv), .. }
-                | LogRecord::ReplyReceive { sender_dv: Some(dv), .. } => {
-                    knowledge.is_orphan(dv, me)
+                LogRecord::RequestReceive {
+                    sender_dv: Some(dv),
+                    ..
                 }
+                | LogRecord::ReplyReceive {
+                    sender_dv: Some(dv),
+                    ..
+                } => knowledge.is_orphan(dv, me),
                 LogRecord::SharedRead { var_dv, .. } => knowledge.is_orphan(var_dv, me),
                 _ => false,
             };
             if !orphan {
                 self.idx += 1;
-                return Ok(Consume::Record { lsn, record, framed });
+                return Ok(Consume::Record {
+                    lsn,
+                    record,
+                    framed,
+                });
             }
 
             // Orphan record O found: look forward for an EOS closing it.
@@ -132,7 +144,10 @@ impl ReplayCursor {
                     // not flushed immediately (§4.1) and is deliberately
                     // NOT added to the rebuilt position stream — skipped
                     // records must stay invisible to later recoveries.
-                    log.append(&LogRecord::Eos { session, orphan_lsn: lsn });
+                    log.append(&LogRecord::Eos {
+                        session,
+                        orphan_lsn: lsn,
+                    });
                     self.orphan_hit = Some(lsn);
                     self.went_live = true;
                     return Ok(Consume::WentLive);
@@ -169,9 +184,7 @@ pub fn replay_mismatch(lsn: Lsn, expected: &str, got: &LogRecord) -> MspError {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msp_types::{
-        DependencyVector, Epoch, RecoveryRecord, RequestSeq, StateId,
-    };
+    use msp_types::{DependencyVector, Epoch, RecoveryRecord, RequestSeq, StateId};
     use msp_wal::{DiskModel, FlushPolicy, MemDisk};
     use std::sync::Arc;
 
@@ -266,7 +279,10 @@ mod tests {
         let l1 = log.append(&req(0, None));
         let orphan = log.append(&req(1, Some(dv(2, 100))));
         let dead = log.append(&req(2, None));
-        let eos = log.append(&LogRecord::Eos { session: SessionId(1), orphan_lsn: orphan });
+        let eos = log.append(&LogRecord::Eos {
+            session: SessionId(1),
+            orphan_lsn: orphan,
+        });
         let live = log.append(&req(3, None)); // live continuation
         let mut k = RecoveryKnowledge::new();
         k.record(RecoveryRecord {
@@ -299,8 +315,14 @@ mod tests {
         let log = test_log();
         let orphan2 = log.append(&req(0, Some(dv(3, 100))));
         let orphan1 = log.append(&req(1, Some(dv(2, 100))));
-        let _eos1 = log.append(&LogRecord::Eos { session: SessionId(1), orphan_lsn: orphan1 });
-        let eos2 = log.append(&LogRecord::Eos { session: SessionId(1), orphan_lsn: orphan2 });
+        let _eos1 = log.append(&LogRecord::Eos {
+            session: SessionId(1),
+            orphan_lsn: orphan1,
+        });
+        let eos2 = log.append(&LogRecord::Eos {
+            session: SessionId(1),
+            orphan_lsn: orphan2,
+        });
         let live = log.append(&req(2, None));
         let mut k = RecoveryKnowledge::new();
         k.record(RecoveryRecord {
@@ -313,8 +335,7 @@ mod tests {
             new_epoch: Epoch(1),
             recovered_lsn: Lsn(50),
         });
-        let mut cur =
-            ReplayCursor::new(vec![orphan2, orphan1, _eos1, eos2, live]);
+        let mut cur = ReplayCursor::new(vec![orphan2, orphan1, _eos1, eos2, live]);
         assert!(matches!(
             cur.consume(&log, &k, MspId(1), SessionId(1)).unwrap(),
             Consume::Record { lsn, .. } if lsn == live
@@ -327,10 +348,16 @@ mod tests {
         // Figure 11, "disjointed": orphan1 < EOS1 < orphan2 < EOS2.
         let log = test_log();
         let orphan1 = log.append(&req(0, Some(dv(2, 100))));
-        let eos1 = log.append(&LogRecord::Eos { session: SessionId(1), orphan_lsn: orphan1 });
+        let eos1 = log.append(&LogRecord::Eos {
+            session: SessionId(1),
+            orphan_lsn: orphan1,
+        });
         let mid = log.append(&req(1, None));
         let orphan2 = log.append(&req(2, Some(dv(3, 100))));
-        let eos2 = log.append(&LogRecord::Eos { session: SessionId(1), orphan_lsn: orphan2 });
+        let eos2 = log.append(&LogRecord::Eos {
+            session: SessionId(1),
+            orphan_lsn: orphan2,
+        });
         let live = log.append(&req(3, None));
         let mut k = RecoveryKnowledge::new();
         k.record(RecoveryRecord {
@@ -344,13 +371,14 @@ mod tests {
             recovered_lsn: Lsn(50),
         });
         let mut cur = ReplayCursor::new(vec![orphan1, eos1, mid, orphan2, eos2, live]);
-        let got: Vec<Lsn> = std::iter::from_fn(|| {
-            match cur.consume(&log, &k, MspId(1), SessionId(1)).unwrap() {
-                Consume::Record { lsn, .. } => Some(lsn),
-                Consume::WentLive => None,
-            }
-        })
-        .collect();
+        let got: Vec<Lsn> =
+            std::iter::from_fn(
+                || match cur.consume(&log, &k, MspId(1), SessionId(1)).unwrap() {
+                    Consume::Record { lsn, .. } => Some(lsn),
+                    Consume::WentLive => None,
+                },
+            )
+            .collect();
         assert_eq!(got, vec![mid, live]);
         assert_eq!(cur.eos_ranges_skipped, 2);
         log.close();

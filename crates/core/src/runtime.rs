@@ -37,10 +37,11 @@ use msp_types::{
 use msp_wal::{Disk, DiskModel, FlushPolicy, LogAnchor, LogRecord, PhysicalLog};
 
 use crate::config::{ClusterConfig, MspConfig, SessionStrategy};
-use crate::envelope::{Envelope, ReplyMsg, ReplyStatus, RequestMsg};
+use crate::envelope::{DurableHint, Envelope, ReplyMsg, ReplyStatus, RequestMsg};
 use crate::service::{take_fatal, ServiceContext, ServiceFn};
 use crate::session::{OutgoingSession, SessionCell, SessionState};
 use crate::shared::SharedRegistry;
+use crate::watermark::WatermarkTable;
 
 /// Globally unique session-id source (clients and outgoing sessions share
 /// the id space; the simulation runs in one process).
@@ -64,7 +65,12 @@ pub(crate) enum WorkItem {
 
 /// Infrastructure traffic handled off the worker pool.
 pub(crate) enum InfraItem {
-    Flush { from: EndpointId, req_id: u64, epoch: Epoch, lsn: Lsn },
+    Flush {
+        from: EndpointId,
+        req_id: u64,
+        epoch: Epoch,
+        lsn: Lsn,
+    },
     Recovery(msp_types::RecoveryRecord),
 }
 
@@ -83,6 +89,11 @@ pub struct RuntimeStats {
     pub crash_recoveries: AtomicU64,
     pub distributed_flushes: AtomicU64,
     pub flush_requests_served: AtomicU64,
+    /// Local log flushes skipped because the durable LSN already covered
+    /// the dependency.
+    pub flushes_elided: AtomicU64,
+    /// Remote flush RPCs skipped thanks to the durability-watermark table.
+    pub flush_rpcs_elided: AtomicU64,
 }
 
 /// Snapshot of [`RuntimeStats`].
@@ -100,6 +111,8 @@ pub struct RuntimeStatsSnapshot {
     pub crash_recoveries: u64,
     pub distributed_flushes: u64,
     pub flush_requests_served: u64,
+    pub flushes_elided: u64,
+    pub flush_rpcs_elided: u64,
 }
 
 impl RuntimeStats {
@@ -117,6 +130,8 @@ impl RuntimeStats {
             crash_recoveries: self.crash_recoveries.load(Ordering::Relaxed),
             distributed_flushes: self.distributed_flushes.load(Ordering::Relaxed),
             flush_requests_served: self.flush_requests_served.load(Ordering::Relaxed),
+            flushes_elided: self.flushes_elided.load(Ordering::Relaxed),
+            flush_rpcs_elided: self.flush_rpcs_elided.load(Ordering::Relaxed),
         }
     }
 }
@@ -131,6 +146,9 @@ pub struct MspInner {
     pub(crate) anchor: Option<LogAnchor>,
     pub(crate) epoch: AtomicU32,
     pub(crate) knowledge: RwLock<RecoveryKnowledge>,
+    /// Per-peer durable watermarks (flush-RPC elision). Volatile: rebuilt
+    /// empty on every start.
+    pub(crate) watermarks: Mutex<WatermarkTable>,
     pub(crate) sessions: Mutex<HashMap<SessionId, Arc<SessionCell>>>,
     pub(crate) shared: SharedRegistry,
     pub(crate) services: HashMap<String, ServiceFn>,
@@ -169,9 +187,44 @@ impl MspInner {
         self.log.is_some()
     }
 
+    /// Our own durable watermark, for piggybacking on intra-domain
+    /// messages and flush acknowledgements. `None` when watermarks are
+    /// disabled or there is no log.
+    pub(crate) fn own_durable_hint(&self) -> Option<DurableHint> {
+        if !self.cfg.durability_watermarks {
+            return None;
+        }
+        let log = self.log.as_ref()?;
+        Some(DurableHint {
+            msp: self.cfg.id,
+            epoch: self.epoch(),
+            durable: log.durable_lsn(),
+        })
+    }
+
+    /// Feed a peer's durable hint into the watermark table. Hints from an
+    /// epoch older than the peer's current known incarnation are stale
+    /// in-flight messages and are dropped — they must never resurrect a
+    /// watermark that a recovery broadcast invalidated.
+    pub(crate) fn absorb_durable_hint(&self, hint: &DurableHint) {
+        if !self.cfg.durability_watermarks || !self.is_log_based() || hint.msp == self.cfg.id {
+            return;
+        }
+        if let Some(current) = self.knowledge.read().current_epoch(hint.msp) {
+            if hint.epoch < current {
+                return;
+            }
+        }
+        self.watermarks
+            .lock()
+            .note(hint.msp, hint.epoch, hint.durable);
+    }
+
     /// The log, for paths that only run under `LogBased`.
     pub(crate) fn log(&self) -> &Arc<PhysicalLog> {
-        self.log.as_ref().expect("operation requires the LogBased strategy")
+        self.log
+            .as_ref()
+            .expect("operation requires the LogBased strategy")
     }
 
     /// Look up or create the session cell for an incoming session id.
@@ -225,6 +278,7 @@ impl MspInner {
                 seq: req.seq,
                 status: ReplyStatus::Busy,
                 sender_dv: None,
+                durable_hint: None,
             }),
         );
     }
@@ -235,7 +289,9 @@ impl MspInner {
         if req.seq == st.next_expected {
             return false;
         }
-        self.stats.duplicate_requests.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .duplicate_requests
+            .fetch_add(1, Ordering::Relaxed);
         if req.seq.next() == st.next_expected {
             // The latest already-processed request: resend its buffered
             // reply (it may have been lost on the network).
@@ -268,7 +324,9 @@ impl MspInner {
         // discard it — the sender will roll back and resend.
         if let Some(dv) = &req.sender_dv {
             if self.knowledge.read().is_orphan(dv, self.cfg.id) {
-                self.stats.orphan_msgs_dropped.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .orphan_msgs_dropped
+                    .fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
@@ -368,13 +426,18 @@ impl MspInner {
 
     fn end_session_locked(&self, st: &mut SessionState, req: &RequestMsg) {
         let log = self.log();
-        let record = LogRecord::SessionEnd { session: req.session };
+        let record = LogRecord::SessionEnd {
+            session: req.session,
+        };
         let before = log.end_lsn();
         let lsn = log.append(&record);
         let framed = log.end_lsn().0 - before.0;
         st.note_logged(self.cfg.id, self.epoch(), lsn, framed);
         let status = ReplyStatus::Ok(Vec::new());
-        if self.send_reply(st, req.reply_to, req.session, req.seq, status.clone()).is_ok() {
+        if self
+            .send_reply(st, req.reply_to, req.session, req.seq, status.clone())
+            .is_ok()
+        {
             st.buffered_reply = Some((req.seq, status));
             st.next_expected = req.seq.next();
             st.ended = true;
@@ -472,7 +535,11 @@ impl MspInner {
             let (tx, rx) = crossbeam_channel::bounded(1);
             self.pending_state.lock().insert(req_id, tx);
             let env = match &value {
-                None => Envelope::StateGet { from: self.me(), req_id, key: key.clone() },
+                None => Envelope::StateGet {
+                    from: self.me(),
+                    req_id,
+                    key: key.clone(),
+                },
                 Some(v) => Envelope::StatePut {
                     from: self.me(),
                     req_id,
@@ -513,22 +580,28 @@ impl MspInner {
         seq: RequestSeq,
         status: ReplyStatus,
     ) -> MspResult<()> {
-        let sender_dv = if self.is_log_based() {
+        let (sender_dv, durable_hint) = if self.is_log_based() {
             let intra = reply_to
                 .as_msp()
                 .is_some_and(|m| self.cluster.same_domain(self.cfg.id, m));
             if intra {
-                Some(st.dv.clone())
+                (Some(st.dv.clone()), self.own_durable_hint())
             } else {
                 self.distributed_flush(&st.dv)?;
-                None
+                (None, None)
             }
         } else {
-            None
+            (None, None)
         };
         self.send(
             reply_to,
-            Envelope::Reply(ReplyMsg { session, seq, status, sender_dv }),
+            Envelope::Reply(ReplyMsg {
+                session,
+                seq,
+                status,
+                sender_dv,
+                durable_hint,
+            }),
         );
         Ok(())
     }
@@ -575,6 +648,7 @@ impl MspInner {
                     payload: payload.to_vec(),
                     reply_to: self.me(),
                     sender_dv: intra.then(|| st.dv.clone()),
+                    durable_hint: if intra { self.own_durable_hint() } else { None },
                 }),
             );
             let rep = match rx.recv_timeout(self.cfg.rpc_timeout) {
@@ -582,7 +656,7 @@ impl MspInner {
                 Err(_) => {
                     self.pending_replies.lock().remove(&(out_id, seq));
                     attempts += 1;
-                    if attempts > 10_000 {
+                    if attempts > self.cfg.rpc_retry_limit {
                         return Err(MspError::Timeout);
                     }
                     continue;
@@ -602,7 +676,9 @@ impl MspInner {
                     {
                         let knowledge = self.knowledge.read();
                         if knowledge.is_orphan(&st.dv, self.cfg.id) {
-                            return Err(MspError::Orphan { session: session_id });
+                            return Err(MspError::Orphan {
+                                session: session_id,
+                            });
                         }
                         // Figure 7, "after receive": orphan replies are
                         // discarded; the resend will fetch a clean one.
@@ -632,7 +708,10 @@ impl MspInner {
                         }
                         st.note_logged(self.cfg.id, self.epoch(), lsn, framed);
                     }
-                    st.outgoing.get_mut(&target).expect("inserted above").next_seq = seq.next();
+                    st.outgoing
+                        .get_mut(&target)
+                        .expect("inserted above")
+                        .next_seq = seq.next();
                     return match status {
                         ReplyStatus::Ok(p) => Ok(p),
                         ReplyStatus::Err(e) => Err(MspError::Application(e)),
@@ -656,18 +735,41 @@ impl MspInner {
             };
             match env {
                 Envelope::Request(req) => {
+                    if let Some(hint) = &req.durable_hint {
+                        self.absorb_durable_hint(hint);
+                    }
                     let _ = self.work_tx.send(WorkItem::Request(req));
                 }
                 Envelope::Reply(rep) => {
+                    if let Some(hint) = &rep.durable_hint {
+                        self.absorb_durable_hint(hint);
+                    }
                     let waiter = self.pending_replies.lock().remove(&(rep.session, rep.seq));
                     if let Some(tx) = waiter {
                         let _ = tx.send(rep);
                     }
                 }
-                Envelope::FlushRequest { from, req_id, epoch, lsn } => {
-                    let _ = self.infra_tx.send(InfraItem::Flush { from, req_id, epoch, lsn });
+                Envelope::FlushRequest {
+                    from,
+                    req_id,
+                    epoch,
+                    lsn,
+                } => {
+                    let _ = self.infra_tx.send(InfraItem::Flush {
+                        from,
+                        req_id,
+                        epoch,
+                        lsn,
+                    });
                 }
-                Envelope::FlushReply { req_id, ok } => {
+                Envelope::FlushReply {
+                    req_id,
+                    ok,
+                    durable,
+                } => {
+                    if let Some(hint) = &durable {
+                        self.absorb_durable_hint(hint);
+                    }
                     let waiter = self.pending_flushes.lock().remove(&req_id);
                     if let Some(tx) = waiter {
                         let _ = tx.send(ok);
@@ -729,9 +831,25 @@ impl MspInner {
                 Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
             };
             match item {
-                InfraItem::Flush { from, req_id, epoch, lsn } => {
+                InfraItem::Flush {
+                    from,
+                    req_id,
+                    epoch,
+                    lsn,
+                } => {
                     let ok = self.serve_flush_request(epoch, lsn);
-                    self.send(from, Envelope::FlushReply { req_id, ok });
+                    // A successful ack carries our durable watermark so the
+                    // requester can skip redundant flushes of this (and any
+                    // lower) dependency from now on.
+                    let durable = if ok { self.own_durable_hint() } else { None };
+                    self.send(
+                        from,
+                        Envelope::FlushReply {
+                            req_id,
+                            ok,
+                            durable,
+                        },
+                    );
                 }
                 InfraItem::Recovery(rec) => self.absorb_recovery_broadcast(rec),
             }
@@ -766,7 +884,9 @@ pub(crate) fn decode_vars(mut bytes: &[u8]) -> HashMap<String, Vec<u8>> {
 }
 
 fn decode_vars_cursor(buf: &mut &[u8]) -> HashMap<String, Vec<u8>> {
-    let Ok(n) = codec::get_u32(buf) else { return HashMap::new() };
+    let Ok(n) = codec::get_u32(buf) else {
+        return HashMap::new();
+    };
     let mut map = HashMap::with_capacity(n as usize);
     for _ in 0..n {
         let (Ok(k), Ok(v)) = (codec::get_str(buf), codec::get_bytes(buf)) else {
@@ -805,8 +925,7 @@ pub(crate) fn apply_session_blob(st: &mut SessionState, mut bytes: &[u8]) {
     }
     if let Ok(1) = codec::get_u8(buf) {
         if let (Ok(seq), Ok(reply)) = (codec::get_u64(buf), codec::get_bytes(buf)) {
-            st.buffered_reply =
-                Some((RequestSeq(seq), crate::session::decode_reply(&reply)));
+            st.buffered_reply = Some((RequestSeq(seq), crate::session::decode_reply(&reply)));
         }
     }
 }
@@ -873,11 +992,7 @@ impl MspBuilder {
     /// recovery (§4.3) runs first: analysis scan, shared-state roll
     /// forward, recovery broadcast, then parallel session replay on the
     /// worker pool while new requests are already being accepted.
-    pub fn start(
-        self,
-        net: &Network<Envelope>,
-        disk: Arc<dyn Disk>,
-    ) -> MspResult<MspHandle> {
+    pub fn start(self, net: &Network<Envelope>, disk: Arc<dyn Disk>) -> MspResult<MspHandle> {
         if self.cfg.workers == 0 {
             return Err(MspError::Config("worker pool must be non-empty".into()));
         }
@@ -904,6 +1019,7 @@ impl MspBuilder {
             anchor,
             epoch: AtomicU32::new(0),
             knowledge: RwLock::new(RecoveryKnowledge::new()),
+            watermarks: Mutex::new(WatermarkTable::new()),
             sessions: Mutex::new(HashMap::new()),
             shared: self.shared,
             services: self.services,
@@ -972,10 +1088,7 @@ impl MspBuilder {
         // accepted concurrently.
         if let Some(outcome) = recovery_outcome {
             if let Some(rec) = outcome.announce {
-                for peer in inner
-                    .cluster
-                    .domain_members(inner.cfg.domain, inner.cfg.id)
-                {
+                for peer in inner.cluster.domain_members(inner.cfg.domain, inner.cfg.id) {
                     inner.send(EndpointId::Msp(peer), Envelope::Recovery(rec));
                 }
                 let _ = inner.msp_checkpoint();
@@ -985,7 +1098,10 @@ impl MspBuilder {
             }
         }
 
-        Ok(MspHandle { inner, threads: Mutex::new(threads) })
+        Ok(MspHandle {
+            inner,
+            threads: Mutex::new(threads),
+        })
     }
 }
 
@@ -1055,6 +1171,11 @@ impl MspHandle {
     /// surface used by the harness for fault injection).
     pub fn knowledge(&self) -> RecoveryKnowledge {
         self.inner.knowledge.read().clone()
+    }
+
+    /// Test/diagnostic access to the durable watermark held for `peer`.
+    pub fn watermark_of(&self, peer: MspId) -> Option<(Epoch, Lsn)> {
+        self.inner.watermarks.lock().get(peer)
     }
 }
 

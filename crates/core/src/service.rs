@@ -31,10 +31,10 @@ use std::sync::Arc;
 use msp_types::{Lsn, MspError, MspId, MspResult, SessionId};
 use msp_wal::LogRecord;
 
+use crate::envelope::ReplyStatus;
 use crate::replay::{replay_mismatch, Consume, ReplayCursor};
 use crate::runtime::MspInner;
-use crate::session::{decode_reply, SessionState, OutgoingSession};
-use crate::envelope::ReplyStatus;
+use crate::session::{decode_reply, OutgoingSession, SessionState};
 
 /// A registered service method.
 pub type ServiceFn =
@@ -67,7 +67,13 @@ impl<'a> ServiceContext<'a> {
         session_id: SessionId,
         state: &'a mut SessionState,
     ) -> ServiceContext<'a> {
-        ServiceContext { inner, session_id, state, cursor: None, fatal: None }
+        ServiceContext {
+            inner,
+            session_id,
+            state,
+            cursor: None,
+            fatal: None,
+        }
     }
 
     pub(crate) fn replaying(
@@ -76,7 +82,13 @@ impl<'a> ServiceContext<'a> {
         state: &'a mut SessionState,
         cursor: &'a mut ReplayCursor,
     ) -> ServiceContext<'a> {
-        ServiceContext { inner, session_id, state, cursor: Some(cursor), fatal: None }
+        ServiceContext {
+            inner,
+            session_id,
+            state,
+            cursor: Some(cursor),
+            fatal: None,
+        }
     }
 
     /// The session this request runs on.
@@ -128,20 +140,20 @@ impl<'a> ServiceContext<'a> {
                 .consume(log, &knowledge, self.inner.cfg.id, self.session_id)
                 .map_err(|e| e.to_string())?
             {
-                Consume::Record { lsn, record, framed } => match record {
-                    LogRecord::SharedRead { var, value, var_dv, .. } if var == var_id => {
+                Consume::Record {
+                    lsn,
+                    record,
+                    framed,
+                } => match record {
+                    LogRecord::SharedRead {
+                        var, value, var_dv, ..
+                    } if var == var_id => {
                         self.state.dv.merge_from(&var_dv);
-                        self.state.note_logged(
-                            self.inner.cfg.id,
-                            self.inner.epoch(),
-                            lsn,
-                            framed,
-                        );
+                        self.state
+                            .note_logged(self.inner.cfg.id, self.inner.epoch(), lsn, framed);
                         return Ok(value);
                     }
-                    other => {
-                        return Err(replay_mismatch(lsn, "SharedRead", &other).to_string())
-                    }
+                    other => return Err(replay_mismatch(lsn, "SharedRead", &other).to_string()),
                 },
                 Consume::WentLive => { /* fall through to the live read */ }
             }
@@ -158,9 +170,16 @@ impl<'a> ServiceContext<'a> {
             // orphaned entry with a newer-epoch one.
             if knowledge.is_orphan(&self.state.dv, me) {
                 drop(knowledge);
-                return Err(self.mark_fatal(MspError::Orphan { session: self.session_id }));
+                return Err(self.mark_fatal(MspError::Orphan {
+                    session: self.session_id,
+                }));
             }
-            let env = crate::shared::SharedEnv { me, epoch, log, knowledge: &knowledge };
+            let env = crate::shared::SharedEnv {
+                me,
+                epoch,
+                log,
+                knowledge: &knowledge,
+            };
             crate::shared::read_shared(&env, var, self.session_id, self.state)
                 .map_err(|e| self.mark_fatal(e))
         } else {
@@ -195,7 +214,12 @@ impl<'a> ServiceContext<'a> {
                         session: self.session_id,
                     }));
                 }
-                let env = crate::shared::SharedEnv { me, epoch, log, knowledge: &knowledge };
+                let env = crate::shared::SharedEnv {
+                    me,
+                    epoch,
+                    log,
+                    knowledge: &knowledge,
+                };
                 crate::shared::write_shared(&env, var, self.session_id, self.state, value)
                     .map_err(|e| self.mark_fatal(e))?
             };
@@ -225,23 +249,32 @@ impl<'a> ServiceContext<'a> {
                     .map_err(|e| e.to_string())?
             };
             match consumed {
-                Consume::Record { lsn, record, framed } => match record {
-                    LogRecord::ReplyReceive { outgoing, seq, payload, sender_dv, .. } => {
+                Consume::Record {
+                    lsn,
+                    record,
+                    framed,
+                } => match record {
+                    LogRecord::ReplyReceive {
+                        outgoing,
+                        seq,
+                        payload,
+                        sender_dv,
+                        ..
+                    } => {
                         // Rebind the outgoing session exactly as normal
                         // execution would have left it.
                         self.state.outgoing.insert(
                             target,
-                            OutgoingSession { id: outgoing, next_seq: seq.next() },
+                            OutgoingSession {
+                                id: outgoing,
+                                next_seq: seq.next(),
+                            },
                         );
                         if let Some(dv) = &sender_dv {
                             self.state.dv.merge_from(dv);
                         }
-                        self.state.note_logged(
-                            self.inner.cfg.id,
-                            self.inner.epoch(),
-                            lsn,
-                            framed,
-                        );
+                        self.state
+                            .note_logged(self.inner.cfg.id, self.inner.epoch(), lsn, framed);
                         return match decode_reply(&payload) {
                             ReplyStatus::Ok(p) => Ok(p),
                             ReplyStatus::Err(e) => Err(e),
@@ -265,7 +298,10 @@ impl<'a> ServiceContext<'a> {
                         {
                             self.state.outgoing.insert(
                                 target,
-                                OutgoingSession { id: outgoing, next_seq: seq },
+                                OutgoingSession {
+                                    id: outgoing,
+                                    next_seq: seq,
+                                },
                             );
                         }
                     }

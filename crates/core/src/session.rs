@@ -13,9 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use msp_types::{
-    DependencyVector, Epoch, Lsn, MspId, RequestSeq, SessionId, StateId,
-};
+use msp_types::{DependencyVector, Epoch, Lsn, MspId, RequestSeq, SessionId, StateId};
 use msp_wal::record::SessionCheckpointBody;
 use msp_wal::PositionStream;
 
@@ -80,8 +78,11 @@ impl SessionState {
     /// outgoing session's next available sequence number. Control state is
     /// excluded by construction — checkpoints happen between requests.
     pub fn to_checkpoint_body(&self) -> SessionCheckpointBody {
-        let mut vars: Vec<(String, Vec<u8>)> =
-            self.vars.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let mut vars: Vec<(String, Vec<u8>)> = self
+            .vars
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         vars.sort_by(|a, b| a.0.cmp(&b.0));
         SessionCheckpointBody {
             vars,
@@ -259,7 +260,10 @@ mod tests {
         s.buffered_reply = Some((RequestSeq(6), ReplyStatus::Ok(vec![9])));
         s.outgoing.insert(
             MspId(2),
-            OutgoingSession { id: SessionId(42), next_seq: RequestSeq(3) },
+            OutgoingSession {
+                id: SessionId(42),
+                next_seq: RequestSeq(3),
+            },
         );
         s.dv.bump(MspId(5), StateId::new(Epoch(0), Lsn(999)));
 
@@ -267,10 +271,16 @@ mod tests {
         let r = SessionState::restore_from_checkpoint(&body, MspId(1), Epoch(0), Lsn(4096));
         assert_eq!(r.vars.get("cart"), Some(&vec![1, 2, 3]));
         assert_eq!(r.next_expected, RequestSeq(7));
-        assert_eq!(r.buffered_reply, Some((RequestSeq(6), ReplyStatus::Ok(vec![9]))));
+        assert_eq!(
+            r.buffered_reply,
+            Some((RequestSeq(6), ReplyStatus::Ok(vec![9])))
+        );
         assert_eq!(
             r.outgoing.get(&MspId(2)),
-            Some(&OutgoingSession { id: SessionId(42), next_seq: RequestSeq(3) })
+            Some(&OutgoingSession {
+                id: SessionId(42),
+                next_seq: RequestSeq(3)
+            })
         );
         // The pre-checkpoint flush stabilized old dependencies: only the
         // self entry survives.
@@ -293,7 +303,10 @@ mod tests {
         s.buffered_reply = Some((RequestSeq(1), ReplyStatus::Err("boom".into())));
         let body = s.to_checkpoint_body();
         let r = SessionState::restore_from_checkpoint(&body, MspId(1), Epoch(0), Lsn(512));
-        assert_eq!(r.buffered_reply, Some((RequestSeq(1), ReplyStatus::Err("boom".into()))));
+        assert_eq!(
+            r.buffered_reply,
+            Some((RequestSeq(1), ReplyStatus::Err("boom".into())))
+        );
     }
 
     #[test]

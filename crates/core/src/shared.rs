@@ -24,8 +24,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use msp_types::{
-    DependencyVector, Epoch, Lsn, MspId, MspError, MspResult, RecoveryKnowledge, SessionId,
-    VarId,
+    DependencyVector, Epoch, Lsn, MspError, MspId, MspResult, RecoveryKnowledge, SessionId, VarId,
 };
 use msp_wal::{LogRecord, PhysicalLog};
 
@@ -124,9 +123,13 @@ impl SharedRegistry {
     /// the program registers the same variables — same contract as the
     /// service-method registry).
     pub fn register(&mut self, name: &str, initial: Vec<u8>) -> VarId {
-        debug_assert!(!self.by_name.contains_key(name), "duplicate shared variable {name}");
+        debug_assert!(
+            !self.by_name.contains_key(name),
+            "duplicate shared variable {name}"
+        );
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(SharedVar::new(id, name.to_string(), initial));
+        self.vars
+            .push(SharedVar::new(id, name.to_string(), initial));
         self.by_name.insert(name.to_string(), id);
         id
     }
@@ -255,7 +258,13 @@ pub fn rollback_if_orphan(
                 st.chain_head = cursor;
                 return Ok(());
             }
-            LogRecord::SharedWrite { var: v, value, writer_dv, prev_write, .. } => {
+            LogRecord::SharedWrite {
+                var: v,
+                value,
+                writer_dv,
+                prev_write,
+                ..
+            } => {
                 debug_assert_eq!(v, var.id);
                 if env.knowledge.is_orphan(&writer_dv, env.me) {
                     cursor = prev_write;
@@ -297,7 +306,12 @@ mod tests {
     }
 
     fn env<'a>(log: &'a PhysicalLog, knowledge: &'a RecoveryKnowledge) -> SharedEnv<'a> {
-        SharedEnv { me: MspId(1), epoch: Epoch(0), log, knowledge }
+        SharedEnv {
+            me: MspId(1),
+            epoch: Epoch(0),
+            log,
+            knowledge,
+        }
     }
 
     fn session_with_dv(entries: &[(u32, u32, u64)]) -> SessionState {
@@ -324,7 +338,10 @@ mod tests {
         let v = read_shared(&env(&log, &k), var, SessionId(2), &mut reader).unwrap();
         assert_eq!(v, vec![9; 4]);
         // The variable's dependency (on msp2) flowed to the reader...
-        assert_eq!(reader.dv.get(MspId(2)), Some(StateId::new(Epoch(0), Lsn(77))));
+        assert_eq!(
+            reader.dv.get(MspId(2)),
+            Some(StateId::new(Epoch(0), Lsn(77)))
+        );
         // ...and the reader's state number advanced to the read record.
         assert!(reader.state_number > Lsn::ZERO);
         assert_eq!(reader.positions.len(), 1, "reads are session records");
@@ -350,11 +367,19 @@ mod tests {
         write_shared(&env(&log, &k), var, SessionId(2), &w2, vec![2]).unwrap();
         {
             let st = var.state.lock();
-            assert_eq!(st.dv.get(MspId(2)), None, "old dependency died with old value");
+            assert_eq!(
+                st.dv.get(MspId(2)),
+                None,
+                "old dependency died with old value"
+            );
             assert_eq!(st.dv.get(MspId(3)), Some(StateId::new(Epoch(0), Lsn(20))));
             assert_eq!(st.writes_since_ckpt, 2);
         }
-        assert_eq!(w2.positions.len(), 0, "writes do not enter the session stream");
+        assert_eq!(
+            w2.positions.len(),
+            0,
+            "writes do not enter the session stream"
+        );
         log.close();
     }
 
@@ -383,8 +408,15 @@ mod tests {
 
         let mut reader = SessionState::fresh();
         let v = read_shared(&env(&log, &k), var, SessionId(3), &mut reader).unwrap();
-        assert_eq!(v, b"good".to_vec(), "rolled back to most recent non-orphan value");
-        assert_eq!(reader.dv.get(MspId(2)), Some(StateId::new(Epoch(0), Lsn(10))));
+        assert_eq!(
+            v,
+            b"good".to_vec(),
+            "rolled back to most recent non-orphan value"
+        );
+        assert_eq!(
+            reader.dv.get(MspId(2)),
+            Some(StateId::new(Epoch(0), Lsn(10)))
+        );
         log.close();
     }
 
@@ -407,7 +439,10 @@ mod tests {
         let mut reader = SessionState::fresh();
         let v = read_shared(&env(&log, &k), var, SessionId(2), &mut reader).unwrap();
         assert_eq!(v, b"init".to_vec());
-        assert!(reader.dv.get(MspId(2)).is_none(), "initial value has no dependencies");
+        assert!(
+            reader.dv.get(MspId(2)).is_none(),
+            "initial value has no dependencies"
+        );
         log.close();
     }
 

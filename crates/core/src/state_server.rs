@@ -34,7 +34,10 @@ impl StateServer {
     /// Start a state server registered as client endpoint `id` (state
     /// servers are not MSPs; they live outside the domains like clients).
     pub fn start(net: &Network<Envelope>, id: EndpointId) -> StateServer {
-        let inner = Arc::new(Inner { map: Mutex::new(HashMap::new()), stopped: AtomicBool::new(false) });
+        let inner = Arc::new(Inner {
+            map: Mutex::new(HashMap::new()),
+            stopped: AtomicBool::new(false),
+        });
         let endpoint = net.register(id);
         let worker = Arc::clone(&inner);
         let wnet = net.clone();
@@ -52,12 +55,20 @@ impl StateServer {
                             let value = worker.map.lock().get(&key).cloned();
                             wnet.send(id, from, Envelope::StateResp { req_id, value });
                         }
-                        Envelope::StatePut { from, req_id, key, value } => {
+                        Envelope::StatePut {
+                            from,
+                            req_id,
+                            key,
+                            value,
+                        } => {
                             worker.map.lock().insert(key, value);
                             wnet.send(
                                 id,
                                 from,
-                                Envelope::StateResp { req_id, value: Some(Vec::new()) },
+                                Envelope::StateResp {
+                                    req_id,
+                                    value: Some(Vec::new()),
+                                },
                             );
                         }
                         _ => {}
@@ -65,7 +76,12 @@ impl StateServer {
                 }
             })
             .expect("spawn state server");
-        StateServer { inner, id, net: net.clone(), thread: Mutex::new(Some(thread)) }
+        StateServer {
+            inner,
+            id,
+            net: net.clone(),
+            thread: Mutex::new(Some(thread)),
+        }
     }
 
     /// Number of stored blobs (tests/diagnostics).

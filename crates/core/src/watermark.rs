@@ -1,0 +1,194 @@
+//! Durability watermarks: per-peer knowledge of how much of a peer's log
+//! is already durable, used to elide redundant distributed-flush RPCs.
+//!
+//! The pessimistic boundary (§3.1) requires every remote dependency to be
+//! durable before a message leaves the service domain. In steady state the
+//! same dependencies get re-flushed over and over: a session that called
+//! into a peer once will re-request a flush of that same `(epoch, lsn)` on
+//! every client-bound reply, even though the peer made it durable long ago.
+//!
+//! A [`WatermarkTable`] remembers, per peer MSP, the highest durable log
+//! prefix we have *proof* of — from flush acknowledgements (which carry the
+//! responder's durable LSN) and from durable hints piggybacked on
+//! intra-domain request/reply traffic. A flush request for a dependency at
+//! or below the watermark is provably redundant and is skipped.
+//!
+//! # Epoch safety
+//!
+//! Durability never un-happens — a flushed byte survives any crash — but a
+//! dependency is identified by `(epoch, lsn)` and LSN comparisons are only
+//! meaningful within one incarnation of the peer. The table is therefore
+//! deliberately conservative:
+//!
+//! * [`WatermarkTable::covers`] requires an **exact epoch match**: an entry
+//!   learned in epoch `e` never elides a flush for a dependency in any
+//!   other epoch.
+//! * All state for a peer is dropped ([`WatermarkTable::invalidate`]) the
+//!   moment its recovery broadcast is absorbed; the orphan test, not the
+//!   watermark, decides the fate of pre-crash dependencies.
+//! * `note` keeps only the newest epoch seen for a peer; a hint from an
+//!   older epoch (a stale in-flight message) never rolls an entry back.
+
+use std::collections::HashMap;
+
+use msp_types::{Epoch, Lsn, MspId, StateId};
+
+/// Per-peer durable watermarks. One instance per MSP runtime, rebuilt
+/// empty on every (re)start — watermarks are pure optimisation state and
+/// are never persisted.
+#[derive(Debug, Default)]
+pub struct WatermarkTable {
+    /// Peer -> (epoch, exclusive end of the peer's durable log prefix as
+    /// of the latest evidence from that epoch).
+    entries: HashMap<MspId, (Epoch, Lsn)>,
+}
+
+impl WatermarkTable {
+    pub fn new() -> WatermarkTable {
+        WatermarkTable::default()
+    }
+
+    /// Absorb evidence that `msp`'s log is durable up to (exclusive)
+    /// `durable_end` in `epoch`. Keeps the highest epoch seen; within an
+    /// epoch, keeps the highest LSN. Evidence from an older epoch than the
+    /// stored one is ignored — it is a stale in-flight message.
+    pub fn note(&mut self, msp: MspId, epoch: Epoch, durable_end: Lsn) {
+        match self.entries.get_mut(&msp) {
+            Some((e, l)) => {
+                if epoch > *e {
+                    *e = epoch;
+                    *l = durable_end;
+                } else if epoch == *e && durable_end > *l {
+                    *l = durable_end;
+                }
+            }
+            None => {
+                self.entries.insert(msp, (epoch, durable_end));
+            }
+        }
+    }
+
+    /// Whether the dependency `(msp, state)` is provably durable already.
+    ///
+    /// True only when the watermark is from exactly `state.epoch` and the
+    /// dependency's LSN lies strictly below the durable end (`durable_end`
+    /// is exclusive: the record starting at LSN `l` is durable iff the
+    /// durable prefix extends strictly past `l`).
+    pub fn covers(&self, msp: MspId, state: StateId) -> bool {
+        match self.entries.get(&msp) {
+            Some(&(epoch, durable_end)) => epoch == state.epoch && state.lsn < durable_end,
+            None => false,
+        }
+    }
+
+    /// Forget everything about `msp`. Called when its recovery broadcast
+    /// is absorbed: nothing learned before the crash may elide a flush
+    /// afterwards.
+    pub fn invalidate(&mut self, msp: MspId) {
+        self.entries.remove(&msp);
+    }
+
+    /// Current entry for `msp` (diagnostics / tests).
+    pub fn get(&self, msp: MspId) -> Option<(Epoch, Lsn)> {
+        self.entries.get(&msp).copied()
+    }
+
+    /// Number of peers with a live watermark.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_types::dv::state;
+
+    const PEER: MspId = MspId(7);
+
+    #[test]
+    fn empty_table_covers_nothing() {
+        let t = WatermarkTable::new();
+        assert!(!t.covers(PEER, state(0, 0)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn covers_is_exclusive_at_the_watermark() {
+        let mut t = WatermarkTable::new();
+        t.note(PEER, Epoch(0), Lsn(100));
+        // Strictly below the durable end: covered.
+        assert!(t.covers(PEER, state(0, 99)));
+        assert!(t.covers(PEER, state(0, 0)));
+        // At the durable end the record starting there is NOT yet durable.
+        assert!(!t.covers(PEER, state(0, 100)));
+        assert!(!t.covers(PEER, state(0, 101)));
+    }
+
+    #[test]
+    fn covers_requires_exact_epoch() {
+        let mut t = WatermarkTable::new();
+        t.note(PEER, Epoch(1), Lsn(100));
+        assert!(t.covers(PEER, state(1, 50)));
+        // Same LSN, different epoch — never elided, in either direction.
+        assert!(!t.covers(PEER, state(0, 50)));
+        assert!(!t.covers(PEER, state(2, 50)));
+    }
+
+    #[test]
+    fn note_is_monotone_within_an_epoch() {
+        let mut t = WatermarkTable::new();
+        t.note(PEER, Epoch(0), Lsn(100));
+        t.note(PEER, Epoch(0), Lsn(60)); // out-of-order ack
+        assert_eq!(t.get(PEER), Some((Epoch(0), Lsn(100))));
+        t.note(PEER, Epoch(0), Lsn(150));
+        assert_eq!(t.get(PEER), Some((Epoch(0), Lsn(150))));
+    }
+
+    #[test]
+    fn newer_epoch_replaces_older_entry() {
+        let mut t = WatermarkTable::new();
+        t.note(PEER, Epoch(0), Lsn(500));
+        t.note(PEER, Epoch(1), Lsn(20));
+        assert_eq!(t.get(PEER), Some((Epoch(1), Lsn(20))));
+        // The old epoch's generous watermark no longer elides anything.
+        assert!(!t.covers(PEER, state(0, 100)));
+        assert!(t.covers(PEER, state(1, 10)));
+    }
+
+    #[test]
+    fn stale_older_epoch_hint_is_ignored() {
+        let mut t = WatermarkTable::new();
+        t.note(PEER, Epoch(2), Lsn(30));
+        t.note(PEER, Epoch(1), Lsn(9_999)); // in-flight from before a crash
+        assert_eq!(t.get(PEER), Some((Epoch(2), Lsn(30))));
+    }
+
+    #[test]
+    fn invalidate_drops_all_state_for_the_peer() {
+        let mut t = WatermarkTable::new();
+        t.note(PEER, Epoch(0), Lsn(100));
+        t.note(MspId(8), Epoch(0), Lsn(50));
+        t.invalidate(PEER);
+        assert!(!t.covers(PEER, state(0, 1)));
+        assert_eq!(t.get(PEER), None);
+        // Other peers are untouched.
+        assert!(t.covers(MspId(8), state(0, 1)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn peers_are_independent() {
+        let mut t = WatermarkTable::new();
+        t.note(MspId(1), Epoch(0), Lsn(10));
+        t.note(MspId(2), Epoch(3), Lsn(99));
+        assert!(t.covers(MspId(1), state(0, 5)));
+        assert!(!t.covers(MspId(2), state(0, 5)));
+        assert!(t.covers(MspId(2), state(3, 5)));
+        assert_eq!(t.len(), 2);
+    }
+}

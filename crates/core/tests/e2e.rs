@@ -191,13 +191,24 @@ fn two_msps_relay_and_shared_state() {
     let cluster = cluster_same_domain();
     let d1 = Arc::new(MemDisk::new());
     let d2 = Arc::new(MemDisk::new());
-    let m1 = counter_msp(MSP1, 1, cluster.clone(), &net, d1, SessionStrategy::LogBased);
+    let m1 = counter_msp(
+        MSP1,
+        1,
+        cluster.clone(),
+        &net,
+        d1,
+        SessionStrategy::LogBased,
+    );
     let m2 = counter_msp(MSP2, 1, cluster, &net, d2, SessionStrategy::LogBased);
     let mut c = client(&net, 1);
     for i in 1..=10u64 {
         let r = c.call(MSP1, "relay", &[]).unwrap();
         assert_eq!(as_u64(&r[..8]), i, "MSP1's session counter");
-        assert_eq!(as_u64(&r[8..]), i, "MSP2's session counter via outgoing session");
+        assert_eq!(
+            as_u64(&r[8..]),
+            i,
+            "MSP2's session counter via outgoing session"
+        );
     }
     // Shared variable on MSP1.
     for i in 1..=5u64 {
@@ -215,7 +226,14 @@ fn exactly_once_over_lossy_network() {
     let cluster = cluster_same_domain();
     let d1 = Arc::new(MemDisk::new());
     let d2 = Arc::new(MemDisk::new());
-    let m1 = counter_msp(MSP1, 1, cluster.clone(), &net, d1, SessionStrategy::LogBased);
+    let m1 = counter_msp(
+        MSP1,
+        1,
+        cluster.clone(),
+        &net,
+        d1,
+        SessionStrategy::LogBased,
+    );
     let m2 = counter_msp(MSP2, 1, cluster, &net, d2, SessionStrategy::LogBased);
     let mut c = client(&net, 1);
     // Counters must advance exactly once per logical request despite
@@ -257,20 +275,17 @@ fn crash_recovery_restores_sessions_and_shared_state() {
     m1.crash();
 
     // Restart over the same disk: session and shared state recover.
-    let m1b = counter_msp(
-        MSP1,
-        1,
-        cluster,
-        &net,
-        disk,
-        SessionStrategy::LogBased,
-    );
+    let m1b = counter_msp(MSP1, 1, cluster, &net, disk, SessionStrategy::LogBased);
     assert_eq!(m1b.stats().crash_recoveries, 1);
     // The same client (same session) keeps counting where it left off.
     for i in 11..=15u64 {
         assert_eq!(as_u64(&c.call(MSP1, "counter", &[]).unwrap()), i);
     }
-    assert_eq!(as_u64(&c.call(MSP1, "read_sv", &[]).unwrap()), 4, "shared state rolled forward");
+    assert_eq!(
+        as_u64(&c.call(MSP1, "read_sv", &[]).unwrap()),
+        4,
+        "shared state rolled forward"
+    );
     assert_eq!(as_u64(&c.call(MSP1, "bump_sv", &[]).unwrap()), 5);
     m1b.shutdown();
     net.shutdown();
@@ -308,16 +323,13 @@ fn crash_mid_traffic_preserves_exactly_once() {
         }
     });
     std::thread::sleep(Duration::from_millis(50));
-    let m1b = counter_msp(
-        MSP1,
-        1,
-        cluster,
-        &net,
-        disk,
-        SessionStrategy::LogBased,
-    );
+    let m1b = counter_msp(MSP1, 1, cluster, &net, disk, SessionStrategy::LogBased);
     assert_eq!(as_u64(&c.call(MSP1, "counter", &[]).unwrap()), 6);
-    assert_eq!(handle.join().unwrap().unwrap(), 1, "fresh session starts at 1");
+    assert_eq!(
+        handle.join().unwrap().unwrap(),
+        1,
+        "fresh session starts at 1"
+    );
     m1b.shutdown();
     net.shutdown();
 }
@@ -356,19 +368,16 @@ fn orphan_recovery_after_peer_crash() {
     // Kill MSP2 with its log tail unflushed (optimistic logging means the
     // records behind the replies MSP1 consumed may not be durable).
     m2.crash();
-    let m2b = counter_msp(
-        MSP2,
-        1,
-        cluster,
-        &net,
-        d2,
-        SessionStrategy::LogBased,
-    );
+    let m2b = counter_msp(MSP2, 1, cluster, &net, d2, SessionStrategy::LogBased);
     // Continue: whatever was lost is re-executed; the end-to-end
     // sequence stays exactly-once.
     for i in 6..=10u64 {
         let r = c.call(MSP1, "relay", &[]).unwrap();
-        assert_eq!(as_u64(&r[..8]), i, "MSP1 session counter survives peer crash");
+        assert_eq!(
+            as_u64(&r[..8]),
+            i,
+            "MSP1 session counter survives peer crash"
+        );
         assert_eq!(as_u64(&r[8..]), i, "MSP2 session counter is exactly-once");
     }
     m1.shutdown();
@@ -382,7 +391,14 @@ fn pessimistic_cross_domain_configuration_works() {
     let cluster = cluster_split_domains();
     let d1 = Arc::new(MemDisk::new());
     let d2 = Arc::new(MemDisk::new());
-    let m1 = counter_msp(MSP1, 1, cluster.clone(), &net, d1, SessionStrategy::LogBased);
+    let m1 = counter_msp(
+        MSP1,
+        1,
+        cluster.clone(),
+        &net,
+        d1,
+        SessionStrategy::LogBased,
+    );
     let m2 = counter_msp(MSP2, 2, cluster, &net, d2, SessionStrategy::LogBased);
     let mut c = client(&net, 1);
     for i in 1..=10u64 {
@@ -392,7 +408,10 @@ fn pessimistic_cross_domain_configuration_works() {
     // Pessimistic logging means MSP1 flushed before sending request2 and
     // before each reply: at least 2 flushes per request plus MSP2's.
     let flushes = m1.log_stats().unwrap().flushes;
-    assert!(flushes >= 20, "pessimistic logging must flush per message, got {flushes}");
+    assert!(
+        flushes >= 20,
+        "pessimistic logging must flush per message, got {flushes}"
+    );
     m1.shutdown();
     m2.shutdown();
     net.shutdown();
@@ -418,8 +437,7 @@ fn locally_optimistic_uses_fewer_flushes_than_pessimistic() {
         for _ in 0..20 {
             c.call(MSP1, "relay", &[]).unwrap();
         }
-        let total =
-            m1.log_stats().unwrap().flushes + m2.log_stats().unwrap().flushes;
+        let total = m1.log_stats().unwrap().flushes + m2.log_stats().unwrap().flushes;
         m1.shutdown();
         m2.shutdown();
         net.shutdown();
@@ -540,29 +558,29 @@ fn session_checkpoints_are_taken_and_bound_replay() {
         session_ckpt_threshold: 400, // tiny: checkpoint every ~8 requests
         ..fast_logging()
     };
-    let m1 = MspBuilder::new(
-        cfg(MSP1, 1).with_logging(logging.clone()),
-        cluster.clone(),
-    )
-    .disk_model(DiskModel::zero())
-    .shared_var("SV", 0u64.to_le_bytes().to_vec())
-    .service("counter", |ctx, _| {
-        let n = ctx
-            .get_session("n")
-            .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
-            .unwrap_or(0)
-            + 1;
-        ctx.set_session("n", n.to_le_bytes().to_vec());
-        Ok(n.to_le_bytes().to_vec())
-    })
-    .start(&net, Arc::clone(&disk) as Arc<dyn msp_wal::Disk>)
-    .unwrap();
+    let m1 = MspBuilder::new(cfg(MSP1, 1).with_logging(logging.clone()), cluster.clone())
+        .disk_model(DiskModel::zero())
+        .shared_var("SV", 0u64.to_le_bytes().to_vec())
+        .service("counter", |ctx, _| {
+            let n = ctx
+                .get_session("n")
+                .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                .unwrap_or(0)
+                + 1;
+            ctx.set_session("n", n.to_le_bytes().to_vec());
+            Ok(n.to_le_bytes().to_vec())
+        })
+        .start(&net, Arc::clone(&disk) as Arc<dyn msp_wal::Disk>)
+        .unwrap();
     let mut c = client(&net, 1);
     for i in 1..=60u64 {
         assert_eq!(as_u64(&c.call(MSP1, "counter", &[]).unwrap()), i);
     }
     let ckpts = m1.stats().session_checkpoints;
-    assert!(ckpts >= 2, "expected several session checkpoints, got {ckpts}");
+    assert!(
+        ckpts >= 2,
+        "expected several session checkpoints, got {ckpts}"
+    );
     m1.crash();
 
     let m1b = MspBuilder::new(cfg(MSP1, 1).with_logging(logging), cluster)
@@ -583,7 +601,10 @@ fn session_checkpoints_are_taken_and_bound_replay() {
     // Replay was bounded by the checkpoint: far fewer requests replayed
     // than were ever executed.
     let replayed = m1b.stats().replayed_requests;
-    assert!(replayed < 60, "checkpoint must bound replay, replayed {replayed}");
+    assert!(
+        replayed < 60,
+        "checkpoint must bound replay, replayed {replayed}"
+    );
     m1b.shutdown();
     net.shutdown();
 }

@@ -100,7 +100,11 @@ fn forced_checkpoints_advance_idle_sessions() {
     // Go idle and let the checkpointer cycle a few times.
     std::thread::sleep(Duration::from_millis(200));
     let stats = msp.stats();
-    assert!(stats.msp_checkpoints >= 3, "checkpointer ran: {}", stats.msp_checkpoints);
+    assert!(
+        stats.msp_checkpoints >= 3,
+        "checkpointer ran: {}",
+        stats.msp_checkpoints
+    );
     assert!(
         stats.session_checkpoints >= 1,
         "idle session was force-checkpointed: {}",
@@ -164,7 +168,11 @@ fn clean_shutdown_then_restart_loses_nothing() {
     }
     msp.shutdown(); // flushes the tail
     let msp = start(&net, Arc::clone(&disk), u64::MAX);
-    assert_eq!(call_u64(&mut c, "tick"), 8, "clean shutdown preserved everything");
+    assert_eq!(
+        call_u64(&mut c, "tick"),
+        8,
+        "clean shutdown preserved everything"
+    );
     // A clean restart still counts as a crash recovery pass (the log
     // cannot tell), but nothing was replayed beyond the durable state.
     assert_eq!(msp.stats().crash_recoveries, 1);

@@ -1,0 +1,189 @@
+//! Micro-benchmark for the durability-watermark layer (PR 1).
+//!
+//! Runs the same steady-state two-MSP workload twice — watermarks on and
+//! off — and reports the flush traffic of each pass as JSON (written to
+//! `BENCH_PR1.json`, mirrored on stdout).
+//!
+//! Workload shape: a client session makes one `relay` call (creating a
+//! durable dependency on the back MSP), then `locals_per_round` front-only
+//! calls. Every client-bound reply performs a distributed flush of the
+//! session DV, so each front-only call re-flushes the same back
+//! dependency — redundant work that the watermark table elides.
+//!
+//! ```text
+//! bench_pr1 [--rounds N] [--locals K]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use msp_core::client::ClientOptions;
+use msp_core::runtime::RuntimeStatsSnapshot;
+use msp_core::{ClusterConfig, Envelope, MspBuilder, MspClient, MspConfig};
+use msp_net::{NetModel, Network};
+use msp_types::{DomainId, MspId};
+use msp_wal::{DiskModel, FlushPolicy, MemDisk};
+
+const FRONT: MspId = MspId(1);
+const BACK: MspId = MspId(2);
+
+struct PassResult {
+    elapsed: Duration,
+    requests: u64,
+    front: RuntimeStatsSnapshot,
+    back: RuntimeStatsSnapshot,
+    front_log_flushes: u64,
+    back_log_flushes: u64,
+}
+
+fn cfg(id: MspId, watermarks: bool) -> MspConfig {
+    let mut c = MspConfig::new(id, DomainId(1))
+        .with_time_scale(0.0)
+        .with_workers(4)
+        .with_durability_watermarks(watermarks);
+    c.rpc_timeout = Duration::from_millis(60);
+    c
+}
+
+fn run_pass(watermarks: bool, rounds: u64, locals_per_round: u64) -> PassResult {
+    let net: Network<Envelope> = Network::new(NetModel::zero(), 42);
+    let cluster = ClusterConfig::new()
+        .with_msp(FRONT, DomainId(1))
+        .with_msp(BACK, DomainId(1));
+
+    let back = MspBuilder::new(cfg(BACK, watermarks), cluster.clone())
+        .disk_model(DiskModel::zero())
+        .flush_policy(FlushPolicy::per_request())
+        .service("count", |ctx, _| {
+            let n = ctx
+                .get_session("n")
+                .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                .unwrap_or(0)
+                + 1;
+            ctx.set_session("n", n.to_le_bytes().to_vec());
+            Ok(n.to_le_bytes().to_vec())
+        })
+        .start(&net, Arc::new(MemDisk::new()))
+        .expect("start back");
+    let front = MspBuilder::new(cfg(FRONT, watermarks), cluster)
+        .disk_model(DiskModel::zero())
+        .flush_policy(FlushPolicy::per_request())
+        .service("relay", |ctx, payload| ctx.call(BACK, "count", payload))
+        .service("local", |ctx, _| {
+            let n = ctx
+                .get_session("m")
+                .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                .unwrap_or(0)
+                + 1;
+            ctx.set_session("m", n.to_le_bytes().to_vec());
+            Ok(n.to_le_bytes().to_vec())
+        })
+        .start(&net, Arc::new(MemDisk::new()))
+        .expect("start front");
+
+    let mut client = MspClient::new(&net, 1, ClientOptions::default());
+    let mut requests = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        client.call(FRONT, "relay", &[]).expect("relay");
+        requests += 1;
+        for _ in 0..locals_per_round {
+            client.call(FRONT, "local", &[]).expect("local");
+            requests += 1;
+        }
+    }
+    let elapsed = t0.elapsed();
+
+    let result = PassResult {
+        elapsed,
+        requests,
+        front: front.stats(),
+        back: back.stats(),
+        front_log_flushes: front.log_stats().map_or(0, |s| s.flushes),
+        back_log_flushes: back.log_stats().map_or(0, |s| s.flushes),
+    };
+    front.shutdown();
+    back.shutdown();
+    net.shutdown();
+    result
+}
+
+fn pass_json(p: &PassResult) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "      \"elapsed_ms\": {:.3},\n",
+            "      \"requests\": {},\n",
+            "      \"distributed_flushes\": {},\n",
+            "      \"flush_rpcs_elided\": {},\n",
+            "      \"flushes_elided\": {},\n",
+            "      \"back_flush_requests_served\": {},\n",
+            "      \"front_device_flushes\": {},\n",
+            "      \"back_device_flushes\": {}\n",
+            "    }}"
+        ),
+        p.elapsed.as_secs_f64() * 1e3,
+        p.requests,
+        p.front.distributed_flushes,
+        p.front.flush_rpcs_elided,
+        p.front.flushes_elided,
+        p.back.flush_requests_served,
+        p.front_log_flushes,
+        p.back_log_flushes,
+    )
+}
+
+fn main() {
+    let mut rounds = 20u64;
+    let mut locals = 19u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rounds" => rounds = it.next().and_then(|v| v.parse().ok()).unwrap_or(rounds),
+            "--locals" => locals = it.next().and_then(|v| v.parse().ok()).unwrap_or(locals),
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+
+    let on = run_pass(true, rounds, locals);
+    let off = run_pass(false, rounds, locals);
+
+    let rpcs_on = on.back.flush_requests_served;
+    let rpcs_off = off.back.flush_requests_served;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pr1_durability_watermarks\",\n",
+            "  \"workload\": {{ \"rounds\": {}, \"locals_per_round\": {} }},\n",
+            "  \"passes\": {{\n",
+            "    \"watermarks_on\": {},\n",
+            "    \"watermarks_off\": {}\n",
+            "  }},\n",
+            "  \"summary\": {{\n",
+            "    \"flush_rpcs_on\": {},\n",
+            "    \"flush_rpcs_off\": {},\n",
+            "    \"flush_rpcs_saved\": {},\n",
+            "    \"device_flushes_on\": {},\n",
+            "    \"device_flushes_off\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        rounds,
+        locals,
+        pass_json(&on),
+        pass_json(&off),
+        rpcs_on,
+        rpcs_off,
+        rpcs_off.saturating_sub(rpcs_on),
+        on.front_log_flushes + on.back_log_flushes,
+        off.front_log_flushes + off.back_log_flushes,
+    );
+
+    print!("{json}");
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    assert!(
+        rpcs_on < rpcs_off,
+        "watermarks must strictly reduce flush RPCs ({rpcs_on} vs {rpcs_off})"
+    );
+    eprintln!("wrote BENCH_PR1.json ({rpcs_on} flush RPCs with watermarks, {rpcs_off} without)");
+}

@@ -12,7 +12,9 @@
 //!
 //! Output is markdown, suitable for pasting into `EXPERIMENTS.md`.
 
-use msp_harness::experiments::{self, CrashRateRow, Fig14Row, MaxRtRow, MultiClientRow, ThresholdRow};
+use msp_harness::experiments::{
+    self, CrashRateRow, Fig14Row, MaxRtRow, MultiClientRow, ThresholdRow,
+};
 
 struct Args {
     scale: f64,
@@ -21,16 +23,20 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { scale: 0.1, requests: experiments::DEFAULT_REQUESTS, only: None };
+    let mut args = Args {
+        scale: 0.1,
+        requests: experiments::DEFAULT_REQUESTS,
+        only: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => {
-                args.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.scale)
-            }
+            "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.scale),
             "--requests" => {
-                args.requests =
-                    it.next().and_then(|v| v.parse().ok()).unwrap_or(args.requests)
+                args.requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.requests)
             }
             "--quick" => args.requests = 100,
             "--only" => args.only = it.next(),
@@ -75,7 +81,11 @@ fn print_thresholds(rows: &[ThresholdRow], title: &str) {
         println!(
             "| {} | {} | {} | {:.1} | {} | {} |",
             th,
-            if r.crash_every == 0 { "-".into() } else { r.crash_every.to_string() },
+            if r.crash_every == 0 {
+                "-".into()
+            } else {
+                r.crash_every.to_string()
+            },
             r.crashes,
             s.throughput_paper(r.time_scale),
             fmt_ms(s.avg_ms_paper(r.time_scale)),
@@ -93,7 +103,11 @@ fn print_crash_rates(rows: &[CrashRateRow]) {
         println!(
             "| {} | {} | {} | {:.1} | {} |",
             r.config.name(),
-            if r.crash_every == 0 { "never".into() } else { r.crash_every.to_string() },
+            if r.crash_every == 0 {
+                "never".into()
+            } else {
+                r.crash_every.to_string()
+            },
             r.crashes,
             s.throughput_paper(r.time_scale),
             fmt_ms(s.avg_ms_paper(r.time_scale)),
@@ -142,7 +156,10 @@ fn main() {
     println!("# Reproduction run — scale {scale}, {n} requests per cell");
 
     if want("fig14") {
-        print_fig14(&experiments::fig14_table(scale, n), "Figure 14 table: response time, m = 1");
+        print_fig14(
+            &experiments::fig14_table(scale, n),
+            "Figure 14 table: response time, m = 1",
+        );
         print_fig14(
             &experiments::fig14_chart(scale, n),
             "Figure 14 chart: response time vs calls to ServiceMethod2",

@@ -46,10 +46,18 @@ pub fn fig14_table(scale: f64, requests: u64) -> Vec<Fig14Row> {
     SystemConfig::ALL
         .iter()
         .map(|&config| {
-            let opts = WorldOptions { time_scale: scale, ..WorldOptions::new(config) };
+            let opts = WorldOptions {
+                time_scale: scale,
+                ..WorldOptions::new(config)
+            };
             let (summary, world) = measure(opts, requests, 1);
             world.shutdown();
-            Fig14Row { config, m: 1, summary, time_scale: scale }
+            Fig14Row {
+                config,
+                m: 1,
+                summary,
+                time_scale: scale,
+            }
         })
         .collect()
 }
@@ -60,10 +68,18 @@ pub fn fig14_chart(scale: f64, requests: u64) -> Vec<Fig14Row> {
     let mut rows = Vec::new();
     for &config in &SystemConfig::ALL {
         for m in 1..=4u8 {
-            let opts = WorldOptions { time_scale: scale, ..WorldOptions::new(config) };
+            let opts = WorldOptions {
+                time_scale: scale,
+                ..WorldOptions::new(config)
+            };
             let (summary, world) = measure(opts, requests, m);
             world.shutdown();
-            rows.push(Fig14Row { config, m, summary, time_scale: scale });
+            rows.push(Fig14Row {
+                config,
+                m,
+                summary,
+                time_scale: scale,
+            });
         }
     }
     rows
@@ -84,16 +100,23 @@ pub struct ThresholdRow {
 /// The checkpoint-threshold sweep used by E3 and E6. The paper sweeps
 /// 64 KB … 4 MB at ~1.5 KB of log per request; the same thresholds are
 /// meaningful here because the workload's record sizes match §5.1.
-pub const THRESHOLDS: [u64; 8] =
-    [4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20];
+pub const THRESHOLDS: [u64; 8] = [
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    1 << 20,
+];
 
 /// E3 — Figure 15(a): throughput versus session checkpointing threshold,
 /// locally optimistic logging, no crashes. The rightmost row disables
 /// checkpointing entirely (the paper's asymptote).
 pub fn fig15a(scale: f64, requests: u64) -> Vec<ThresholdRow> {
     let mut rows = Vec::new();
-    let cells: Vec<Option<u64>> =
-        THRESHOLDS.iter().map(|&t| Some(t)).chain([None]).collect();
+    let cells: Vec<Option<u64>> = THRESHOLDS.iter().map(|&t| Some(t)).chain([None]).collect();
     for threshold in cells {
         let opts = WorldOptions {
             time_scale: scale,
@@ -151,7 +174,13 @@ pub fn fig15b(scale: f64, requests: u64) -> Vec<CrashRateRow> {
             let (summary, world) = measure(opts, requests, 1);
             let crashes = world.crash_count();
             world.shutdown();
-            rows.push(CrashRateRow { config, crash_every, crashes, summary, time_scale: scale });
+            rows.push(CrashRateRow {
+                config,
+                crash_every,
+                crashes,
+                summary,
+                time_scale: scale,
+            });
         }
     }
     rows
@@ -218,8 +247,15 @@ pub fn fig16_table(scale: f64, requests: u64) -> Vec<MaxRtRow> {
             time_scale: scale,
         });
     }
-    for &config in &[SystemConfig::NoLog, SystemConfig::StateServer, SystemConfig::Psession] {
-        let opts = WorldOptions { time_scale: scale, ..WorldOptions::new(config) };
+    for &config in &[
+        SystemConfig::NoLog,
+        SystemConfig::StateServer,
+        SystemConfig::Psession,
+    ] {
+        let opts = WorldOptions {
+            time_scale: scale,
+            ..WorldOptions::new(config)
+        };
         let (summary, world) = measure(opts, requests, 1);
         world.shutdown();
         rows.push(MaxRtRow {
@@ -344,7 +380,10 @@ pub fn ablation_logging_overhead(scale: f64, requests: u64) -> Vec<OverheadRow> 
     let mut rows = Vec::new();
     for &config in &[SystemConfig::LoOptimistic, SystemConfig::Pessimistic] {
         for m in [1u8, 4] {
-            let opts = WorldOptions { time_scale: scale, ..WorldOptions::new(config) };
+            let opts = WorldOptions {
+                time_scale: scale,
+                ..WorldOptions::new(config)
+            };
             let world = World::start(opts);
             let mut client = world.client(1);
             let _ = world.run_requests(&mut client, 20, m);
@@ -385,8 +424,14 @@ mod tests {
         assert_eq!(rows.len(), 4);
         // Locally optimistic must need fewer flushes per request than
         // pessimistic at the same m.
-        let lo = rows.iter().find(|r| r.config == SystemConfig::LoOptimistic && r.m == 1).unwrap();
-        let pe = rows.iter().find(|r| r.config == SystemConfig::Pessimistic && r.m == 1).unwrap();
+        let lo = rows
+            .iter()
+            .find(|r| r.config == SystemConfig::LoOptimistic && r.m == 1)
+            .unwrap();
+        let pe = rows
+            .iter()
+            .find(|r| r.config == SystemConfig::Pessimistic && r.m == 1)
+            .unwrap();
         assert!(
             lo.flushes_per_request < pe.flushes_per_request,
             "LoOptimistic {} !< Pessimistic {}",

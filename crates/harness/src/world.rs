@@ -96,6 +96,9 @@ pub struct WorldOptions {
     /// Arm the §5.4 fault injector: crash MSP2 after every `crash_every`
     /// live calls into ServiceMethod2 (0 = never).
     pub crash_every: u64,
+    /// Durability-watermark tracking (flush-RPC elision) on the log-based
+    /// configurations; ignored by the baselines.
+    pub durability_watermarks: bool,
     /// DB transaction overhead for the Psession baseline (unscaled).
     pub db_txn_overhead: Duration,
 }
@@ -111,6 +114,7 @@ impl WorldOptions {
             workers: 8,
             seed: 1,
             crash_every: 0,
+            durability_watermarks: true,
             db_txn_overhead: Duration::from_millis(4),
         }
     }
@@ -186,8 +190,7 @@ const STATE_SERVER_EP: EndpointId = EndpointId::Client(9_999);
 impl World {
     pub fn start(opts: WorldOptions) -> World {
         let scale = opts.time_scale;
-        let net: Network<Envelope> =
-            Network::new(NetModel::default().with_scale(scale), opts.seed);
+        let net: Network<Envelope> = Network::new(NetModel::default().with_scale(scale), opts.seed);
         let cluster = match opts.config {
             SystemConfig::Pessimistic => ClusterConfig::new()
                 .with_msp(MSP1, DomainId(1))
@@ -213,7 +216,8 @@ impl World {
             let mut c = MspConfig::new(id, DomainId(domain))
                 .with_time_scale(scale)
                 .with_workers(opts.workers)
-                .with_logging(logging.clone());
+                .with_logging(logging.clone())
+                .with_durability_watermarks(opts.durability_watermarks);
             c.rpc_timeout = Duration::from_millis(15);
             c.flush_retry_limit = 2_000;
             c

@@ -41,7 +41,10 @@ impl Default for KvOptions {
 impl KvOptions {
     /// Cost-free store for plain unit tests.
     pub fn zero() -> KvOptions {
-        KvOptions { time_scale: 0.0, ..KvOptions::default() }
+        KvOptions {
+            time_scale: 0.0,
+            ..KvOptions::default()
+        }
     }
 }
 
@@ -244,10 +247,10 @@ mod tests {
             .unwrap();
         }
         let kv = open(&disk);
-        assert_eq!(kv.read_many_txn(&[b"x", b"y"]), vec![
-            Some(b"1".to_vec()),
-            Some(b"2".to_vec())
-        ]);
+        assert_eq!(
+            kv.read_many_txn(&[b"x", b"y"]),
+            vec![Some(b"1".to_vec()), Some(b"2".to_vec())]
+        );
     }
 
     #[test]
@@ -273,7 +276,10 @@ mod tests {
         let kv = KvStore::open(
             Arc::new(disk.clone()),
             DiskModel::zero(),
-            KvOptions { snapshot_every: 5, ..KvOptions::zero() },
+            KvOptions {
+                snapshot_every: 5,
+                ..KvOptions::zero()
+            },
         )
         .unwrap();
         for i in 0..12u8 {

@@ -22,7 +22,9 @@ const HEADER: usize = 9;
 pub enum KvRecord {
     /// A committed write transaction: `(key, Some(value))` puts,
     /// `(key, None)` deletes, applied atomically.
-    Txn { ops: Vec<(Vec<u8>, Option<Vec<u8>>)> },
+    Txn {
+        ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    },
     /// A full snapshot of the store; earlier records are dead.
     Snapshot { entries: Vec<(Vec<u8>, Vec<u8>)> },
 }
@@ -69,7 +71,10 @@ impl Decode for KvRecord {
                 }
                 Ok(KvRecord::Snapshot { entries })
             }
-            tag => Err(CodecError::InvalidTag { context: "KvRecord", tag }),
+            tag => Err(CodecError::InvalidTag {
+                context: "KvRecord",
+                tag,
+            }),
         }
     }
 }
@@ -96,7 +101,8 @@ impl KvWal {
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&crc32(&payload).to_le_bytes());
         framed.extend_from_slice(&payload);
-        self.model.charge_flush(DiskModel::sectors_for(framed.len() as u64));
+        self.model
+            .charge_flush(DiskModel::sectors_for(framed.len() as u64));
         self.disk.write(offset, &framed).map_err(MspError::Io)?;
         Ok(offset + framed.len() as u64)
     }
@@ -116,7 +122,10 @@ impl KvWal {
             let len = u32::from_le_bytes(header[1..5].try_into().expect("slice")) as usize;
             let crc = u32::from_le_bytes(header[5..9].try_into().expect("slice"));
             let mut payload = vec![0u8; len];
-            let n = self.disk.read(offset + HEADER as u64, &mut payload).map_err(MspError::Io)?;
+            let n = self
+                .disk
+                .read(offset + HEADER as u64, &mut payload)
+                .map_err(MspError::Io)?;
             if n < len || crc32(&payload) != crc {
                 break;
             }
@@ -142,15 +151,21 @@ mod tests {
             ops: vec![(b"k".to_vec(), Some(b"v".to_vec())), (b"d".to_vec(), None)],
         };
         assert_eq!(roundtrip(&txn).unwrap(), txn);
-        let snap = KvRecord::Snapshot { entries: vec![(b"a".to_vec(), b"1".to_vec())] };
+        let snap = KvRecord::Snapshot {
+            entries: vec![(b"a".to_vec(), b"1".to_vec())],
+        };
         assert_eq!(roundtrip(&snap).unwrap(), snap);
     }
 
     #[test]
     fn append_then_scan() {
         let wal = KvWal::new(Arc::new(MemDisk::new()), DiskModel::zero());
-        let r1 = KvRecord::Txn { ops: vec![(b"a".to_vec(), Some(b"1".to_vec()))] };
-        let r2 = KvRecord::Txn { ops: vec![(b"a".to_vec(), None)] };
+        let r1 = KvRecord::Txn {
+            ops: vec![(b"a".to_vec(), Some(b"1".to_vec()))],
+        };
+        let r2 = KvRecord::Txn {
+            ops: vec![(b"a".to_vec(), None)],
+        };
         let o1 = wal.append(0, &r1).unwrap();
         let o2 = wal.append(o1, &r2).unwrap();
         let (recs, end) = wal.scan().unwrap();
@@ -162,9 +177,12 @@ mod tests {
     fn torn_tail_is_dropped() {
         let disk = MemDisk::new();
         let wal = KvWal::new(Arc::new(disk.clone()), DiskModel::zero());
-        let r1 = KvRecord::Txn { ops: vec![(b"a".to_vec(), Some(b"1".to_vec()))] };
+        let r1 = KvRecord::Txn {
+            ops: vec![(b"a".to_vec(), Some(b"1".to_vec()))],
+        };
         let end = wal.append(0, &r1).unwrap();
-        disk.write(end, &[MAGIC, 50, 0, 0, 0, 1, 1, 1, 1, 0xFF]).unwrap();
+        disk.write(end, &[MAGIC, 50, 0, 0, 0, 1, 1, 1, 1, 0xFF])
+            .unwrap();
         let (recs, scan_end) = wal.scan().unwrap();
         assert_eq!(recs, vec![r1]);
         assert_eq!(scan_end, end);

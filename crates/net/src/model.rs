@@ -39,12 +39,18 @@ impl Default for NetModel {
 impl NetModel {
     /// Instantaneous, reliable delivery (plain unit tests).
     pub fn zero() -> NetModel {
-        NetModel { time_scale: 0.0, ..NetModel::default() }
+        NetModel {
+            time_scale: 0.0,
+            ..NetModel::default()
+        }
     }
 
     /// The paper's client↔MSP link (3.9 ms RTT).
     pub fn client_link() -> NetModel {
-        NetModel { one_way: Duration::from_micros(1950), ..NetModel::default() }
+        NetModel {
+            one_way: Duration::from_micros(1950),
+            ..NetModel::default()
+        }
     }
 
     #[must_use]
@@ -79,7 +85,10 @@ mod tests {
         let m = NetModel::default().with_scale(1.0);
         let rtt = m.delay(0.0) * 2;
         let us = rtt.as_micros();
-        assert!((3500..3700).contains(&us), "RTT = {us} µs, paper says 3596 µs");
+        assert!(
+            (3500..3700).contains(&us),
+            "RTT = {us} µs, paper says 3596 µs"
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ pub struct Network<M: Send + 'static> {
 
 impl<M: Send + 'static> Clone for Network<M> {
     fn clone(&self) -> Self {
-        Network { shared: Arc::clone(&self.shared), postman: Arc::clone(&self.postman) }
+        Network {
+            shared: Arc::clone(&self.shared),
+            postman: Arc::clone(&self.postman),
+        }
     }
 }
 
@@ -114,7 +117,10 @@ impl<M: Send + Clone + 'static> Network<M> {
             .name("net-postman".into())
             .spawn(move || postman_loop(worker))
             .expect("spawn postman");
-        Network { shared, postman: Arc::new(Mutex::new(Some(postman))) }
+        Network {
+            shared,
+            postman: Arc::new(Mutex::new(Some(postman))),
+        }
     }
 
     /// Register (or re-register after a crash) an endpoint, returning its
@@ -125,7 +131,11 @@ impl<M: Send + Clone + 'static> Network<M> {
     pub fn register(&self, id: EndpointId) -> Endpoint<M> {
         let (tx, rx) = crossbeam_channel::unbounded();
         self.shared.mailboxes.lock().insert(id, tx);
-        Endpoint { id, rx, net: self.clone() }
+        Endpoint {
+            id,
+            rx,
+            net: self.clone(),
+        }
     }
 
     /// Remove an endpoint: subsequent messages to it are dead-lettered
@@ -151,7 +161,12 @@ impl<M: Send + Clone + 'static> Network<M> {
     pub fn send(&self, from: EndpointId, to: EndpointId, msg: M) {
         let s = &self.shared;
         s.stats.sent.fetch_add(1, Ordering::Relaxed);
-        if s.partitions.lock().get(&(from, to)).copied().unwrap_or(false) {
+        if s.partitions
+            .lock()
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(false)
+        {
             s.stats.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -327,8 +342,7 @@ mod tests {
 
     #[test]
     fn drops_are_injected() {
-        let net: Network<u32> =
-            Network::new(NetModel::zero().with_faults(1.0, 0.0), 1);
+        let net: Network<u32> = Network::new(NetModel::zero().with_faults(1.0, 0.0), 1);
         let a = net.register(msp(1));
         let b = net.register(msp(2));
         for i in 0..10 {
@@ -341,8 +355,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_injected() {
-        let net: Network<u32> =
-            Network::new(NetModel::zero().with_faults(0.0, 1.0), 1);
+        let net: Network<u32> = Network::new(NetModel::zero().with_faults(0.0, 1.0), 1);
         let a = net.register(msp(1));
         let b = net.register(msp(2));
         a.send(msp(2), 5);

@@ -64,7 +64,10 @@ pub fn put_str(buf: &mut Vec<u8>, v: &str) {
 
 fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
     if buf.len() < n {
-        return Err(CodecError::UnexpectedEof { want: n, have: buf.len() });
+        return Err(CodecError::UnexpectedEof {
+            want: n,
+            have: buf.len(),
+        });
     }
     let (head, tail) = buf.split_at(n);
     *buf = tail;
@@ -76,15 +79,21 @@ pub fn get_u8(buf: &mut &[u8]) -> Result<u8, CodecError> {
 }
 
 pub fn get_u16(buf: &mut &[u8]) -> Result<u16, CodecError> {
-    Ok(u16::from_le_bytes(take(buf, 2)?.try_into().expect("exact slice")))
+    Ok(u16::from_le_bytes(
+        take(buf, 2)?.try_into().expect("exact slice"),
+    ))
 }
 
 pub fn get_u32(buf: &mut &[u8]) -> Result<u32, CodecError> {
-    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("exact slice")))
+    Ok(u32::from_le_bytes(
+        take(buf, 4)?.try_into().expect("exact slice"),
+    ))
 }
 
 pub fn get_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
-    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().expect("exact slice")))
+    Ok(u64::from_le_bytes(
+        take(buf, 8)?.try_into().expect("exact slice"),
+    ))
 }
 
 pub fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, CodecError> {
@@ -111,7 +120,10 @@ pub fn get_vec<T: Decode>(buf: &mut &[u8]) -> Result<Vec<T>, CodecError> {
     // Guard against a corrupt length prefix asking for absurd allocation:
     // each element needs at least one byte in this codec family.
     if len > buf.len() {
-        return Err(CodecError::UnexpectedEof { want: len, have: buf.len() });
+        return Err(CodecError::UnexpectedEof {
+            want: len,
+            have: buf.len(),
+        });
     }
     let mut v = Vec::with_capacity(len);
     for _ in 0..len {
@@ -173,7 +185,10 @@ impl<T: Decode> Decode for Option<T> {
         match get_u8(buf)? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(buf)?)),
-            tag => Err(CodecError::InvalidTag { context: "Option", tag }),
+            tag => Err(CodecError::InvalidTag {
+                context: "Option",
+                tag,
+            }),
         }
     }
 }
@@ -210,7 +225,10 @@ mod tests {
     #[test]
     fn eof_is_detected() {
         let mut cur: &[u8] = &[1, 2];
-        assert!(matches!(get_u32(&mut cur), Err(CodecError::UnexpectedEof { .. })));
+        assert!(matches!(
+            get_u32(&mut cur),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]
@@ -232,7 +250,10 @@ mod tests {
         let buf = vec![9u8];
         assert!(matches!(
             Option::<u64>::from_bytes(&buf),
-            Err(CodecError::InvalidTag { context: "Option", tag: 9 })
+            Err(CodecError::InvalidTag {
+                context: "Option",
+                tag: 9
+            })
         ));
     }
 
@@ -240,7 +261,10 @@ mod tests {
     fn trailing_bytes_rejected_by_from_bytes() {
         let mut buf = 7u64.to_bytes();
         buf.push(0);
-        assert!(matches!(u64::from_bytes(&buf), Err(CodecError::TrailingBytes(1))));
+        assert!(matches!(
+            u64::from_bytes(&buf),
+            Err(CodecError::TrailingBytes(1))
+        ));
     }
 
     #[test]

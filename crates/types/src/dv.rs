@@ -17,8 +17,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{self, Decode, Encode};
 use crate::error::CodecError;
 use crate::ids::{Epoch, Lsn, MspId, StateId};
@@ -28,7 +26,7 @@ use crate::ids::{Epoch, Lsn, MspId, StateId};
 /// Service domains are small (a handful of MSPs), so a sorted `Vec` with
 /// binary search beats a hash map on every axis: size, iteration order
 /// (deterministic encoding), and cache behaviour.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DependencyVector {
     entries: Vec<(MspId, StateId)>,
 }
@@ -36,7 +34,9 @@ pub struct DependencyVector {
 impl DependencyVector {
     /// An empty vector (depends on nothing).
     pub fn new() -> DependencyVector {
-        DependencyVector { entries: Vec::new() }
+        DependencyVector {
+            entries: Vec::new(),
+        }
     }
 
     /// Build from arbitrary `(msp, state)` pairs; later duplicates are
@@ -154,7 +154,10 @@ impl Decode for DependencyVector {
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
         let len = codec::get_u32(buf)? as usize;
         if len > buf.len() {
-            return Err(CodecError::UnexpectedEof { want: len, have: buf.len() });
+            return Err(CodecError::UnexpectedEof {
+                want: len,
+                have: buf.len(),
+            });
         }
         let mut entries = Vec::with_capacity(len);
         let mut prev: Option<MspId> = None;
@@ -186,9 +189,7 @@ mod tests {
     use crate::codec::roundtrip;
 
     fn dv(pairs: &[(u32, u32, u64)]) -> DependencyVector {
-        DependencyVector::from_entries(
-            pairs.iter().map(|&(m, e, l)| (MspId(m), state(e, l))),
-        )
+        DependencyVector::from_entries(pairs.iter().map(|&(m, e, l)| (MspId(m), state(e, l))))
     }
 
     #[test]
@@ -261,7 +262,10 @@ mod tests {
     fn codec_roundtrip() {
         let a = dv(&[(1, 0, 10), (5, 2, 77), (9, 1, 3)]);
         assert_eq!(roundtrip(&a).unwrap(), a);
-        assert_eq!(roundtrip(&DependencyVector::new()).unwrap(), DependencyVector::new());
+        assert_eq!(
+            roundtrip(&DependencyVector::new()).unwrap(),
+            DependencyVector::new()
+        );
     }
 
     #[test]

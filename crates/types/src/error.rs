@@ -23,7 +23,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { want, have } => {
-                write!(f, "unexpected end of input: wanted {want} bytes, had {have}")
+                write!(
+                    f,
+                    "unexpected end of input: wanted {want} bytes, had {have}"
+                )
             }
             CodecError::InvalidTag { context, tag } => {
                 write!(f, "invalid tag {tag} while decoding {context}")
@@ -90,7 +93,10 @@ impl fmt::Display for MspError {
             MspError::OrphanDependency { msp } => {
                 write!(f, "dependency on a state lost by {msp}")
             }
-            MspError::FlushFailed { participant, reason } => {
+            MspError::FlushFailed {
+                participant,
+                reason,
+            } => {
                 write!(f, "distributed log flush failed at {participant}: {reason}")
             }
             MspError::Unreachable(m) => write!(f, "MSP {m} unreachable"),
@@ -136,9 +142,14 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MspError::Orphan { session: SessionId(4) };
+        let e = MspError::Orphan {
+            session: SessionId(4),
+        };
         assert!(e.to_string().contains("se4"));
-        let e = MspError::FlushFailed { participant: MspId(2), reason: "crashed".into() };
+        let e = MspError::FlushFailed {
+            participant: MspId(2),
+            reason: "crashed".into(),
+        };
         assert!(e.to_string().contains("msp2"));
         assert!(e.to_string().contains("crashed"));
     }

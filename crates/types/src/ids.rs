@@ -6,19 +6,17 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{Decode, Encode};
 use crate::error::CodecError;
 
 /// Identifier of a Middleware Server Process — the paper's *crash unit*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MspId(pub u32);
 
 /// Identifier of a *service domain*: a set of tightly associated MSPs with
 /// fast, reliable communication among them (§1.3). Domains are disjoint and
 /// end clients are outside every domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DomainId(pub u32);
 
 /// Identifier of a client session at an MSP — the paper's *recovery unit*.
@@ -26,7 +24,7 @@ pub struct DomainId(pub u32);
 /// Session ids are chosen by the client when it starts the session and are
 /// globally unique, so a session survives (is re-identified across) both
 /// client resends and MSP crash recovery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SessionId(pub u64);
 
 /// Index of a shared variable in an MSP's shared-state registry.
@@ -34,13 +32,13 @@ pub struct SessionId(pub u64);
 /// The paper observes that the number of shared variables is limited, which
 /// is why per-variable locks (no lock table) are affordable (§3.3); a dense
 /// index keeps the registry a flat vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u32);
 
 /// Request sequence number used to detect duplicate and out-of-order
 /// messages over a session (§3.1). The client keeps the *next available*
 /// number, the MSP the *next expected* one.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestSeq(pub u64);
 
 impl RequestSeq {
@@ -59,7 +57,7 @@ impl RequestSeq {
 /// LSNs are monotone over the whole life of the log, across crashes: after
 /// recovery the MSP keeps appending to the same physical log, so a state
 /// number from an earlier epoch is still a valid position.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Lsn(pub u64);
 
 impl Lsn {
@@ -77,7 +75,7 @@ impl Lsn {
 
 /// Epoch number: identifies a failure-free period of an MSP's execution and
 /// is incremented by each crash recovery (§3.1).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Epoch(pub u32);
 
 impl Epoch {
@@ -97,7 +95,7 @@ impl Epoch {
 /// Ordering is lexicographic — epochs dominate — so that item-wise
 /// maximization of dependency vectors treats any post-recovery state as
 /// newer than every lost pre-crash state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StateId {
     pub epoch: Epoch,
     pub lsn: Lsn,
@@ -105,7 +103,10 @@ pub struct StateId {
 
 impl StateId {
     /// State identifier of a freshly started, never-logged process.
-    pub const INITIAL: StateId = StateId { epoch: Epoch::INITIAL, lsn: Lsn::ZERO };
+    pub const INITIAL: StateId = StateId {
+        epoch: Epoch::INITIAL,
+        lsn: Lsn::ZERO,
+    };
 
     pub fn new(epoch: Epoch, lsn: Lsn) -> StateId {
         StateId { epoch, lsn }
@@ -190,7 +191,10 @@ impl Encode for StateId {
 
 impl Decode for StateId {
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
-        Ok(StateId { epoch: Epoch::decode(buf)?, lsn: Lsn::decode(buf)? })
+        Ok(StateId {
+            epoch: Epoch::decode(buf)?,
+            lsn: Lsn::decode(buf)?,
+        })
     }
 }
 
@@ -203,7 +207,10 @@ mod tests {
     fn state_id_ordering_is_lexicographic() {
         let old = StateId::new(Epoch(0), Lsn(1_000_000));
         let new = StateId::new(Epoch(1), Lsn(10));
-        assert!(new > old, "a later epoch dominates any LSN of an earlier one");
+        assert!(
+            new > old,
+            "a later epoch dominates any LSN of an earlier one"
+        );
         let a = StateId::new(Epoch(1), Lsn(10));
         let b = StateId::new(Epoch(1), Lsn(20));
         assert!(b > a);
@@ -231,7 +238,10 @@ mod tests {
     fn id_codec_roundtrips() {
         assert_eq!(roundtrip(&MspId(7)).unwrap(), MspId(7));
         assert_eq!(roundtrip(&DomainId(3)).unwrap(), DomainId(3));
-        assert_eq!(roundtrip(&SessionId(u64::MAX)).unwrap(), SessionId(u64::MAX));
+        assert_eq!(
+            roundtrip(&SessionId(u64::MAX)).unwrap(),
+            SessionId(u64::MAX)
+        );
         assert_eq!(roundtrip(&VarId(0)).unwrap(), VarId(0));
         assert_eq!(roundtrip(&Lsn::NULL).unwrap(), Lsn::NULL);
         assert_eq!(

@@ -14,8 +14,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::codec::{self, Decode, Encode};
 use crate::dv::DependencyVector;
 use crate::error::CodecError;
@@ -23,7 +21,7 @@ use crate::ids::{Epoch, Lsn, MspId, StateId};
 
 /// One recovery announcement: "`msp` entered `new_epoch`, having recovered
 /// its log up to `recovered_lsn`".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryRecord {
     pub msp: MspId,
     pub new_epoch: Epoch,
@@ -49,7 +47,7 @@ impl Decode for RecoveryRecord {
 }
 
 /// An MSP's accumulated knowledge of recovered state numbers in its domain.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryKnowledge {
     /// Per MSP: `new_epoch -> recovered_lsn`, ascending by epoch.
     records: BTreeMap<MspId, BTreeMap<Epoch, Lsn>>,
@@ -127,11 +125,12 @@ impl RecoveryKnowledge {
     /// Iterate over all known records.
     pub fn iter(&self) -> impl Iterator<Item = RecoveryRecord> + '_ {
         self.records.iter().flat_map(|(&msp, m)| {
-            m.iter().map(move |(&new_epoch, &recovered_lsn)| RecoveryRecord {
-                msp,
-                new_epoch,
-                recovered_lsn,
-            })
+            m.iter()
+                .map(move |(&new_epoch, &recovered_lsn)| RecoveryRecord {
+                    msp,
+                    new_epoch,
+                    recovered_lsn,
+                })
         })
     }
 
@@ -240,10 +239,8 @@ mod tests {
     fn find_orphan_reports_culprit() {
         let mut k = RecoveryKnowledge::new();
         k.record(rec(2, 1, 10));
-        let dv = DependencyVector::from_entries([
-            (MspId(1), state(0, 5)),
-            (MspId(2), state(0, 50)),
-        ]);
+        let dv =
+            DependencyVector::from_entries([(MspId(1), state(0, 5)), (MspId(2), state(0, 50))]);
         assert_eq!(k.find_orphan(&dv, MspId(3)), Some((MspId(2), state(0, 50))));
     }
 
@@ -278,6 +275,9 @@ mod tests {
         k.record(rec(1, 2, 250));
         k.record(rec(4, 1, 9));
         assert_eq!(roundtrip(&k).unwrap(), k);
-        assert_eq!(roundtrip(&RecoveryKnowledge::new()).unwrap(), RecoveryKnowledge::new());
+        assert_eq!(
+            roundtrip(&RecoveryKnowledge::new()).unwrap(),
+            RecoveryKnowledge::new()
+        );
     }
 }

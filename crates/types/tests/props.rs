@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 
 use msp_types::codec::roundtrip;
-use msp_types::{
-    DependencyVector, Epoch, Lsn, MspId, RecoveryKnowledge, RecoveryRecord, StateId,
-};
+use msp_types::{DependencyVector, Epoch, Lsn, MspId, RecoveryKnowledge, RecoveryRecord, StateId};
 
 fn arb_state() -> impl Strategy<Value = StateId> {
     (0u32..4, 0u64..1_000).prop_map(|(e, l)| StateId::new(Epoch(e), Lsn(l)))

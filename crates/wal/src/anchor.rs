@@ -61,7 +61,9 @@ impl LogAnchor {
             // then scans from the log start, which is correct but slow.
             return Ok(None);
         }
-        Ok(Some(Lsn(u64::from_le_bytes(sector[4..12].try_into().expect("slice")))))
+        Ok(Some(Lsn(u64::from_le_bytes(
+            sector[4..12].try_into().expect("slice"),
+        ))))
     }
 }
 

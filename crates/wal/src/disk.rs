@@ -45,6 +45,7 @@ pub trait Disk: Send + Sync {
 #[derive(Clone, Default)]
 pub struct MemDisk {
     inner: Arc<Mutex<Vec<u8>>>,
+    reads: Arc<AtomicU64>,
 }
 
 impl MemDisk {
@@ -55,6 +56,12 @@ impl MemDisk {
     /// Snapshot of the durable contents (diagnostics / tests).
     pub fn snapshot(&self) -> Vec<u8> {
         self.inner.lock().clone()
+    }
+
+    /// Device read operations served so far (shared across clones) —
+    /// lets tests assert I/O batching, e.g. the scanner's read-ahead.
+    pub fn read_count(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
     }
 }
 
@@ -70,6 +77,7 @@ impl Disk for MemDisk {
     }
 
     fn read(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
         let v = self.inner.lock();
         let off = offset as usize;
         if off >= v.len() {
@@ -101,7 +109,10 @@ impl FileDisk {
             .truncate(false)
             .open(path)?;
         let len = file.metadata()?.len();
-        Ok(FileDisk { file, len: AtomicU64::new(len) })
+        Ok(FileDisk {
+            file,
+            len: AtomicU64::new(len),
+        })
     }
 }
 
@@ -120,7 +131,8 @@ impl Disk for FileDisk {
             f.write_all(data)?;
         }
         self.file.sync_data()?;
-        self.len.fetch_max(offset + data.len() as u64, Ordering::SeqCst);
+        self.len
+            .fetch_max(offset + data.len() as u64, Ordering::SeqCst);
         Ok(())
     }
 

@@ -92,19 +92,28 @@ impl Default for FlushPolicy {
 impl FlushPolicy {
     /// Flush on demand with group commit — the library default.
     pub fn immediate() -> FlushPolicy {
-        FlushPolicy { batch_timeout: None, group_commit: true }
+        FlushPolicy {
+            batch_timeout: None,
+            group_commit: true,
+        }
     }
 
     /// The paper's §5.5 batch flushing: delay by `timeout`, then write
     /// exactly what was requested.
     pub fn batched(timeout: Duration) -> FlushPolicy {
-        FlushPolicy { batch_timeout: Some(timeout), group_commit: false }
+        FlushPolicy {
+            batch_timeout: Some(timeout),
+            group_commit: false,
+        }
     }
 
     /// The paper prototype's non-batched baseline: one write per flush
     /// request, no group commit.
     pub fn per_request() -> FlushPolicy {
-        FlushPolicy { batch_timeout: None, group_commit: false }
+        FlushPolicy {
+            batch_timeout: None,
+            group_commit: false,
+        }
     }
 }
 
@@ -119,6 +128,11 @@ struct Buffer {
     /// Absolute end offsets of the unflushed records, in order — the
     /// legal split points for non-group-commit flushes.
     record_ends: Vec<u64>,
+    /// Highest flush target already handed to the flusher. Offsets are
+    /// monotone and every signalled target is eventually flushed, so a
+    /// `flush_to` whose target is at or below this needs no new wakeup
+    /// — it just waits for the durable horizon to reach it.
+    requested: u64,
 }
 
 /// The append/flush/read interface over one MSP's log device.
@@ -167,6 +181,7 @@ impl PhysicalLog {
                 tail_start: append_at.max(DATA_START),
                 durable: append_at.max(DATA_START),
                 record_ends: Vec::new(),
+                requested: append_at.max(DATA_START),
             }),
             durable_cv: Condvar::new(),
             wakeup_tx,
@@ -208,7 +223,9 @@ impl PhysicalLog {
         let mut inner = self.inner.lock();
         let lsn = inner.tail_start + inner.tail.len() as u64;
         inner.tail.push(FRAME_MAGIC);
-        inner.tail.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        inner
+            .tail
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         inner.tail.extend_from_slice(&crc.to_le_bytes());
         inner.tail.extend_from_slice(&payload);
         let end = inner.tail_start + inner.tail.len() as u64;
@@ -231,6 +248,12 @@ impl PhysicalLog {
 
     /// Block until the record at `lsn` (and everything before it) is
     /// durable. Wakes the flusher if needed.
+    ///
+    /// Fully event-driven: the wait is untimed, relying on
+    /// `perform_flush` notifying on every durable advance and on
+    /// `shutdown` notifying (with the buffer lock bracketed) after
+    /// setting the stop flag, so no wakeup can be missed between the
+    /// checks below and the wait.
     pub fn flush_to(&self, lsn: Lsn) -> Result<(), MspError> {
         let mut inner = self.inner.lock();
         while inner.durable <= lsn.0 {
@@ -248,13 +271,16 @@ impl PhysicalLog {
                 Some(&e) => e,
                 None => tail_end,
             };
-            drop(inner);
-            if self.wakeup_tx.send(target).is_err() {
-                return Err(MspError::Shutdown);
+            if target > inner.requested {
+                inner.requested = target;
+                drop(inner);
+                if self.wakeup_tx.send(target).is_err() {
+                    return Err(MspError::Shutdown);
+                }
+                inner = self.inner.lock();
             }
-            inner = self.inner.lock();
-            if inner.durable <= lsn.0 {
-                self.durable_cv.wait_for(&mut inner, Duration::from_millis(20));
+            if inner.durable <= lsn.0 && !self.stopped.load(Ordering::SeqCst) {
+                self.durable_cv.wait(&mut inner);
             }
         }
         Ok(())
@@ -272,10 +298,16 @@ impl PhysicalLog {
     /// Like [`read_record`](Self::read_record) but also returns the
     /// record's framed size in the log (header + payload) — used by
     /// replay to maintain the per-session log-consumption counter that
-    /// drives checkpointing.
+    /// drives checkpointing. The size comes from the fetched frame
+    /// itself; the record is never re-encoded to measure it.
     pub fn read_record_sized(&self, lsn: Lsn) -> Result<(LogRecord, u64), MspError> {
-        let rec = self.read_record(lsn)?;
-        let framed = (FRAME_HEADER + rec.to_bytes().len()) as u64;
+        self.stats.on_record_read();
+        let payload = self.read_frame(lsn)?;
+        let framed = (FRAME_HEADER + payload.len()) as u64;
+        let rec = LogRecord::from_bytes(&payload).map_err(|e| MspError::LogCorrupt {
+            offset: lsn.0,
+            reason: e.to_string(),
+        })?;
         Ok((rec, framed))
     }
 
@@ -284,7 +316,17 @@ impl PhysicalLog {
     /// is alive, so the record may still be buffered).
     pub fn read_record(&self, lsn: Lsn) -> Result<LogRecord, MspError> {
         self.stats.on_record_read();
-        let frame = {
+        let payload = self.read_frame(lsn)?;
+        LogRecord::from_bytes(&payload).map_err(|e| MspError::LogCorrupt {
+            offset: lsn.0,
+            reason: e.to_string(),
+        })
+    }
+
+    /// Fetch the validated frame payload at `lsn`, from the volatile
+    /// tail if still buffered, else from the device.
+    fn read_frame(&self, lsn: Lsn) -> Result<Vec<u8>, MspError> {
+        {
             let inner = self.inner.lock();
             if lsn.0 >= inner.tail_start {
                 let off = (lsn.0 - inner.tail_start) as usize;
@@ -294,19 +336,10 @@ impl PhysicalLog {
                         reason: "read past end of log".into(),
                     });
                 }
-                Some(read_frame_from_slice(&inner.tail, off, lsn.0)?)
-            } else {
-                None
+                return read_frame_from_slice(&inner.tail, off, lsn.0);
             }
-        };
-        let payload = match frame {
-            Some(p) => p,
-            None => read_frame_from_disk(self.disk.as_ref(), lsn.0)?,
-        };
-        LogRecord::from_bytes(&payload).map_err(|e| MspError::LogCorrupt {
-            offset: lsn.0,
-            reason: e.to_string(),
-        })
+        }
+        read_frame_from_disk(self.disk.as_ref(), lsn.0)
     }
 
     /// Sequential scanner over the *durable* log starting at `from`,
@@ -361,25 +394,26 @@ impl PhysicalLog {
         if let Some(h) = self.flusher.lock().take() {
             let _ = h.join();
         }
-        // Wake any stragglers stuck in flush_to.
+        // Wake any stragglers stuck in flush_to. Bracketing the notify
+        // with the buffer lock closes the missed-wakeup window: a waiter
+        // holds the lock from its stop-flag check until it enters the
+        // wait, so by the time this lock is acquired the waiter either
+        // saw `stopped` or is already parked and will receive the
+        // notification.
+        drop(self.inner.lock());
         self.durable_cv.notify_all();
     }
 
     fn flusher_loop(self: Arc<PhysicalLog>, wakeup_rx: Receiver<u64>, policy: FlushPolicy) {
         loop {
-            let first = match wakeup_rx.recv_timeout(Duration::from_millis(20)) {
+            // Purely event-driven: block until a flush target (or the
+            // shutdown sentinel) arrives; no periodic poll.
+            let first = match wakeup_rx.recv() {
                 Ok(t) => t,
-                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
-                    if self.stopped.load(Ordering::SeqCst) {
-                        // Final drain so close() callers are not stranded.
-                        self.perform_flush(None);
-                        return;
-                    }
-                    continue;
-                }
-                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+                Err(crossbeam_channel::RecvError) => return,
             };
             if self.stopped.load(Ordering::SeqCst) {
+                // Final drain so close() callers are not stranded.
                 self.perform_flush(None);
                 return;
             }
@@ -404,6 +438,13 @@ impl PhysicalLog {
                 // The paper prototype's baseline: one device write per
                 // flush request (already-covered targets are no-ops).
                 self.perform_flush(Some(first));
+            }
+            // The coalescing drains above may have consumed the shutdown
+            // sentinel; recheck so shutdown() is never left joining a
+            // flusher that is blocked on an empty channel.
+            if self.stopped.load(Ordering::SeqCst) {
+                self.perform_flush(None);
+                return;
             }
         }
     }
@@ -449,8 +490,8 @@ impl PhysicalLog {
                     inner.record_ends.drain(..keep);
                     // The unwritten remainder of the last sector is waste
                     // this flush pays for (it will be rewritten).
-                    let waste = (SECTOR_SIZE as u64 - end % SECTOR_SIZE as u64)
-                        % SECTOR_SIZE as u64;
+                    let waste =
+                        (SECTOR_SIZE as u64 - end % SECTOR_SIZE as u64) % SECTOR_SIZE as u64;
                     (start, bytes, waste, end)
                 }
             }
@@ -490,7 +531,10 @@ impl Drop for PhysicalLog {
 }
 
 fn read_frame_from_slice(buf: &[u8], off: usize, lsn: u64) -> Result<Vec<u8>, MspError> {
-    let corrupt = |reason: &str| MspError::LogCorrupt { offset: lsn, reason: reason.into() };
+    let corrupt = |reason: &str| MspError::LogCorrupt {
+        offset: lsn,
+        reason: reason.into(),
+    };
     if buf.len() < off + FRAME_HEADER {
         return Err(corrupt("truncated frame header"));
     }
@@ -510,7 +554,10 @@ fn read_frame_from_slice(buf: &[u8], off: usize, lsn: u64) -> Result<Vec<u8>, Ms
 }
 
 fn read_frame_from_disk(disk: &dyn Disk, lsn: u64) -> Result<Vec<u8>, MspError> {
-    let corrupt = |reason: &str| MspError::LogCorrupt { offset: lsn, reason: reason.into() };
+    let corrupt = |reason: &str| MspError::LogCorrupt {
+        offset: lsn,
+        reason: reason.into(),
+    };
     let mut header = [0u8; FRAME_HEADER];
     let n = disk.read(lsn, &mut header).map_err(MspError::Io)?;
     if n < FRAME_HEADER {
@@ -525,7 +572,9 @@ fn read_frame_from_disk(disk: &dyn Disk, lsn: u64) -> Result<Vec<u8>, MspError> 
         return Err(corrupt("oversized frame"));
     }
     let mut payload = vec![0u8; len];
-    let n = disk.read(lsn + FRAME_HEADER as u64, &mut payload).map_err(MspError::Io)?;
+    let n = disk
+        .read(lsn + FRAME_HEADER as u64, &mut payload)
+        .map_err(MspError::Io)?;
     if n < len {
         return Err(corrupt("truncated frame payload"));
     }
@@ -536,6 +585,10 @@ fn read_frame_from_disk(disk: &dyn Disk, lsn: u64) -> Result<Vec<u8>, MspError> 
 }
 
 /// Low-level frame walker over the durable portion of a disk.
+///
+/// Reads through a 64 KB ([`SCAN_CHUNK`]) read-ahead buffer so a
+/// sequential scan costs one device read per chunk rather than three
+/// small reads (padding probe, header, payload) per record.
 struct RawScanner<'a> {
     disk: Arc<dyn Disk>,
     offset: u64,
@@ -543,6 +596,10 @@ struct RawScanner<'a> {
     charge: Option<DiskModel>,
     charged_until: u64,
     stats: Option<&'a LogStats>,
+    /// Read-ahead buffer holding `buf` bytes of the device starting at
+    /// absolute offset `buf_start`.
+    buf: Vec<u8>,
+    buf_start: u64,
 }
 
 impl<'a> RawScanner<'a> {
@@ -560,6 +617,8 @@ impl<'a> RawScanner<'a> {
             charge: model.cloned(),
             charged_until: from,
             stats,
+            buf: Vec::new(),
+            buf_start: from,
         }
     }
 
@@ -568,6 +627,64 @@ impl<'a> RawScanner<'a> {
     fn find_end(mut self) -> Result<u64, MspError> {
         while self.step()?.is_some() {}
         Ok(self.offset)
+    }
+
+    /// Copy `out.len()` bytes starting at absolute offset `off` out of
+    /// the read-ahead buffer, refilling it one [`SCAN_CHUNK`] device
+    /// read at a time. Returns the number of bytes actually available
+    /// (short at end of device).
+    fn read_buffered(&mut self, mut off: u64, out: &mut [u8]) -> Result<usize, MspError> {
+        let mut copied = 0;
+        while copied < out.len() {
+            let buf_end = self.buf_start + self.buf.len() as u64;
+            if off < self.buf_start || off >= buf_end {
+                self.buf.resize(SCAN_CHUNK, 0);
+                let n = self.disk.read(off, &mut self.buf).map_err(MspError::Io)?;
+                self.buf.truncate(n);
+                self.buf_start = off;
+                if n == 0 {
+                    break;
+                }
+                if let Some(s) = self.stats {
+                    s.on_readahead_chunk();
+                }
+            }
+            let at = (off - self.buf_start) as usize;
+            let take = (self.buf.len() - at).min(out.len() - copied);
+            out[copied..copied + take].copy_from_slice(&self.buf[at..at + take]);
+            copied += take;
+            off += take as u64;
+        }
+        Ok(copied)
+    }
+
+    /// Read and validate the frame at `lsn` through the read-ahead
+    /// buffer — the buffered analogue of [`read_frame_from_disk`].
+    fn read_frame_buffered(&mut self, lsn: u64) -> Result<Vec<u8>, MspError> {
+        let corrupt = |reason: &str| MspError::LogCorrupt {
+            offset: lsn,
+            reason: reason.into(),
+        };
+        let mut header = [0u8; FRAME_HEADER];
+        if self.read_buffered(lsn, &mut header)? < FRAME_HEADER {
+            return Err(corrupt("truncated frame header"));
+        }
+        if header[0] != FRAME_MAGIC {
+            return Err(corrupt("bad frame magic"));
+        }
+        let len = u32::from_le_bytes(header[1..5].try_into().expect("slice")) as usize;
+        let crc = u32::from_le_bytes(header[5..9].try_into().expect("slice"));
+        if len as u32 > MAX_RECORD {
+            return Err(corrupt("oversized frame"));
+        }
+        let mut payload = vec![0u8; len];
+        if self.read_buffered(lsn + FRAME_HEADER as u64, &mut payload)? < len {
+            return Err(corrupt("truncated frame payload"));
+        }
+        if crc32(&payload) != crc {
+            return Err(corrupt("crc mismatch"));
+        }
+        Ok(payload)
     }
 
     /// Yield the next `(lsn, payload)` pair, skipping sector padding;
@@ -590,7 +707,7 @@ impl<'a> RawScanner<'a> {
                 }
             }
             let mut first = [0u8; 1];
-            if self.disk.read(self.offset, &mut first).map_err(MspError::Io)? == 0 {
+            if self.read_buffered(self.offset, &mut first)? == 0 {
                 return Ok(None);
             }
             if first[0] == 0 {
@@ -599,7 +716,7 @@ impl<'a> RawScanner<'a> {
                 self.offset = next;
                 continue;
             }
-            return match read_frame_from_disk(self.disk.as_ref(), self.offset) {
+            return match self.read_frame_buffered(self.offset) {
                 Ok(payload) => {
                     let lsn = self.offset;
                     self.offset += (FRAME_HEADER + payload.len()) as u64;
@@ -691,7 +808,10 @@ mod tests {
         assert_eq!(disk.len() % SECTOR_SIZE as u64, 0);
         let stats = log.stats();
         assert_eq!(stats.flushes, 1);
-        assert!(stats.padded_bytes > 0, "a 50-byte record must leave padding");
+        assert!(
+            stats.padded_bytes > 0,
+            "a 50-byte record must leave padding"
+        );
         log.close();
     }
 
@@ -733,7 +853,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(log.read_record(lsns[0]).unwrap(), rec(1, 0));
-        assert!(log.read_record(lsns[1]).is_err(), "unflushed record must be lost");
+        assert!(
+            log.read_record(lsns[1]).is_err(),
+            "unflushed record must be lost"
+        );
         log.close();
     }
 
@@ -775,15 +898,16 @@ mod tests {
             let l = log.append(&rec(1, i));
             log.flush_to(l).unwrap(); // one flush per record → padding each time
         }
-        let got: Vec<_> = log
-            .scan_from(Lsn(DATA_START))
-            .map(|r| r.unwrap())
-            .collect();
+        let got: Vec<_> = log.scan_from(Lsn(DATA_START)).map(|r| r.unwrap()).collect();
         assert_eq!(got.len(), 5);
         for (i, (lsn, r)) in got.iter().enumerate() {
             assert_eq!(*r, rec(1, i as u64));
             if i > 0 {
-                assert_eq!(lsn.0 % SECTOR_SIZE as u64, 0, "post-flush records start on boundaries");
+                assert_eq!(
+                    lsn.0 % SECTOR_SIZE as u64,
+                    0,
+                    "post-flush records start on boundaries"
+                );
             }
         }
         log.close();
@@ -805,7 +929,8 @@ mod tests {
         }
         // Simulate a torn write: a frame whose payload was cut short.
         let end = disk.len();
-        disk.write(end, &[FRAME_MAGIC, 100, 0, 0, 0, 1, 2, 3, 4, 42]).unwrap();
+        disk.write(end, &[FRAME_MAGIC, 100, 0, 0, 0, 1, 2, 3, 4, 42])
+            .unwrap();
         let log = PhysicalLog::open(
             Arc::new(disk.clone()),
             DiskModel::zero(),
@@ -878,7 +1003,10 @@ mod tests {
                 s.spawn(move || log.flush_to(lsn).unwrap());
             }
         });
-        assert!(log.stats().flushes <= 3, "batching should merge most requests");
+        assert!(
+            log.stats().flushes <= 3,
+            "batching should merge most requests"
+        );
         log.close();
     }
 
@@ -897,6 +1025,47 @@ mod tests {
         assert_eq!(e0, Lsn(DATA_START));
         log.append(&rec(1, 0));
         assert!(log.end_lsn() > e0);
+        log.close();
+    }
+
+    #[test]
+    fn read_record_sized_reports_framed_size() {
+        let (_, log) = open_mem();
+        let r = rec(1, 0);
+        let a = log.append(&r);
+        let expected = (FRAME_HEADER + r.to_bytes().len()) as u64;
+        // From the volatile tail...
+        let (got, framed) = log.read_record_sized(a).unwrap();
+        assert_eq!(got, r);
+        assert_eq!(framed, expected);
+        // ...and from the device.
+        log.flush_to(a).unwrap();
+        let (got, framed) = log.read_record_sized(a).unwrap();
+        assert_eq!(got, r);
+        assert_eq!(framed, expected);
+        log.close();
+    }
+
+    #[test]
+    fn scan_reads_one_chunk_not_three_reads_per_record() {
+        let (disk, log) = open_mem();
+        let n = 50u64;
+        for i in 0..n {
+            let l = log.append(&rec(1, i));
+            log.flush_to(l).unwrap();
+        }
+        let reads_before = disk.read_count();
+        let got: Vec<_> = log.scan_from(Lsn(DATA_START)).map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), n as usize);
+        let scan_reads = disk.read_count() - reads_before;
+        // 50 one-sector records span a couple of 64 KB chunks at most;
+        // the old scanner issued 3 device reads per record (150+).
+        assert!(
+            scan_reads < n,
+            "read-ahead should need far fewer device reads than records, got {scan_reads}"
+        );
+        assert!(log.stats().readahead_chunks > 0);
+        assert_eq!(log.stats().readahead_chunks, scan_reads);
         log.close();
     }
 

@@ -58,12 +58,18 @@ impl Default for DiskModel {
 impl DiskModel {
     /// A model that charges no time at all (plain unit tests).
     pub fn zero() -> DiskModel {
-        DiskModel { time_scale: 0.0, ..DiskModel::default() }
+        DiskModel {
+            time_scale: 0.0,
+            ..DiskModel::default()
+        }
     }
 
     /// A model at the paper's native millisecond scale.
     pub fn paper_scale() -> DiskModel {
-        DiskModel { time_scale: 1.0, ..DiskModel::default() }
+        DiskModel {
+            time_scale: 1.0,
+            ..DiskModel::default()
+        }
     }
 
     /// With a different time scale.
@@ -175,7 +181,10 @@ mod tests {
         let chunks = 1_048_576 / 65_536; // 16 reads of 128 sectors
         let total: Duration = (0..chunks).map(|_| m.read_cost(128)).sum();
         let ms = total.as_secs_f64() * 1e3;
-        assert!((330.0..420.0).contains(&ms), "1MB scan = {ms} ms, paper says ≈ 370 ms");
+        assert!(
+            (330.0..420.0).contains(&ms),
+            "1MB scan = {ms} ms, paper says ≈ 370 ms"
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ mod tests {
     fn push_and_iterate_in_order() {
         let s = stream(&[10, 20, 30]);
         assert_eq!(s.len(), 3);
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Lsn(10), Lsn(20), Lsn(30)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![Lsn(10), Lsn(20), Lsn(30)]
+        );
         assert_eq!(s.first(), Some(Lsn(10)));
         assert_eq!(s.last(), Some(Lsn(30)));
     }
@@ -168,7 +171,10 @@ mod tests {
     #[test]
     fn iter_from_starts_at_boundary() {
         let s = stream(&[10, 20, 30]);
-        assert_eq!(s.iter_from(Lsn(20)).collect::<Vec<_>>(), vec![Lsn(20), Lsn(30)]);
+        assert_eq!(
+            s.iter_from(Lsn(20)).collect::<Vec<_>>(),
+            vec![Lsn(20), Lsn(30)]
+        );
         assert_eq!(s.iter_from(Lsn(21)).collect::<Vec<_>>(), vec![Lsn(30)]);
         assert_eq!(s.iter_from(Lsn(99)).count(), 0);
     }

@@ -20,8 +20,8 @@
 
 use msp_types::codec::{self, Decode, Encode};
 use msp_types::{
-    CodecError, DependencyVector, Epoch, Lsn, MspId, RecoveryKnowledge, RecoveryRecord,
-    RequestSeq, SessionId, VarId,
+    CodecError, DependencyVector, Epoch, Lsn, MspId, RecoveryKnowledge, RecoveryRecord, RequestSeq,
+    SessionId, VarId,
 };
 
 /// State captured by a session checkpoint (§3.2).
@@ -87,15 +87,29 @@ impl Decode for SessionCheckpointBody {
                 let payload = codec::get_bytes(buf)?;
                 Some((seq, payload))
             }
-            tag => return Err(CodecError::InvalidTag { context: "buffered_reply", tag }),
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    context: "buffered_reply",
+                    tag,
+                })
+            }
         };
         let next_expected = RequestSeq::decode(buf)?;
         let nout = codec::get_u32(buf)? as usize;
         let mut outgoing = Vec::with_capacity(nout.min(buf.len()));
         for _ in 0..nout {
-            outgoing.push((MspId::decode(buf)?, SessionId::decode(buf)?, RequestSeq::decode(buf)?));
+            outgoing.push((
+                MspId::decode(buf)?,
+                SessionId::decode(buf)?,
+                RequestSeq::decode(buf)?,
+            ));
         }
-        Ok(SessionCheckpointBody { vars, buffered_reply, next_expected, outgoing })
+        Ok(SessionCheckpointBody {
+            vars,
+            buffered_reply,
+            next_expected,
+            outgoing,
+        })
     }
 }
 
@@ -173,7 +187,13 @@ impl Decode for MspCheckpointBody {
             shared.push((VarId::decode(buf)?, Lsn::decode(buf)?));
         }
         let min_lsn = Lsn::decode(buf)?;
-        Ok(MspCheckpointBody { epoch, knowledge, sessions, shared, min_lsn })
+        Ok(MspCheckpointBody {
+            epoch,
+            knowledge,
+            sessions,
+            shared,
+            min_lsn,
+        })
     }
 }
 
@@ -222,7 +242,10 @@ pub enum LogRecord {
     /// distributed flush preceded it) and the backward chain breaks here.
     SharedCheckpoint { var: VarId, value: Vec<u8> },
     /// A session checkpoint (§3.2).
-    SessionCheckpoint { session: SessionId, body: SessionCheckpointBody },
+    SessionCheckpoint {
+        session: SessionId,
+        body: SessionCheckpointBody,
+    },
     /// The fuzzy MSP checkpoint (§3.4).
     MspCheckpoint(MspCheckpointBody),
     /// Another MSP's recovery announcement, logged so the knowledge
@@ -231,7 +254,10 @@ pub enum LogRecord {
     /// Our own crash recovery completed: we entered `new_epoch` having
     /// recovered up to `recovered_lsn`. Flushed before normal execution
     /// resumes, so later scans can establish the current epoch.
-    RecoveryComplete { new_epoch: Epoch, recovered_lsn: Lsn },
+    RecoveryComplete {
+        new_epoch: Epoch,
+        recovered_lsn: Lsn,
+    },
     /// The session ended; its position stream is discarded (§3.2).
     SessionEnd { session: SessionId },
     /// End-of-skip: orphan recovery of `session` terminated replay at the
@@ -298,7 +324,13 @@ impl LogRecord {
 impl Encode for LogRecord {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            LogRecord::RequestReceive { session, seq, method, payload, sender_dv } => {
+            LogRecord::RequestReceive {
+                session,
+                seq,
+                method,
+                payload,
+                sender_dv,
+            } => {
                 codec::put_u8(buf, tag::REQUEST_RECEIVE);
                 session.encode(buf);
                 seq.encode(buf);
@@ -306,7 +338,13 @@ impl Encode for LogRecord {
                 codec::put_bytes(buf, payload);
                 sender_dv.encode(buf);
             }
-            LogRecord::ReplyReceive { session, outgoing, seq, payload, sender_dv } => {
+            LogRecord::ReplyReceive {
+                session,
+                outgoing,
+                seq,
+                payload,
+                sender_dv,
+            } => {
                 codec::put_u8(buf, tag::REPLY_RECEIVE);
                 session.encode(buf);
                 outgoing.encode(buf);
@@ -314,14 +352,25 @@ impl Encode for LogRecord {
                 codec::put_bytes(buf, payload);
                 sender_dv.encode(buf);
             }
-            LogRecord::SharedRead { session, var, value, var_dv } => {
+            LogRecord::SharedRead {
+                session,
+                var,
+                value,
+                var_dv,
+            } => {
                 codec::put_u8(buf, tag::SHARED_READ);
                 session.encode(buf);
                 var.encode(buf);
                 codec::put_bytes(buf, value);
                 var_dv.encode(buf);
             }
-            LogRecord::SharedWrite { session, var, value, writer_dv, prev_write } => {
+            LogRecord::SharedWrite {
+                session,
+                var,
+                value,
+                writer_dv,
+                prev_write,
+            } => {
                 codec::put_u8(buf, tag::SHARED_WRITE);
                 session.encode(buf);
                 var.encode(buf);
@@ -347,7 +396,10 @@ impl Encode for LogRecord {
                 codec::put_u8(buf, tag::RECOVERY_ANNOUNCEMENT);
                 rec.encode(buf);
             }
-            LogRecord::RecoveryComplete { new_epoch, recovered_lsn } => {
+            LogRecord::RecoveryComplete {
+                new_epoch,
+                recovered_lsn,
+            } => {
                 codec::put_u8(buf, tag::RECOVERY_COMPLETE);
                 new_epoch.encode(buf);
                 recovered_lsn.encode(buf);
@@ -356,7 +408,10 @@ impl Encode for LogRecord {
                 codec::put_u8(buf, tag::SESSION_END);
                 session.encode(buf);
             }
-            LogRecord::Eos { session, orphan_lsn } => {
+            LogRecord::Eos {
+                session,
+                orphan_lsn,
+            } => {
                 codec::put_u8(buf, tag::EOS);
                 session.encode(buf);
                 orphan_lsn.encode(buf);
@@ -412,12 +467,19 @@ impl Decode for LogRecord {
                 new_epoch: Epoch::decode(buf)?,
                 recovered_lsn: Lsn::decode(buf)?,
             },
-            tag::SESSION_END => LogRecord::SessionEnd { session: SessionId::decode(buf)? },
+            tag::SESSION_END => LogRecord::SessionEnd {
+                session: SessionId::decode(buf)?,
+            },
             tag::EOS => LogRecord::Eos {
                 session: SessionId::decode(buf)?,
                 orphan_lsn: Lsn::decode(buf)?,
             },
-            other => return Err(CodecError::InvalidTag { context: "LogRecord", tag: other }),
+            other => {
+                return Err(CodecError::InvalidTag {
+                    context: "LogRecord",
+                    tag: other,
+                })
+            }
         })
     }
 }
@@ -465,7 +527,10 @@ mod tests {
                 writer_dv: dv,
                 prev_write: Lsn(512),
             },
-            LogRecord::SharedCheckpoint { var: VarId(3), value: vec![1] },
+            LogRecord::SharedCheckpoint {
+                var: VarId(3),
+                value: vec![1],
+            },
             LogRecord::SessionCheckpoint {
                 session: SessionId(1),
                 body: SessionCheckpointBody {
@@ -499,9 +564,17 @@ mod tests {
                 new_epoch: Epoch(2),
                 recovered_lsn: Lsn(8192),
             }),
-            LogRecord::RecoveryComplete { new_epoch: Epoch(1), recovered_lsn: Lsn(2048) },
-            LogRecord::SessionEnd { session: SessionId(1) },
-            LogRecord::Eos { session: SessionId(1), orphan_lsn: Lsn(700) },
+            LogRecord::RecoveryComplete {
+                new_epoch: Epoch(1),
+                recovered_lsn: Lsn(2048),
+            },
+            LogRecord::SessionEnd {
+                session: SessionId(1),
+            },
+            LogRecord::Eos {
+                session: SessionId(1),
+                orphan_lsn: Lsn(700),
+            },
         ]
     }
 
@@ -516,7 +589,10 @@ mod tests {
     fn invalid_tag_rejected() {
         assert!(matches!(
             LogRecord::from_bytes(&[200]),
-            Err(CodecError::InvalidTag { context: "LogRecord", tag: 200 })
+            Err(CodecError::InvalidTag {
+                context: "LogRecord",
+                tag: 200
+            })
         ));
     }
 

@@ -17,6 +17,7 @@ pub struct LogStats {
     padded_bytes: AtomicU64,
     record_reads: AtomicU64,
     scan_chunks: AtomicU64,
+    readahead_chunks: AtomicU64,
 }
 
 /// A point-in-time copy of [`LogStats`].
@@ -36,12 +37,16 @@ pub struct LogStatsSnapshot {
     pub record_reads: u64,
     /// 64 KB chunks consumed by sequential recovery scans.
     pub scan_chunks: u64,
+    /// Device reads issued by the scanner's read-ahead buffer (one per
+    /// 64 KB chunk instead of three per record).
+    pub readahead_chunks: u64,
 }
 
 impl LogStats {
     pub fn on_append(&self, framed_bytes: u64) {
         self.appends.fetch_add(1, Ordering::Relaxed);
-        self.appended_bytes.fetch_add(framed_bytes, Ordering::Relaxed);
+        self.appended_bytes
+            .fetch_add(framed_bytes, Ordering::Relaxed);
     }
 
     pub fn on_flush(&self, sectors: u64, padded: u64) {
@@ -58,6 +63,10 @@ impl LogStats {
         self.scan_chunks.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn on_readahead_chunk(&self) {
+        self.readahead_chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> LogStatsSnapshot {
         LogStatsSnapshot {
             appends: self.appends.load(Ordering::Relaxed),
@@ -67,6 +76,7 @@ impl LogStats {
             padded_bytes: self.padded_bytes.load(Ordering::Relaxed),
             record_reads: self.record_reads.load(Ordering::Relaxed),
             scan_chunks: self.scan_chunks.load(Ordering::Relaxed),
+            readahead_chunks: self.readahead_chunks.load(Ordering::Relaxed),
         }
     }
 }
@@ -83,6 +93,7 @@ impl LogStatsSnapshot {
             padded_bytes: self.padded_bytes - earlier.padded_bytes,
             record_reads: self.record_reads - earlier.record_reads,
             scan_chunks: self.scan_chunks - earlier.scan_chunks,
+            readahead_chunks: self.readahead_chunks - earlier.readahead_chunks,
         }
     }
 }

@@ -13,37 +13,49 @@ use msp_wal::{Disk, DiskModel, FlushPolicy, LogRecord, MemDisk, PhysicalLog};
 fn arb_record() -> impl Strategy<Value = LogRecord> {
     let payload = proptest::collection::vec(any::<u8>(), 0..300);
     let dv = proptest::collection::vec((0u32..4, 0u32..3, 0u64..10_000), 0..4).prop_map(|v| {
-        DependencyVector::from_entries(v.into_iter().map(|(m, e, l)| {
-            (MspId(m), StateId::new(msp_types::Epoch(e), Lsn(l)))
-        }))
+        DependencyVector::from_entries(
+            v.into_iter()
+                .map(|(m, e, l)| (MspId(m), StateId::new(msp_types::Epoch(e), Lsn(l)))),
+        )
     });
     prop_oneof![
-        (0u64..8, 0u64..100, payload.clone(), proptest::option::of(dv.clone())).prop_map(
-            |(s, q, p, d)| LogRecord::RequestReceive {
+        (
+            0u64..8,
+            0u64..100,
+            payload.clone(),
+            proptest::option::of(dv.clone())
+        )
+            .prop_map(|(s, q, p, d)| LogRecord::RequestReceive {
                 session: SessionId(s),
                 seq: RequestSeq(q),
                 method: "m".into(),
                 payload: p,
                 sender_dv: d,
-            }
-        ),
+            }),
         (0u64..8, 0u32..4, payload.clone(), dv.clone()).prop_map(|(s, v, p, d)| {
-            LogRecord::SharedRead { session: SessionId(s), var: VarId(v), value: p, var_dv: d }
+            LogRecord::SharedRead {
+                session: SessionId(s),
+                var: VarId(v),
+                value: p,
+                var_dv: d,
+            }
         }),
-        (0u64..8, 0u32..4, payload.clone(), dv, 0u64..100_000).prop_map(
-            |(s, v, p, d, prev)| LogRecord::SharedWrite {
+        (0u64..8, 0u32..4, payload.clone(), dv, 0u64..100_000).prop_map(|(s, v, p, d, prev)| {
+            LogRecord::SharedWrite {
                 session: SessionId(s),
                 var: VarId(v),
                 value: p,
                 writer_dv: d,
                 prev_write: Lsn(prev),
             }
-        ),
+        }),
         (0u32..4, payload).prop_map(|(v, p)| LogRecord::SharedCheckpoint {
             var: VarId(v),
             value: p
         }),
-        (0u64..8).prop_map(|s| LogRecord::SessionEnd { session: SessionId(s) }),
+        (0u64..8).prop_map(|s| LogRecord::SessionEnd {
+            session: SessionId(s)
+        }),
     ]
 }
 

@@ -6,7 +6,7 @@
 //! cargo run --release -p msp-harness --example paper_workload -- [requests] [scale]
 //! ```
 
-use msp_harness::workload::{request_payload, reply_counter, MSP1};
+use msp_harness::workload::{reply_counter, request_payload, MSP1};
 use msp_harness::{SystemConfig, World, WorldOptions};
 
 fn main() {
@@ -15,7 +15,10 @@ fn main() {
     let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.1);
 
     for config in [SystemConfig::LoOptimistic, SystemConfig::Pessimistic] {
-        let opts = WorldOptions { time_scale: scale, ..WorldOptions::new(config) };
+        let opts = WorldOptions {
+            time_scale: scale,
+            ..WorldOptions::new(config)
+        };
         let world = World::start(opts);
         let mut client = world.client(1);
 
@@ -23,7 +26,9 @@ fn main() {
         let summary = series.summary();
 
         // Exactly-once sanity: the session counter equals the request count.
-        let last = client.call(MSP1, "ServiceMethod1", &request_payload(1)).unwrap();
+        let last = client
+            .call(MSP1, "ServiceMethod1", &request_payload(1))
+            .unwrap();
         assert_eq!(reply_counter(&last), requests + 1);
 
         let log1 = world.msp1.log_stats().expect("log-based");

@@ -19,10 +19,7 @@ use msp_wal::{DiskModel, MemDisk};
 
 const SERVER: MspId = MspId(1);
 
-fn build_server(
-    net: &Network<Envelope>,
-    disk: Arc<MemDisk>,
-) -> msp_core::MspHandle {
+fn build_server(net: &Network<Envelope>, disk: Arc<MemDisk>) -> msp_core::MspHandle {
     let cluster = ClusterConfig::new().with_msp(SERVER, DomainId(1));
     MspBuilder::new(
         MspConfig::new(SERVER, DomainId(1)).with_time_scale(0.0),

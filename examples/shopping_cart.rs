@@ -115,19 +115,28 @@ fn main() {
 
     let s = |v: Vec<u8>| String::from_utf8_lossy(&v).into_owned();
 
-    println!("catalog: {}", s(alice.call(STOREFRONT, "browse", &[]).unwrap()));
+    println!(
+        "catalog: {}",
+        s(alice.call(STOREFRONT, "browse", &[]).unwrap())
+    );
     alice.call(STOREFRONT, "add_to_cart", b"apples").unwrap();
     alice.call(STOREFRONT, "add_to_cart", b"pears").unwrap();
     bob.call(STOREFRONT, "add_to_cart", b"apples").unwrap();
 
-    println!("alice checks out: {}", s(alice.call(STOREFRONT, "checkout", &[]).unwrap()));
+    println!(
+        "alice checks out: {}",
+        s(alice.call(STOREFRONT, "checkout", &[]).unwrap())
+    );
 
     println!("--- inventory server crashes and recovers ---");
     inventory.crash();
     let inventory = start_inventory(&net, inv_disk);
 
     // Bob's checkout happens against the *recovered* stock counts.
-    println!("bob checks out:   {}", s(bob.call(STOREFRONT, "checkout", &[]).unwrap()));
+    println!(
+        "bob checks out:   {}",
+        s(bob.call(STOREFRONT, "checkout", &[]).unwrap())
+    );
     let report = s(bob.call(INVENTORY, "stock_report", &[]).unwrap());
     println!("final stock:      {report}");
     assert_eq!(report, "apples=1 pears=1", "no double-sell, no lost sale");

@@ -93,7 +93,9 @@ fn start_booking(net: &Network<Envelope>, disk: Arc<MemDisk>) -> msp_core::MspHa
         .into_bytes())
     })
     .service("trips_booked", |ctx, _| {
-        Ok(ctx.get_session("trips").unwrap_or_else(|| 0u64.to_le_bytes().to_vec()))
+        Ok(ctx
+            .get_session("trips")
+            .unwrap_or_else(|| 0u64.to_le_bytes().to_vec()))
     })
     .start(net, disk)
     .expect("start booking")
@@ -115,7 +117,10 @@ fn main() {
     let s = |v: Vec<u8>| String::from_utf8_lossy(&v).into_owned();
 
     for _ in 0..3 {
-        println!("{}", s(traveller.call(BOOKING, "book_trip", b"ada").unwrap()));
+        println!(
+            "{}",
+            s(traveller.call(BOOKING, "book_trip", b"ada").unwrap())
+        );
     }
 
     println!("--- flights server crashes (same domain as booking) ---");
@@ -123,7 +128,10 @@ fn main() {
     let flights = start_reserver(&net, fd, FLIGHTS, DomainId(1), "seats", 10);
 
     for _ in 0..2 {
-        println!("{}", s(traveller.call(BOOKING, "book_trip", b"ada").unwrap()));
+        println!(
+            "{}",
+            s(traveller.call(BOOKING, "book_trip", b"ada").unwrap())
+        );
     }
 
     let trips = traveller.call(BOOKING, "trips_booked", &[]).unwrap();
@@ -136,7 +144,10 @@ fn main() {
     );
     println!("summary: {trips} trips, {seats} seats left, {rooms} rooms left");
     assert_eq!(trips, 5);
-    assert_eq!(seats, 5, "every flight reservation exactly once across the crash");
+    assert_eq!(
+        seats, 5,
+        "every flight reservation exactly once across the crash"
+    );
     assert_eq!(rooms, 5, "the independent hotels domain never rolled back");
 
     booking.shutdown();

@@ -1,0 +1,231 @@
+//! Minimal `criterion`-compatible shim for offline builds.
+//!
+//! Supports the subset used by `crates/bench`: `Criterion`,
+//! `benchmark_group` with `sample_size` / `measurement_time` /
+//! `warm_up_time`, `bench_function` (plain name or `BenchmarkId`),
+//! `Bencher::{iter, iter_custom}`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Results are mean
+//! wall-clock per iteration printed to stdout — no statistics, plots,
+//! or HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+pub struct Bencher {
+    samples: u64,
+    iters_per_sample: u64,
+    total: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.total += t0.elapsed();
+            self.total_iters += self.iters_per_sample;
+        }
+    }
+
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        black_box(f(1));
+        for _ in 0..self.samples {
+            self.total += f(self.iters_per_sample);
+            self.total_iters += self.iters_per_sample;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.total_iters == 0 {
+            println!("bench {name:<50} (no samples)");
+            return;
+        }
+        let per_iter = self.total / self.total_iters as u32;
+        println!("bench {name:<50} {per_iter:>12.2?}/iter");
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunConfig {
+    sample_size: u64,
+    iters_per_sample: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            sample_size: 10,
+            iters_per_sample: 3,
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    config: RunConfig,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, &id.to_string(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            config: RunConfig::default(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    config: RunConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Real criterion takes >= 10 samples; this shim keeps runs
+        // short and treats the request as an upper bound.
+        self.config.sample_size = (n as u64).min(10);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&self.config, &name, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &RunConfig, name: &str, mut f: F) {
+    let mut b = Bencher {
+        samples: config.sample_size,
+        iters_per_sample: config.iters_per_sample,
+        total: Duration::ZERO,
+        total_iters: 0,
+    };
+    f(&mut b);
+    b.report(name);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("counting", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_chain_and_iter_custom() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::new("f", 3), |b| {
+            b.iter_custom(|iters| {
+                calls += iters;
+                Duration::from_nanos(iters)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -31,7 +31,9 @@ fn cluster() -> ClusterConfig {
 }
 
 fn cfg(id: MspId) -> MspConfig {
-    let mut c = MspConfig::new(id, DomainId(1)).with_time_scale(0.0).with_workers(4);
+    let mut c = MspConfig::new(id, DomainId(1))
+        .with_time_scale(0.0)
+        .with_workers(4);
     c.rpc_timeout = Duration::from_millis(60);
     c
 }
@@ -49,7 +51,9 @@ fn counter_body(ctx: &mut msp_core::ServiceContext<'_>, key: &str) -> u64 {
 fn start_c(net: &Network<Envelope>, disk: Arc<MemDisk>) -> msp_core::MspHandle {
     MspBuilder::new(cfg(C), cluster())
         .disk_model(DiskModel::zero())
-        .service("count", |ctx, _| Ok(counter_body(ctx, "n").to_le_bytes().to_vec()))
+        .service("count", |ctx, _| {
+            Ok(counter_body(ctx, "n").to_le_bytes().to_vec())
+        })
         .start(net, disk)
         .unwrap()
 }
@@ -120,7 +124,10 @@ fn transitive_dv_reaches_the_indirect_dependency() {
     let session = client.session_with(A).unwrap();
     let dv = a.session_dv(session).unwrap();
     assert!(dv.get(B).is_some(), "direct dependency on B");
-    assert!(dv.get(C).is_some(), "transitive dependency on C via B's reply");
+    assert!(
+        dv.get(C).is_some(),
+        "transitive dependency on C via B's reply"
+    );
 
     a.shutdown();
     b.shutdown();

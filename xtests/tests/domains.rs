@@ -25,7 +25,9 @@ fn cluster(same_domain: bool) -> ClusterConfig {
 }
 
 fn cfg(id: MspId, domain: u32) -> MspConfig {
-    let mut c = MspConfig::new(id, DomainId(domain)).with_time_scale(0.0).with_workers(4);
+    let mut c = MspConfig::new(id, DomainId(domain))
+        .with_time_scale(0.0)
+        .with_workers(4);
     c.rpc_timeout = Duration::from_millis(60);
     c
 }
@@ -143,7 +145,10 @@ fn same_domain_messages_do_carry_dv() {
     drive(&mut client, 1, 3);
     let session = client.session_with(FRONT).unwrap();
     let dv = front.session_dv(session).unwrap();
-    assert!(dv.get(BACK).is_some(), "intra-domain replies propagate the DV, got {dv}");
+    assert!(
+        dv.get(BACK).is_some(),
+        "intra-domain replies propagate the DV, got {dv}"
+    );
     front.shutdown();
     back.shutdown();
     net.shutdown();

@@ -49,8 +49,7 @@ fn start_server(
             .unwrap_or(0)
             + 1;
         ctx.set_session("n", mine.to_le_bytes().to_vec());
-        let total =
-            u64::from_le_bytes(ctx.read_shared("total")?[..8].try_into().unwrap()) + 1;
+        let total = u64::from_le_bytes(ctx.read_shared("total")?[..8].try_into().unwrap()) + 1;
         ctx.write_shared("total", total.to_le_bytes().to_vec())?;
         let mut out = mine.to_le_bytes().to_vec();
         out.extend_from_slice(&total.to_le_bytes());

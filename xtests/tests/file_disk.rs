@@ -1,7 +1,7 @@
 //! The full recovery stack over a real file-backed log: crash recovery
 //! from an actual on-disk file rather than the simulated MemDisk.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use msp_core::client::ClientOptions;
@@ -18,10 +18,12 @@ fn log_path(tag: &str) -> PathBuf {
     dir.join(format!("{tag}.log"))
 }
 
-fn start(net: &Network<Envelope>, path: &PathBuf) -> msp_core::MspHandle {
+fn start(net: &Network<Envelope>, path: &Path) -> msp_core::MspHandle {
     let disk = Arc::new(FileDisk::open(path).unwrap());
     MspBuilder::new(
-        MspConfig::new(M1, DomainId(1)).with_time_scale(0.0).with_workers(2),
+        MspConfig::new(M1, DomainId(1))
+            .with_time_scale(0.0)
+            .with_workers(2),
         ClusterConfig::new().with_msp(M1, DomainId(1)),
     )
     .disk_model(DiskModel::zero())

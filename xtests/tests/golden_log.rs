@@ -10,7 +10,7 @@ use msp_core::{ClusterConfig, Envelope, MspBuilder, MspClient, MspConfig};
 use msp_net::{NetModel, Network};
 use msp_types::{DomainId, Lsn, MspId};
 use msp_wal::log::DATA_START;
-use msp_wal::{DiskModel, FlushPolicy, LogRecord, MemDisk, PhysicalLog};
+use msp_wal::{DiskModel, FlushPolicy, MemDisk, PhysicalLog};
 
 const M1: MspId = MspId(1);
 const M2: MspId = MspId(2);
@@ -83,7 +83,12 @@ fn figure7_and_8_record_sequence_for_one_request() {
     // call — in execution order (Figures 7 and 8).
     assert_eq!(
         scan_kinds(&d1),
-        vec!["RequestReceive", "SharedRead", "SharedWrite", "ReplyReceive"],
+        vec![
+            "RequestReceive",
+            "SharedRead",
+            "SharedWrite",
+            "ReplyReceive"
+        ],
     );
     // MSP2's log: just the (intra-domain) request receive.
     assert_eq!(scan_kinds(&d2), vec!["RequestReceive"]);
@@ -93,11 +98,14 @@ fn figure7_and_8_record_sequence_for_one_request() {
 fn session_end_writes_its_marker() {
     let net: Network<Envelope> = Network::new(NetModel::zero(), 2);
     let d1 = Arc::new(MemDisk::new());
-    let m1 = MspBuilder::new(no_ckpt_cfg(M1), ClusterConfig::new().with_msp(M1, DomainId(1)))
-        .disk_model(DiskModel::zero())
-        .service("noop", |_ctx, _| Ok(vec![]))
-        .start(&net, Arc::clone(&d1) as Arc<dyn msp_wal::Disk>)
-        .unwrap();
+    let m1 = MspBuilder::new(
+        no_ckpt_cfg(M1),
+        ClusterConfig::new().with_msp(M1, DomainId(1)),
+    )
+    .disk_model(DiskModel::zero())
+    .service("noop", |_ctx, _| Ok(vec![]))
+    .start(&net, Arc::clone(&d1) as Arc<dyn msp_wal::Disk>)
+    .unwrap();
     let mut c = MspClient::new(&net, 1, ClientOptions::default());
     c.call(M1, "noop", &[]).unwrap();
     c.end_session(M1).unwrap();

@@ -20,7 +20,9 @@ fn cluster() -> ClusterConfig {
 }
 
 fn cfg(id: MspId) -> MspConfig {
-    let mut c = MspConfig::new(id, DomainId(1)).with_time_scale(0.0).with_workers(4);
+    let mut c = MspConfig::new(id, DomainId(1))
+        .with_time_scale(0.0)
+        .with_workers(4);
     c.rpc_timeout = Duration::from_millis(60);
     c
 }
@@ -122,7 +124,10 @@ fn rapid_repeated_crashes_of_the_same_msp() {
     for round in 1..=3u32 {
         for _ in 0..4 {
             expected += 1;
-            assert_eq!(pair(&c.call(M1, "relay", &[]).unwrap()), (expected, expected));
+            assert_eq!(
+                pair(&c.call(M1, "relay", &[]).unwrap()),
+                (expected, expected)
+            );
         }
         // Two crashes in quick succession.
         back.crash();
@@ -133,7 +138,10 @@ fn rapid_repeated_crashes_of_the_same_msp() {
     }
     for _ in 0..4 {
         expected += 1;
-        assert_eq!(pair(&c.call(M1, "relay", &[]).unwrap()), (expected, expected));
+        assert_eq!(
+            pair(&c.call(M1, "relay", &[]).unwrap()),
+            (expected, expected)
+        );
     }
     front.shutdown();
     back.shutdown();
