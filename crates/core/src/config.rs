@@ -145,6 +145,13 @@ pub struct MspConfig {
     /// optimisation: turning it off restores one flush RPC per remote
     /// dependency per boundary crossing.
     pub durability_watermarks: bool,
+    /// Hold the log flusher briefly after it wakes so commits arriving
+    /// while the previous flush was in flight join the same device write
+    /// (group-commit coalescing window). `None` flushes immediately.
+    pub group_commit_window: Option<Duration>,
+    /// Run the WAL on the legacy single-mutex append path instead of the
+    /// reservation-based pipeline. Compatibility/baseline knob.
+    pub serialized_append: bool,
     /// Back-off before resending when the server answered *Busy*
     /// (checkpointing / recovering). Paper: 100 ms, scaled.
     pub busy_backoff: Duration,
@@ -166,6 +173,8 @@ impl MspConfig {
             flush_retry_limit: 200,
             rpc_retry_limit: 10_000,
             durability_watermarks: true,
+            group_commit_window: None,
+            serialized_append: false,
             busy_backoff: Duration::from_millis(100),
             time_scale: 0.02,
         }
@@ -204,6 +213,18 @@ impl MspConfig {
     #[must_use]
     pub fn with_durability_watermarks(mut self, enabled: bool) -> MspConfig {
         self.durability_watermarks = enabled;
+        self
+    }
+
+    #[must_use]
+    pub fn with_group_commit_window(mut self, window: Option<Duration>) -> MspConfig {
+        self.group_commit_window = window;
+        self
+    }
+
+    #[must_use]
+    pub fn with_serialized_append(mut self, serialized: bool) -> MspConfig {
+        self.serialized_append = serialized;
         self
     }
 
@@ -249,12 +270,18 @@ mod tests {
     fn knob_builders() {
         let cfg = MspConfig::new(MspId(1), DomainId(1))
             .with_rpc_retry_limit(3)
-            .with_durability_watermarks(false);
+            .with_durability_watermarks(false)
+            .with_group_commit_window(Some(Duration::from_micros(500)))
+            .with_serialized_append(true);
         assert_eq!(cfg.rpc_retry_limit, 3);
         assert!(!cfg.durability_watermarks);
+        assert_eq!(cfg.group_commit_window, Some(Duration::from_micros(500)));
+        assert!(cfg.serialized_append);
         let cfg = MspConfig::new(MspId(1), DomainId(1));
         assert_eq!(cfg.rpc_retry_limit, 10_000);
         assert!(cfg.durability_watermarks);
+        assert_eq!(cfg.group_commit_window, None);
+        assert!(!cfg.serialized_append);
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! Cursor exhaustion (records lost in a crash, or the crash hit
 //! mid-request) also switches to live execution, with no EOS needed.
 
+use std::collections::HashMap;
+
 use msp_types::{Lsn, MspError, MspId, MspResult, RecoveryKnowledge, SessionId};
 use msp_wal::{LogRecord, PhysicalLog};
 
@@ -51,6 +53,11 @@ pub enum Consume {
 pub struct ReplayCursor {
     positions: Vec<Lsn>,
     idx: usize,
+    /// `orphan_lsn → ascending stream indices of EOS records closing it`,
+    /// built in one pass over the stream on the first orphan hit so each
+    /// position-stream record is decoded at most once per recovery
+    /// (the naive forward search re-read the suffix on every orphan).
+    eos_index: Option<HashMap<u64, Vec<usize>>>,
     /// Replay has ended; execution continues live.
     pub went_live: bool,
     /// The orphan record that terminated replay, if any (drives EOS
@@ -65,6 +72,7 @@ impl ReplayCursor {
         ReplayCursor {
             positions,
             idx: 0,
+            eos_index: None,
             went_live: false,
             orphan_hit: None,
             eos_ranges_skipped: 0,
@@ -157,16 +165,24 @@ impl ReplayCursor {
     }
 
     /// Index (within `positions`) of the EOS record pointing back at
-    /// `orphan_lsn`, searching forward from the current position.
-    fn find_eos(&self, log: &PhysicalLog, orphan_lsn: Lsn) -> MspResult<Option<usize>> {
-        for j in self.idx + 1..self.positions.len() {
-            if let LogRecord::Eos { orphan_lsn: o, .. } = log.read_record(self.positions[j])? {
-                if o == orphan_lsn {
-                    return Ok(Some(j));
+    /// `orphan_lsn`, ahead of the current position. Served from
+    /// [`Self::eos_index`], built lazily with a single decode pass.
+    fn find_eos(&mut self, log: &PhysicalLog, orphan_lsn: Lsn) -> MspResult<Option<usize>> {
+        if self.eos_index.is_none() {
+            let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+            for (j, &pos) in self.positions.iter().enumerate() {
+                if let LogRecord::Eos { orphan_lsn: o, .. } = log.read_record(pos)? {
+                    index.entry(o.0).or_default().push(j);
                 }
             }
+            self.eos_index = Some(index);
         }
-        Ok(None)
+        Ok(self
+            .eos_index
+            .as_ref()
+            .expect("index built above")
+            .get(&orphan_lsn.0)
+            .and_then(|idxs| idxs.iter().copied().find(|&j| j > self.idx)))
     }
 }
 
@@ -381,6 +397,51 @@ mod tests {
             .collect();
         assert_eq!(got, vec![mid, live]);
         assert_eq!(cur.eos_ranges_skipped, 2);
+        log.close();
+    }
+
+    #[test]
+    fn eos_lookup_decodes_each_position_at_most_once() {
+        // Two disjoint orphan/EOS pairs: the naive forward search decoded
+        // the stream suffix once per orphan; the index pays one pass.
+        let log = test_log();
+        let orphan1 = log.append(&req(0, Some(dv(2, 100))));
+        let eos1 = log.append(&LogRecord::Eos {
+            session: SessionId(1),
+            orphan_lsn: orphan1,
+        });
+        let orphan2 = log.append(&req(1, Some(dv(3, 100))));
+        let eos2 = log.append(&LogRecord::Eos {
+            session: SessionId(1),
+            orphan_lsn: orphan2,
+        });
+        let live = log.append(&req(2, None));
+        let mut k = RecoveryKnowledge::new();
+        k.record(RecoveryRecord {
+            msp: MspId(2),
+            new_epoch: Epoch(1),
+            recovered_lsn: Lsn(50),
+        });
+        k.record(RecoveryRecord {
+            msp: MspId(3),
+            new_epoch: Epoch(1),
+            recovered_lsn: Lsn(50),
+        });
+        let positions = vec![orphan1, eos1, orphan2, eos2, live];
+        let n = positions.len() as u64;
+        let before = log.stats().record_reads;
+        let mut cur = ReplayCursor::new(positions);
+        while let Consume::Record { .. } = cur.consume(&log, &k, MspId(1), SessionId(1)).unwrap() {}
+        let reads = log.stats().record_reads - before;
+        assert_eq!(cur.eos_ranges_skipped, 2);
+        // One decode per consumed record plus one indexing pass: strictly
+        // at most two decodes per stream position, independent of how
+        // many orphan ranges the stream contains.
+        assert!(
+            reads <= 2 * n,
+            "expected at most {} record reads, observed {reads}",
+            2 * n
+        );
         log.close();
     }
 

@@ -352,9 +352,7 @@ impl MspInner {
             payload: req.payload.clone(),
             sender_dv: req.sender_dv.clone(),
         };
-        let before = log.end_lsn();
-        let lsn = log.append(&record);
-        let framed = log.end_lsn().0 - before.0;
+        let (lsn, framed) = log.append_sized(&record);
         if let Some(dv) = &req.sender_dv {
             st.dv.merge_from(dv);
         }
@@ -429,21 +427,19 @@ impl MspInner {
         let record = LogRecord::SessionEnd {
             session: req.session,
         };
-        let before = log.end_lsn();
-        let lsn = log.append(&record);
-        let framed = log.end_lsn().0 - before.0;
+        let (lsn, framed) = log.append_sized(&record);
         st.note_logged(self.cfg.id, self.epoch(), lsn, framed);
         let status = ReplyStatus::Ok(Vec::new());
-        if self
-            .send_reply(st, req.reply_to, req.session, req.seq, status.clone())
-            .is_ok()
-        {
-            st.buffered_reply = Some((req.seq, status));
-            st.next_expected = req.seq.next();
-            st.ended = true;
-            st.positions.truncate();
-            self.sessions.lock().remove(&req.session);
-        }
+        st.buffered_reply = Some((req.seq, status.clone()));
+        st.next_expected = req.seq.next();
+        st.ended = true;
+        st.positions.truncate();
+        // Drop the session before the reply can reach the client: once the
+        // client observes the acknowledgement, the session must be gone. A
+        // failed reply is harmless — the client's resend lands on a fresh
+        // session cell and ending it again is idempotent.
+        self.sessions.lock().remove(&req.session);
+        let _ = self.send_reply(st, req.reply_to, req.session, req.seq, status);
     }
 
     /// Baseline request path (NoLog / Psession / StateServer): no logging,
@@ -700,9 +696,7 @@ impl MspInner {
                             payload: crate::session::encode_reply(&status),
                             sender_dv: rep.sender_dv.clone(),
                         };
-                        let before = log.end_lsn();
-                        let lsn = log.append(&record);
-                        let framed = log.end_lsn().0 - before.0;
+                        let (lsn, framed) = log.append_sized(&record);
                         if let Some(dv) = &rep.sender_dv {
                             st.dv.merge_from(dv);
                         }
@@ -998,11 +992,14 @@ impl MspBuilder {
         }
         let log_based = matches!(self.cfg.strategy, SessionStrategy::LogBased);
         let (log, anchor) = if log_based {
-            let log = PhysicalLog::open(
-                Arc::clone(&disk),
-                self.disk_model.clone(),
-                self.flush_policy,
-            )?;
+            // Fold the MspConfig logging knobs into the flush policy;
+            // knobs set directly on the policy win.
+            let mut policy = self.flush_policy;
+            policy.serialized_append |= self.cfg.serialized_append;
+            if policy.group_commit_window.is_none() {
+                policy = policy.with_group_commit_window(self.cfg.group_commit_window);
+            }
+            let log = PhysicalLog::open(Arc::clone(&disk), self.disk_model.clone(), policy)?;
             let anchor = LogAnchor::new(Arc::clone(&disk), self.disk_model.clone());
             (Some(log), Some(anchor))
         } else {

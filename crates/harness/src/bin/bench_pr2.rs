@@ -1,0 +1,246 @@
+//! Micro-benchmark for the scalable WAL append path (PR 2).
+//!
+//! Drives the physical log directly with a commit-per-append workload
+//! (append one record, then `flush_to` it) at 1 and 8 threads, under the
+//! same scaled disk model, through two pipelines:
+//!
+//! * **serialized** — the legacy single-mutex append path with
+//!   one-flush-per-commit (`serialized_append` + `per_request`), and
+//! * **reserved** — the reservation-based append path with a short
+//!   group-commit coalescing window.
+//!
+//! Also checks two invariants the speedup must not cost us: a fixed
+//! sequential commit pattern produces identical device-flush counts on
+//! both pipelines, and a crash mid-append recovers byte-identical state.
+//! Results go to `BENCH_PR2.json`, mirrored on stdout.
+//!
+//! ```text
+//! bench_pr2 [--per-thread N] [--scale S]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use msp_types::{Lsn, RequestSeq, SessionId};
+use msp_wal::log::DATA_START;
+use msp_wal::{DiskModel, FlushPolicy, LogRecord, MemDisk, PhysicalLog};
+
+fn rec(session: u64, seq: u64) -> LogRecord {
+    LogRecord::RequestReceive {
+        session: SessionId(session),
+        seq: RequestSeq(seq),
+        method: "bench".into(),
+        payload: vec![session as u8; 120],
+        sender_dv: None,
+    }
+}
+
+struct PassResult {
+    elapsed: Duration,
+    commits: u64,
+    flushes: u64,
+    reservations: u64,
+    group_batches: u64,
+}
+
+impl PassResult {
+    fn commits_per_sec(&self) -> f64 {
+        self.commits as f64 / self.elapsed.as_secs_f64()
+    }
+    fn flushes_per_commit(&self) -> f64 {
+        self.flushes as f64 / self.commits as f64
+    }
+}
+
+fn policy(serialized: bool) -> FlushPolicy {
+    if serialized {
+        FlushPolicy::per_request().with_serialized_append(true)
+    } else {
+        FlushPolicy::per_request().with_group_commit_window(Some(Duration::from_millis(1)))
+    }
+}
+
+/// One timed pass: `threads` committers, each doing `per_thread`
+/// append-then-commit cycles against a fresh log.
+fn run_pass(serialized: bool, threads: u64, per_thread: u64, scale: f64) -> PassResult {
+    let disk = Arc::new(MemDisk::new());
+    let model = DiskModel::default().with_scale(scale);
+    let log = PhysicalLog::open(disk, model, policy(serialized)).expect("open log");
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let log = Arc::clone(&log);
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let lsn = log.append(&rec(t, i));
+                    log.flush_to(lsn).expect("flush_to");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    let stats = log.stats();
+    log.close();
+    PassResult {
+        elapsed,
+        commits: threads * per_thread,
+        flushes: stats.flushes,
+        reservations: stats.append_reservations,
+        group_batches: stats.group_commit_batches,
+    }
+}
+
+/// Device-flush parity: the same fixed sequential commit pattern must
+/// issue the identical number of device flushes on both pipelines.
+fn flush_parity(commits: u64) -> (u64, u64) {
+    let counts: Vec<u64> = [true, false]
+        .iter()
+        .map(|&serialized| {
+            let disk = Arc::new(MemDisk::new());
+            let log = PhysicalLog::open(
+                disk,
+                DiskModel::zero(),
+                FlushPolicy::per_request().with_serialized_append(serialized),
+            )
+            .expect("open log");
+            for i in 0..commits {
+                let lsn = log.append(&rec(7, i));
+                log.flush_to(lsn).expect("flush_to");
+            }
+            let flushes = log.stats().flushes;
+            log.close();
+            flushes
+        })
+        .collect();
+    (counts[0], counts[1])
+}
+
+/// Crash mid-append: run the same deterministic sequence on both
+/// pipelines — commit a prefix, append an unflushed suffix, crash —
+/// and return the two recovered `(lsn, record)` streams.
+fn crash_recovery(serialized: bool) -> Vec<(u64, LogRecord)> {
+    let disk = Arc::new(MemDisk::new());
+    {
+        let log = PhysicalLog::open(
+            disk.clone(),
+            DiskModel::zero(),
+            FlushPolicy::per_request().with_serialized_append(serialized),
+        )
+        .expect("open log");
+        let mut committed = Lsn(0);
+        for i in 0..16 {
+            committed = log.append(&rec(3, i));
+        }
+        log.flush_to(committed).expect("flush committed prefix");
+        for i in 16..24 {
+            log.append(&rec(3, i));
+        }
+        log.crash();
+    }
+    let log = PhysicalLog::open(disk, DiskModel::zero(), FlushPolicy::per_request())
+        .expect("reopen after crash");
+    let recovered: Vec<(u64, LogRecord)> = log
+        .scan_from(Lsn(DATA_START))
+        .map(|r| {
+            let (lsn, record) = r.expect("clean scan after crash");
+            (lsn.0, record)
+        })
+        .collect();
+    log.close();
+    recovered
+}
+
+fn pass_json(p: &PassResult) -> String {
+    format!(
+        concat!(
+            "{{ \"elapsed_ms\": {:.3}, \"commits\": {}, \"commits_per_sec\": {:.1}, ",
+            "\"device_flushes\": {}, \"flushes_per_commit\": {:.3}, ",
+            "\"append_reservations\": {}, \"group_commit_batches\": {} }}"
+        ),
+        p.elapsed.as_secs_f64() * 1e3,
+        p.commits,
+        p.commits_per_sec(),
+        p.flushes,
+        p.flushes_per_commit(),
+        p.reservations,
+        p.group_batches,
+    )
+}
+
+fn main() {
+    let mut per_thread = 40u64;
+    let mut scale = 0.25f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--per-thread" => {
+                per_thread = it.next().and_then(|v| v.parse().ok()).unwrap_or(per_thread)
+            }
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+
+    let ser_1 = run_pass(true, 1, per_thread, scale);
+    let ser_8 = run_pass(true, 8, per_thread, scale);
+    let res_1 = run_pass(false, 1, per_thread, scale);
+    let res_8 = run_pass(false, 8, per_thread, scale);
+    let speedup_8 = res_8.commits_per_sec() / ser_8.commits_per_sec();
+
+    let (parity_ser, parity_res) = flush_parity(16);
+    let crash_ser = crash_recovery(true);
+    let crash_res = crash_recovery(false);
+    let byte_identical = crash_ser == crash_res;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pr2_scalable_append_path\",\n",
+            "  \"workload\": {{ \"per_thread_commits\": {}, \"disk_scale\": {} }},\n",
+            "  \"passes\": {{\n",
+            "    \"serialized_1t\": {},\n",
+            "    \"serialized_8t\": {},\n",
+            "    \"reserved_1t\": {},\n",
+            "    \"reserved_8t\": {}\n",
+            "  }},\n",
+            "  \"summary\": {{\n",
+            "    \"speedup_8t\": {:.2},\n",
+            "    \"parity_commits\": 16,\n",
+            "    \"parity_flushes_serialized\": {},\n",
+            "    \"parity_flushes_reserved\": {},\n",
+            "    \"crash_recovered_records\": {},\n",
+            "    \"crash_recovery_byte_identical\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        per_thread,
+        scale,
+        pass_json(&ser_1),
+        pass_json(&ser_8),
+        pass_json(&res_1),
+        pass_json(&res_8),
+        speedup_8,
+        parity_ser,
+        parity_res,
+        crash_res.len(),
+        byte_identical,
+    );
+
+    print!("{json}");
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+
+    assert!(
+        speedup_8 >= 3.0,
+        "reserved+group-commit must be >=3x serialized at 8 threads, got {speedup_8:.2}x"
+    );
+    assert_eq!(
+        parity_ser, parity_res,
+        "fixed commit pattern must issue identical device flushes"
+    );
+    assert_eq!(crash_res.len(), 16, "exactly the committed prefix survives");
+    assert!(byte_identical, "both pipelines recover identical state");
+    eprintln!(
+        "wrote BENCH_PR2.json ({speedup_8:.2}x at 8 threads, \
+         {parity_ser}=={parity_res} parity flushes)"
+    );
+}

@@ -252,8 +252,11 @@ impl World {
         }
 
         // Fault injector plumbing: the workload hook signals the crash
-        // controller thread, which crashes and restarts MSP2.
-        let (crash_tx, crash_rx) = crossbeam_channel::bounded::<()>(1);
+        // controller thread, which crashes and restarts MSP2. Unbounded so
+        // a signal is never dropped while the controller is still handling
+        // (or waiting to be scheduled for) a previous crash; the workload
+        // stalls while MSP2 is down, so at most one signal can queue up.
+        let (crash_tx, crash_rx) = crossbeam_channel::unbounded::<()>();
         let (stop_tx, stop_rx) = crossbeam_channel::bounded::<()>(1);
         let hook: Option<AfterReplyHook> = if opts.crash_every > 0 {
             let tx = crash_tx.clone();

@@ -28,6 +28,7 @@ pub mod model;
 pub mod position;
 pub mod record;
 pub mod stats;
+pub mod tail;
 
 pub use anchor::LogAnchor;
 pub use disk::{Disk, FileDisk, MemDisk};
@@ -36,3 +37,4 @@ pub use model::DiskModel;
 pub use position::PositionStream;
 pub use record::{LogRecord, MspCheckpointBody, SessionCheckpointBody};
 pub use stats::LogStats;
+pub use tail::{MAX_RESERVED_FRAME, SEGMENT_RING, SEGMENT_SIZE};

@@ -46,6 +46,7 @@ use crate::disk::Disk;
 use crate::model::DiskModel;
 use crate::record::LogRecord;
 use crate::stats::{LogStats, LogStatsSnapshot};
+use crate::tail::ReservedTail;
 
 /// Device sector size; the paper's disks use 512-byte sectors.
 pub const SECTOR_SIZE: usize = 512;
@@ -81,6 +82,18 @@ pub struct FlushPolicy {
     /// for, ending exactly at a record boundary (the partial last sector
     /// is rewritten by the next flush, as on a real log disk).
     pub group_commit: bool,
+    /// Extra delay after the first wakeup in group-commit mode, so
+    /// commits that arrive while the previous flush is in flight are
+    /// absorbed into the same device write. `None` flushes as soon as
+    /// the flusher wakes. Scaled by the disk model's time scale, like
+    /// `batch_timeout`.
+    pub group_commit_window: Option<Duration>,
+    /// `true`: use the legacy append path that copies each frame into
+    /// the tail buffer under one global mutex. Kept as a compatibility
+    /// baseline; the default is the reservation-based pipeline that
+    /// assigns LSNs with an atomic bump and fills segment buffers
+    /// outside any lock (see [`crate::tail`]).
+    pub serialized_append: bool,
 }
 
 impl Default for FlushPolicy {
@@ -95,6 +108,8 @@ impl FlushPolicy {
         FlushPolicy {
             batch_timeout: None,
             group_commit: true,
+            group_commit_window: None,
+            serialized_append: false,
         }
     }
 
@@ -104,6 +119,8 @@ impl FlushPolicy {
         FlushPolicy {
             batch_timeout: Some(timeout),
             group_commit: false,
+            group_commit_window: None,
+            serialized_append: false,
         }
     }
 
@@ -113,7 +130,26 @@ impl FlushPolicy {
         FlushPolicy {
             batch_timeout: None,
             group_commit: false,
+            group_commit_window: None,
+            serialized_append: false,
         }
+    }
+
+    /// Set the group-commit coalescing window.
+    #[must_use]
+    pub fn with_group_commit_window(mut self, window: Option<Duration>) -> FlushPolicy {
+        // A coalescing window only makes sense under group commit; setting
+        // one opts the policy in.
+        self.group_commit |= window.is_some();
+        self.group_commit_window = window;
+        self
+    }
+
+    /// Select the legacy single-mutex append path.
+    #[must_use]
+    pub fn with_serialized_append(mut self, serialized: bool) -> FlushPolicy {
+        self.serialized_append = serialized;
+        self
     }
 }
 
@@ -135,11 +171,21 @@ struct Buffer {
     requested: u64,
 }
 
+/// Which append pipeline backs the volatile tail.
+enum TailImpl {
+    /// Legacy: every append copies its frame into one `Vec` under a
+    /// global mutex ([`FlushPolicy::serialized_append`]).
+    Serialized(Mutex<Buffer>),
+    /// Default: lock-free LSN reservation + out-of-lock segment filling
+    /// (see [`crate::tail`]).
+    Reserved(ReservedTail),
+}
+
 /// The append/flush/read interface over one MSP's log device.
 pub struct PhysicalLog {
     disk: Arc<dyn Disk>,
     model: DiskModel,
-    inner: Mutex<Buffer>,
+    tail: TailImpl,
     durable_cv: Condvar,
     wakeup_tx: Sender<u64>,
     stopped: AtomicBool,
@@ -173,16 +219,22 @@ impl PhysicalLog {
         append_at: u64,
     ) -> Result<Arc<PhysicalLog>, MspError> {
         let (wakeup_tx, wakeup_rx) = crossbeam_channel::unbounded::<u64>();
+        let at = append_at.max(DATA_START);
+        let tail = if policy.serialized_append {
+            TailImpl::Serialized(Mutex::new(Buffer {
+                tail: Vec::with_capacity(64 * 1024),
+                tail_start: at,
+                durable: at,
+                record_ends: Vec::new(),
+                requested: at,
+            }))
+        } else {
+            TailImpl::Reserved(ReservedTail::new(at))
+        };
         let log = Arc::new(PhysicalLog {
             disk,
             model,
-            inner: Mutex::new(Buffer {
-                tail: Vec::with_capacity(64 * 1024),
-                tail_start: append_at.max(DATA_START),
-                durable: append_at.max(DATA_START),
-                record_ends: Vec::new(),
-                requested: append_at.max(DATA_START),
-            }),
+            tail,
             durable_cv: Condvar::new(),
             wakeup_tx,
             stopped: AtomicBool::new(false),
@@ -217,33 +269,68 @@ impl PhysicalLog {
     /// Append `record` to the volatile tail; returns its LSN. Does not
     /// make it durable — pair with [`flush_to`](Self::flush_to).
     pub fn append(&self, record: &LogRecord) -> Lsn {
+        self.append_sized(record).0
+    }
+
+    /// Append `record` and also return its framed size (header +
+    /// payload) in the log. Callers that feed per-session log-consumption
+    /// counters need the size; measuring it with a pair of `end_lsn`
+    /// probes around the append is racy once appends run concurrently,
+    /// so the append itself reports it.
+    pub fn append_sized(&self, record: &LogRecord) -> (Lsn, u64) {
         let payload = record.to_bytes();
         debug_assert!(payload.len() as u32 <= MAX_RECORD);
         let crc = crc32(&payload);
-        let mut inner = self.inner.lock();
-        let lsn = inner.tail_start + inner.tail.len() as u64;
-        inner.tail.push(FRAME_MAGIC);
-        inner
-            .tail
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        inner.tail.extend_from_slice(&crc.to_le_bytes());
-        inner.tail.extend_from_slice(&payload);
-        let end = inner.tail_start + inner.tail.len() as u64;
-        inner.record_ends.push(end);
-        self.stats.on_append((FRAME_HEADER + payload.len()) as u64);
-        Lsn(lsn)
+        let framed = (FRAME_HEADER + payload.len()) as u64;
+        let lsn = match &self.tail {
+            TailImpl::Serialized(inner) => {
+                let mut inner = inner.lock();
+                let lsn = inner.tail_start + inner.tail.len() as u64;
+                inner.tail.push(FRAME_MAGIC);
+                inner
+                    .tail
+                    .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                inner.tail.extend_from_slice(&crc.to_le_bytes());
+                inner.tail.extend_from_slice(&payload);
+                let end = inner.tail_start + inner.tail.len() as u64;
+                inner.record_ends.push(end);
+                lsn
+            }
+            TailImpl::Reserved(rt) => {
+                // Encode the full frame first — outside any lock — then
+                // reserve a range and copy it into the staging ring.
+                let mut frame = Vec::with_capacity(framed as usize);
+                frame.push(FRAME_MAGIC);
+                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&crc.to_le_bytes());
+                frame.extend_from_slice(&payload);
+                self.stats.on_reservation();
+                rt.append(&frame, &self.wakeup_tx, &self.stopped)
+            }
+        };
+        self.stats.on_append(framed);
+        (Lsn(lsn), framed)
     }
 
-    /// LSN the next append will receive.
+    /// LSN the next append will receive (under concurrent appends this
+    /// is a snapshot — another reservation may land immediately after).
     pub fn end_lsn(&self) -> Lsn {
-        let inner = self.inner.lock();
-        Lsn(inner.tail_start + inner.tail.len() as u64)
+        match &self.tail {
+            TailImpl::Serialized(inner) => {
+                let inner = inner.lock();
+                Lsn(inner.tail_start + inner.tail.len() as u64)
+            }
+            TailImpl::Reserved(rt) => Lsn(rt.reserved()),
+        }
     }
 
     /// LSN of the most recently appended record's *end*; every record with
     /// LSN strictly below the durable point is safe.
     pub fn durable_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().durable)
+        match &self.tail {
+            TailImpl::Serialized(inner) => Lsn(inner.lock().durable),
+            TailImpl::Reserved(rt) => Lsn(rt.durable()),
+        }
     }
 
     /// Block until the record at `lsn` (and everything before it) is
@@ -255,35 +342,62 @@ impl PhysicalLog {
     /// setting the stop flag, so no wakeup can be missed between the
     /// checks below and the wait.
     pub fn flush_to(&self, lsn: Lsn) -> Result<(), MspError> {
-        let mut inner = self.inner.lock();
-        while inner.durable <= lsn.0 {
-            if self.stopped.load(Ordering::SeqCst) {
-                return Err(MspError::Shutdown);
-            }
-            let tail_end = inner.tail_start + inner.tail.len() as u64;
-            if tail_end <= lsn.0 {
-                // Nothing at that LSN has even been appended; treat the
-                // current end as the target (defensive).
-                break;
-            }
-            // The flush target is the end of the record containing `lsn`.
-            let target = match inner.record_ends.iter().find(|&&e| e > lsn.0) {
-                Some(&e) => e,
-                None => tail_end,
-            };
-            if target > inner.requested {
-                inner.requested = target;
-                drop(inner);
-                if self.wakeup_tx.send(target).is_err() {
-                    return Err(MspError::Shutdown);
+        match &self.tail {
+            TailImpl::Serialized(inner_mx) => {
+                let mut inner = inner_mx.lock();
+                while inner.durable <= lsn.0 {
+                    if self.stopped.load(Ordering::SeqCst) {
+                        return Err(MspError::Shutdown);
+                    }
+                    let tail_end = inner.tail_start + inner.tail.len() as u64;
+                    if tail_end <= lsn.0 {
+                        // Nothing at that LSN has even been appended; treat
+                        // the current end as the target (defensive).
+                        break;
+                    }
+                    // `record_ends` is sorted, so the end of the record
+                    // containing `lsn` is the first entry past it.
+                    let idx = inner.record_ends.partition_point(|&e| e <= lsn.0);
+                    let target = inner.record_ends.get(idx).copied().unwrap_or(tail_end);
+                    if target > inner.requested {
+                        inner.requested = target;
+                        drop(inner);
+                        if self.wakeup_tx.send(target).is_err() {
+                            return Err(MspError::Shutdown);
+                        }
+                        inner = inner_mx.lock();
+                    }
+                    if inner.durable <= lsn.0 && !self.stopped.load(Ordering::SeqCst) {
+                        self.durable_cv.wait(&mut inner);
+                    }
                 }
-                inner = self.inner.lock();
+                Ok(())
             }
-            if inner.durable <= lsn.0 && !self.stopped.load(Ordering::SeqCst) {
-                self.durable_cv.wait(&mut inner);
+            TailImpl::Reserved(rt) => {
+                loop {
+                    if rt.durable() > lsn.0 {
+                        return Ok(());
+                    }
+                    if self.stopped.load(Ordering::SeqCst) {
+                        return Err(MspError::Shutdown);
+                    }
+                    let reserved = rt.reserved();
+                    if reserved <= lsn.0 {
+                        // Nothing at that LSN has even been appended
+                        // (defensive, mirrors the serialized path).
+                        return Ok(());
+                    }
+                    // Reservation points always sit on frame boundaries,
+                    // so the current reserved end is a legal target; it
+                    // also absorbs every record appended so far, which is
+                    // exactly group commit's job.
+                    if rt.note_requested(reserved) && self.wakeup_tx.send(reserved).is_err() {
+                        return Err(MspError::Shutdown);
+                    }
+                    rt.wait(|| rt.durable() > lsn.0 || self.stopped.load(Ordering::SeqCst));
+                }
             }
         }
-        Ok(())
     }
 
     /// Flush everything appended so far.
@@ -326,20 +440,57 @@ impl PhysicalLog {
     /// Fetch the validated frame payload at `lsn`, from the volatile
     /// tail if still buffered, else from the device.
     fn read_frame(&self, lsn: Lsn) -> Result<Vec<u8>, MspError> {
-        {
-            let inner = self.inner.lock();
-            if lsn.0 >= inner.tail_start {
-                let off = (lsn.0 - inner.tail_start) as usize;
-                if off >= inner.tail.len() {
-                    return Err(MspError::LogCorrupt {
-                        offset: lsn.0,
-                        reason: "read past end of log".into(),
-                    });
+        let corrupt = |reason: &str| MspError::LogCorrupt {
+            offset: lsn.0,
+            reason: reason.into(),
+        };
+        match &self.tail {
+            TailImpl::Serialized(inner) => {
+                {
+                    let inner = inner.lock();
+                    if lsn.0 >= inner.tail_start {
+                        let off = (lsn.0 - inner.tail_start) as usize;
+                        if off >= inner.tail.len() {
+                            return Err(corrupt("read past end of log"));
+                        }
+                        return read_frame_from_slice(&inner.tail, off, lsn.0);
+                    }
                 }
-                return read_frame_from_slice(&inner.tail, off, lsn.0);
+                read_frame_from_disk(self.disk.as_ref(), lsn.0)
+            }
+            TailImpl::Reserved(rt) => {
+                // A known LSN is fully staged (its append returned before
+                // the LSN could escape), so the only race is the slot
+                // being retired mid-read — in which case the bytes are
+                // durable and the device serves them.
+                while lsn.0 >= rt.durable() {
+                    if lsn.0 >= rt.reserved() {
+                        return Err(corrupt("read past end of log"));
+                    }
+                    let mut header = [0u8; FRAME_HEADER];
+                    if !rt.try_copy_out(lsn.0, &mut header) {
+                        continue;
+                    }
+                    if header[0] != FRAME_MAGIC {
+                        return Err(corrupt("bad frame magic"));
+                    }
+                    let len = u32::from_le_bytes(header[1..5].try_into().expect("slice")) as usize;
+                    let crc = u32::from_le_bytes(header[5..9].try_into().expect("slice"));
+                    if len as u32 > MAX_RECORD {
+                        return Err(corrupt("oversized frame"));
+                    }
+                    let mut payload = vec![0u8; len];
+                    if !rt.try_copy_out(lsn.0 + FRAME_HEADER as u64, &mut payload) {
+                        continue;
+                    }
+                    if crc32(&payload) != crc {
+                        return Err(corrupt("crc mismatch"));
+                    }
+                    return Ok(payload);
+                }
+                read_frame_from_disk(self.disk.as_ref(), lsn.0)
             }
         }
-        read_frame_from_disk(self.disk.as_ref(), lsn.0)
     }
 
     /// Sequential scanner over the *durable* log starting at `from`,
@@ -384,12 +535,20 @@ impl PhysicalLog {
         if !clean {
             // Discard the volatile tail so the flusher's final drain
             // cannot accidentally make it durable.
-            let mut inner = self.inner.lock();
-            inner.tail.clear();
-            inner.record_ends.clear();
-            drop(inner);
+            match &self.tail {
+                TailImpl::Serialized(inner) => {
+                    let mut inner = inner.lock();
+                    inner.tail.clear();
+                    inner.record_ends.clear();
+                }
+                TailImpl::Reserved(rt) => rt.set_discard(),
+            }
         }
         self.stopped.store(true, Ordering::SeqCst);
+        if let TailImpl::Reserved(rt) = &self.tail {
+            // Unpark a flusher waiting for segment completion promptly.
+            rt.notify_force();
+        }
         let _ = self.wakeup_tx.send(u64::MAX);
         if let Some(h) = self.flusher.lock().take() {
             let _ = h.join();
@@ -400,8 +559,13 @@ impl PhysicalLog {
         // wait, so by the time this lock is acquired the waiter either
         // saw `stopped` or is already parked and will receive the
         // notification.
-        drop(self.inner.lock());
-        self.durable_cv.notify_all();
+        match &self.tail {
+            TailImpl::Serialized(inner) => {
+                drop(inner.lock());
+                self.durable_cv.notify_all();
+            }
+            TailImpl::Reserved(rt) => rt.notify_force(),
+        }
     }
 
     fn flusher_loop(self: Arc<PhysicalLog>, wakeup_rx: Receiver<u64>, policy: FlushPolicy) {
@@ -414,39 +578,144 @@ impl PhysicalLog {
             };
             if self.stopped.load(Ordering::SeqCst) {
                 // Final drain so close() callers are not stranded.
-                self.perform_flush(None);
+                self.final_drain(policy);
                 return;
             }
             if let Some(t) = policy.batch_timeout {
                 // Batch flushing (§5.5): delay so several requests are
                 // served by one device write.
                 crate::model::sleep_exact(t.mul_f64(self.model.time_scale.max(0.0)));
+            } else if policy.group_commit {
+                if let Some(w) = policy.group_commit_window {
+                    // Hold the device briefly so commits arriving while
+                    // this flush is being assembled join it.
+                    crate::model::sleep_exact(w.mul_f64(self.model.time_scale.max(0.0)));
+                }
             }
-            if policy.group_commit {
-                // Group commit: one write takes everything pending.
-                while wakeup_rx.try_recv().is_ok() {}
-                self.perform_flush(None);
-            } else if policy.batch_timeout.is_some() {
-                // Batch flushing (§5.5): the timeout window coalesces all
-                // requests that arrived during it into one write.
+            // Absorb every request that queued up behind the first; one
+            // device write serves them all (group commit / batching).
+            let target = if policy.group_commit || policy.batch_timeout.is_some() {
                 let mut target = first;
+                let mut extra = 0u64;
                 while let Ok(t) = wakeup_rx.try_recv() {
                     target = target.max(t);
+                    extra += 1;
                 }
-                self.perform_flush(Some(target));
+                if extra > 0 {
+                    self.stats.on_group_commit_batch();
+                }
+                target
             } else {
-                // The paper prototype's baseline: one device write per
-                // flush request (already-covered targets are no-ops).
-                self.perform_flush(Some(first));
+                first
+            };
+            match &self.tail {
+                TailImpl::Serialized(_) => {
+                    if policy.group_commit {
+                        // Group commit: one write takes everything pending.
+                        self.perform_flush(None);
+                    } else if policy.batch_timeout.is_some() {
+                        // Batch flushing (§5.5): the timeout window
+                        // coalesced all requests into one write.
+                        self.perform_flush(Some(target));
+                    } else {
+                        // The paper prototype's baseline: one device write
+                        // per flush request (already-covered targets are
+                        // no-ops).
+                        self.perform_flush(Some(first));
+                    }
+                }
+                TailImpl::Reserved(rt) => {
+                    if policy.group_commit {
+                        let goal = rt.requested().max(rt.reserved());
+                        self.flush_reserved(rt, goal, true);
+                    } else {
+                        self.flush_reserved(rt, target.max(first), false);
+                    }
+                }
             }
             // The coalescing drains above may have consumed the shutdown
             // sentinel; recheck so shutdown() is never left joining a
             // flusher that is blocked on an empty channel.
             if self.stopped.load(Ordering::SeqCst) {
-                self.perform_flush(None);
+                self.final_drain(policy);
                 return;
             }
         }
+    }
+
+    /// Last flush before the flusher exits, so `close()` callers are not
+    /// stranded. A crash (`discard`) makes this a no-op on the reserved
+    /// path; the serialized path's tail was already cleared.
+    fn final_drain(&self, policy: FlushPolicy) {
+        match &self.tail {
+            TailImpl::Serialized(_) => self.perform_flush(None),
+            TailImpl::Reserved(rt) => {
+                if !rt.discarded() {
+                    let goal = rt.requested().max(rt.reserved());
+                    self.flush_reserved(rt, goal, policy.group_commit);
+                }
+                rt.notify_force();
+            }
+        }
+    }
+
+    /// Drive the reserved tail durable up to `goal` (clamped to the
+    /// reserved end), waiting for segment completion watermarks as
+    /// needed. `pad` rounds the final write up to a sector boundary when
+    /// no concurrent reservation races in.
+    fn flush_reserved(&self, rt: &ReservedTail, goal: u64, pad: bool) {
+        loop {
+            if rt.discarded() {
+                break;
+            }
+            let durable = rt.durable();
+            let goal_now = goal.min(rt.reserved());
+            if durable >= goal_now {
+                break;
+            }
+            // Never ship a range with holes: advance only over segments
+            // whose completion watermark accounts for every reserved
+            // byte.
+            let prefix = rt.complete_prefix(durable, goal_now);
+            if prefix <= durable {
+                if self.stopped.load(Ordering::SeqCst) {
+                    // An appender may have aborted mid-copy at shutdown;
+                    // the hole will never fill, so give up.
+                    break;
+                }
+                rt.wait(|| {
+                    rt.complete_prefix(durable, goal_now) > durable
+                        || self.stopped.load(Ordering::SeqCst)
+                        || rt.discarded()
+                });
+                continue;
+            }
+            let mut bytes = Vec::new();
+            rt.collect(durable, prefix, &mut bytes);
+            let mut end = prefix;
+            let padding = ReservedTail::pad_to_sector(prefix);
+            if pad && padding > 0 && rt.claim_padding(prefix, padding) {
+                // The pad range is now reserved for these zeros; account
+                // it filled so the watermark check stays exact.
+                rt.account_padding(prefix, padding);
+                bytes.resize(bytes.len() + padding as usize, 0);
+                end = prefix + padding;
+            }
+            // Sector span actually touched (the first sector may be a
+            // partial rewrite); an unpadded partial last sector is waste
+            // this flush pays for, exactly like the serialized path.
+            let first_sector = durable / SECTOR_SIZE as u64;
+            let last_sector = end.div_ceil(SECTOR_SIZE as u64);
+            let sectors = last_sector - first_sector;
+            self.model.charge_flush(sectors);
+            if self.disk.write(durable, &bytes).is_err() {
+                break;
+            }
+            self.stats.on_flush(sectors, padding);
+            rt.publish_durable(end);
+            rt.retire_through(end);
+        }
+        rt.notify_force();
     }
 
     /// One device write. `limit = None` takes the whole tail and pads it
@@ -454,8 +723,11 @@ impl PhysicalLog {
     /// only up to the record boundary `end`, unpadded — the next flush
     /// rewrites the partial last sector, as on a real log disk.
     fn perform_flush(&self, limit: Option<u64>) {
+        let TailImpl::Serialized(inner_mx) = &self.tail else {
+            return;
+        };
         let (start, bytes, padded, end) = {
-            let mut inner = self.inner.lock();
+            let mut inner = inner_mx.lock();
             if inner.tail.is_empty() {
                 self.durable_cv.notify_all();
                 return;
@@ -505,7 +777,7 @@ impl PhysicalLog {
         // MemDisk writes cannot fail; FileDisk failures would need real
         // error propagation — surfaced as a poisoned durable horizon.
         if self.disk.write(start, &bytes).is_ok() {
-            let mut inner = self.inner.lock();
+            let mut inner = inner_mx.lock();
             inner.durable = inner.durable.max(end);
             self.stats.on_flush(sectors, padded);
         }
@@ -517,12 +789,18 @@ impl Drop for PhysicalLog {
     fn drop(&mut self) {
         // Crash-consistent by default: the tail is NOT flushed. Callers
         // wanting durability must call `close()`.
-        {
-            let mut inner = self.inner.lock();
-            inner.tail.clear();
-            inner.record_ends.clear();
+        match &self.tail {
+            TailImpl::Serialized(inner) => {
+                let mut inner = inner.lock();
+                inner.tail.clear();
+                inner.record_ends.clear();
+            }
+            TailImpl::Reserved(rt) => rt.set_discard(),
         }
         self.stopped.store(true, Ordering::SeqCst);
+        if let TailImpl::Reserved(rt) = &self.tail {
+            rt.notify_force();
+        }
         let _ = self.wakeup_tx.send(u64::MAX);
         if let Some(h) = self.flusher.lock().take() {
             let _ = h.join();
@@ -1066,6 +1344,116 @@ mod tests {
         );
         assert!(log.stats().readahead_chunks > 0);
         assert_eq!(log.stats().readahead_chunks, scan_reads);
+        log.close();
+    }
+
+    fn big_rec(session: u64, seq: u64, payload_len: usize) -> LogRecord {
+        LogRecord::RequestReceive {
+            session: SessionId(session),
+            seq: RequestSeq(seq),
+            method: "m".into(),
+            payload: vec![0xB7; payload_len],
+            sender_dv: None,
+        }
+    }
+
+    #[test]
+    fn serialized_append_path_still_works() {
+        let disk = MemDisk::new();
+        let log = PhysicalLog::open(
+            Arc::new(disk.clone()),
+            DiskModel::zero(),
+            FlushPolicy::immediate().with_serialized_append(true),
+        )
+        .unwrap();
+        let a = log.append(&rec(1, 0));
+        assert_eq!(log.read_record(a).unwrap(), rec(1, 0));
+        log.flush_to(a).unwrap();
+        assert_eq!(disk.len() % SECTOR_SIZE as u64, 0);
+        assert_eq!(log.read_record(a).unwrap(), rec(1, 0));
+        assert_eq!(
+            log.stats().append_reservations,
+            0,
+            "serialized path must not touch the reservation pipeline"
+        );
+        log.close();
+    }
+
+    #[test]
+    fn reserved_append_counts_reservations() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        let (b, framed) = log.append_sized(&rec(1, 1));
+        assert_eq!(framed, (FRAME_HEADER + rec(1, 1).to_bytes().len()) as u64);
+        assert_eq!(b.0, a.0 + framed);
+        assert_eq!(log.stats().append_reservations, 2);
+        log.close();
+    }
+
+    #[test]
+    fn appends_cross_segment_boundaries_cleanly() {
+        let (_, log) = open_mem();
+        // ~2.5 MB of 64 KB records crosses two segment boundaries; the
+        // no-span placement rule inserts zero gaps the scanner must skip.
+        let n = 40u64;
+        let mut lsns = Vec::new();
+        for i in 0..n {
+            lsns.push(log.append(&big_rec(1, i, 64 * 1024)));
+        }
+        assert!(log.end_lsn().0 > 2 * crate::tail::SEGMENT_SIZE as u64);
+        log.flush_all().unwrap();
+        for (i, &lsn) in lsns.iter().enumerate() {
+            assert_eq!(
+                log.read_record(lsn).unwrap(),
+                big_rec(1, i as u64, 64 * 1024)
+            );
+        }
+        let got: Vec<_> = log
+            .scan_from(Lsn(DATA_START))
+            .map(|r| r.unwrap().1)
+            .collect();
+        assert_eq!(got.len(), n as usize);
+        log.close();
+    }
+
+    #[test]
+    fn oversized_frame_spans_segments() {
+        let (_, log) = open_mem();
+        // A payload bigger than one segment must span, exercise the
+        // span-floor clamp, and still read back intact.
+        let r = big_rec(
+            1,
+            0,
+            crate::tail::SEGMENT_SIZE + crate::tail::SEGMENT_SIZE / 2,
+        );
+        let a = log.append(&r);
+        log.flush_to(a).unwrap();
+        assert_eq!(log.read_record(a).unwrap(), r);
+        let b = log.append(&rec(1, 1));
+        log.flush_to(b).unwrap();
+        assert_eq!(log.read_record(b).unwrap(), rec(1, 1));
+        log.close();
+    }
+
+    #[test]
+    fn concurrent_flushers_count_group_commit_batches() {
+        let (_, log) = open_mem();
+        let mut lsns = Vec::new();
+        for i in 0..64 {
+            lsns.push(log.append(&rec(1, i)));
+        }
+        std::thread::scope(|s| {
+            for &lsn in &lsns {
+                let log = &log;
+                s.spawn(move || log.flush_to(lsn).unwrap());
+            }
+        });
+        let stats = log.stats();
+        assert!(
+            stats.flushes < 64,
+            "concurrent flush_to calls must coalesce, got {}",
+            stats.flushes
+        );
         log.close();
     }
 

@@ -18,6 +18,8 @@ pub struct LogStats {
     record_reads: AtomicU64,
     scan_chunks: AtomicU64,
     readahead_chunks: AtomicU64,
+    append_reservations: AtomicU64,
+    group_commit_batches: AtomicU64,
 }
 
 /// A point-in-time copy of [`LogStats`].
@@ -40,6 +42,13 @@ pub struct LogStatsSnapshot {
     /// Device reads issued by the scanner's read-ahead buffer (one per
     /// 64 KB chunk instead of three per record).
     pub readahead_chunks: u64,
+    /// LSN ranges handed out by the lock-free reservation pipeline
+    /// (zero when running with `serialized_append`).
+    pub append_reservations: u64,
+    /// Flusher wakeups that absorbed at least one additional pending
+    /// flush request into the same device write (group-commit /
+    /// batch coalescing events).
+    pub group_commit_batches: u64,
 }
 
 impl LogStats {
@@ -67,6 +76,14 @@ impl LogStats {
         self.readahead_chunks.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn on_reservation(&self) {
+        self.append_reservations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_group_commit_batch(&self) {
+        self.group_commit_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> LogStatsSnapshot {
         LogStatsSnapshot {
             appends: self.appends.load(Ordering::Relaxed),
@@ -77,6 +94,8 @@ impl LogStats {
             record_reads: self.record_reads.load(Ordering::Relaxed),
             scan_chunks: self.scan_chunks.load(Ordering::Relaxed),
             readahead_chunks: self.readahead_chunks.load(Ordering::Relaxed),
+            append_reservations: self.append_reservations.load(Ordering::Relaxed),
+            group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,6 +113,8 @@ impl LogStatsSnapshot {
             record_reads: self.record_reads - earlier.record_reads,
             scan_chunks: self.scan_chunks - earlier.scan_chunks,
             readahead_chunks: self.readahead_chunks - earlier.readahead_chunks,
+            append_reservations: self.append_reservations - earlier.append_reservations,
+            group_commit_batches: self.group_commit_batches - earlier.group_commit_batches,
         }
     }
 }
@@ -110,6 +131,8 @@ mod tests {
         s.on_flush(3, 200);
         s.on_record_read();
         s.on_scan_chunk();
+        s.on_reservation();
+        s.on_group_commit_batch();
         let snap = s.snapshot();
         assert_eq!(snap.appends, 2);
         assert_eq!(snap.appended_bytes, 150);
@@ -118,6 +141,8 @@ mod tests {
         assert_eq!(snap.padded_bytes, 200);
         assert_eq!(snap.record_reads, 1);
         assert_eq!(snap.scan_chunks, 1);
+        assert_eq!(snap.append_reservations, 1);
+        assert_eq!(snap.group_commit_batches, 1);
     }
 
     #[test]
