@@ -152,6 +152,18 @@ pub struct MspConfig {
     /// Run the WAL on the legacy single-mutex append path instead of the
     /// reservation-based pipeline. Compatibility/baseline knob.
     pub serialized_append: bool,
+    /// Threads in the dedicated crash-recovery replay pool (Figure 12's
+    /// parallel session replay). Separate from `workers` so replay never
+    /// starves new sessions arriving mid-recovery.
+    pub recovery_threads: usize,
+    /// 64 KB blocks in the shared read-only replay cache over the
+    /// immutable crash-time log. All concurrently replaying sessions hit
+    /// this pool instead of issuing per-frame device reads.
+    pub replay_cache_blocks: usize,
+    /// Replay crashed sessions one at a time on a single thread with
+    /// per-session whole-window read charging — the measured baseline the
+    /// parallel engine is compared against.
+    pub serial_recovery: bool,
     /// Back-off before resending when the server answered *Busy*
     /// (checkpointing / recovering). Paper: 100 ms, scaled.
     pub busy_backoff: Duration,
@@ -175,6 +187,9 @@ impl MspConfig {
             durability_watermarks: true,
             group_commit_window: None,
             serialized_append: false,
+            recovery_threads: 4,
+            replay_cache_blocks: 64,
+            serial_recovery: false,
             busy_backoff: Duration::from_millis(100),
             time_scale: 0.02,
         }
@@ -228,6 +243,24 @@ impl MspConfig {
         self
     }
 
+    #[must_use]
+    pub fn with_recovery_threads(mut self, threads: usize) -> MspConfig {
+        self.recovery_threads = threads;
+        self
+    }
+
+    #[must_use]
+    pub fn with_replay_cache_blocks(mut self, blocks: usize) -> MspConfig {
+        self.replay_cache_blocks = blocks;
+        self
+    }
+
+    #[must_use]
+    pub fn with_serial_recovery(mut self, serial: bool) -> MspConfig {
+        self.serial_recovery = serial;
+        self
+    }
+
     /// The busy backoff after scaling.
     pub fn scaled_busy_backoff(&self) -> Duration {
         if self.time_scale <= 0.0 {
@@ -272,16 +305,25 @@ mod tests {
             .with_rpc_retry_limit(3)
             .with_durability_watermarks(false)
             .with_group_commit_window(Some(Duration::from_micros(500)))
-            .with_serialized_append(true);
+            .with_serialized_append(true)
+            .with_recovery_threads(8)
+            .with_replay_cache_blocks(16)
+            .with_serial_recovery(true);
         assert_eq!(cfg.rpc_retry_limit, 3);
         assert!(!cfg.durability_watermarks);
         assert_eq!(cfg.group_commit_window, Some(Duration::from_micros(500)));
         assert!(cfg.serialized_append);
+        assert_eq!(cfg.recovery_threads, 8);
+        assert_eq!(cfg.replay_cache_blocks, 16);
+        assert!(cfg.serial_recovery);
         let cfg = MspConfig::new(MspId(1), DomainId(1));
         assert_eq!(cfg.rpc_retry_limit, 10_000);
         assert!(cfg.durability_watermarks);
         assert_eq!(cfg.group_commit_window, None);
         assert!(!cfg.serialized_append);
+        assert_eq!(cfg.recovery_threads, 4);
+        assert_eq!(cfg.replay_cache_blocks, 64);
+        assert!(!cfg.serial_recovery);
     }
 
     #[test]

@@ -11,19 +11,23 @@
 //!   a position stream rebuilt by the analysis scan, with the EOS-found
 //!   handling for skip ranges recorded by pre-crash recoveries.
 //! * **MSP crash recovery** (§4.3, Figure 12) — re-initialize from the
-//!   anchored MSP checkpoint, run a single-threaded analysis scan that
-//!   rebuilds position streams / rolls shared variables forward / gathers
-//!   recovered-state knowledge, broadcast our own recovered state number,
-//!   checkpoint, then replay all sessions **in parallel** on the worker
-//!   pool while already accepting new work.
+//!   anchored MSP checkpoint, run a pipelined analysis scan (a prefetch
+//!   stage streams 64 KB chunks ahead of decode) that rebuilds position
+//!   streams / rolls shared variables forward / gathers recovered-state
+//!   knowledge, broadcast our own recovered state number, checkpoint,
+//!   then replay all sessions **in parallel** on a dedicated recovery
+//!   pool — longest window first, through a shared read-only block cache
+//!   — while the worker pool is already accepting new work.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
 
 use msp_types::{Lsn, MspError, MspResult, RecoveryRecord, SessionId};
 use msp_wal::log::DATA_START;
 use msp_wal::record::MspCheckpointBody;
-use msp_wal::{LogRecord, PositionStream};
+use msp_wal::{LogRecord, PositionStream, ReplayCache};
 
 use crate::envelope::ReplyStatus;
 use crate::replay::{Consume, ReplayCursor};
@@ -36,8 +40,10 @@ pub(crate) struct RecoveryOutcome {
     /// Our recovery record to broadcast in the domain (`None` on a fresh
     /// log — nothing to recover, nothing to announce).
     pub announce: Option<RecoveryRecord>,
-    /// Sessions whose replay should be scheduled on the worker pool.
-    pub sessions_to_replay: Vec<SessionId>,
+    /// Sessions to hand to the recovery pool, paired with their replay
+    /// window's byte span and pre-ordered for the pool: longest window
+    /// first (LPT makespan scheduling), or by id under `serial_recovery`.
+    pub sessions_to_replay: Vec<(SessionId, u64)>,
 }
 
 impl MspInner {
@@ -62,36 +68,54 @@ impl MspInner {
         let log = self.log();
         let me = self.cfg.id;
 
+        // During crash recovery all sessions share one read-only block
+        // cache over the immutable crash-time log; outside it (live
+        // orphan recovery, serial baseline) reads go to the log directly.
+        let cache = self.replay_cache.lock().clone();
+
         // Snapshot the replay window, then reset the session to its most
         // recent checkpoint (or to a fresh state).
         let positions: Vec<Lsn> = st.positions.iter().collect();
-        let restored = match st.last_ckpt {
-            Some(ckpt) => match log.read_record(ckpt)? {
-                LogRecord::SessionCheckpoint { body, .. } => {
-                    SessionState::restore_from_checkpoint(&body, me, self.epoch(), ckpt)
-                }
-                other => {
-                    return Err(MspError::LogCorrupt {
-                        offset: ckpt.0,
-                        reason: format!(
-                            "session {} checkpoint anchor points at {}",
-                            cell.id,
-                            other.kind()
-                        ),
-                    })
-                }
-            },
+        let ckpt_record = match st.last_ckpt {
+            Some(ckpt) => Some((
+                ckpt,
+                match &cache {
+                    Some(c) => c.read_record(ckpt)?,
+                    None => log.read_record(ckpt)?,
+                },
+            )),
+            None => None,
+        };
+        let restored = match ckpt_record {
+            Some((ckpt, LogRecord::SessionCheckpoint { body, .. })) => {
+                SessionState::restore_from_checkpoint(&body, me, self.epoch(), ckpt)
+            }
+            Some((ckpt, other)) => {
+                return Err(MspError::LogCorrupt {
+                    offset: ckpt.0,
+                    reason: format!(
+                        "session {} checkpoint anchor points at {}",
+                        cell.id,
+                        other.kind()
+                    ),
+                })
+            }
             None => SessionState::fresh(),
         };
         *st = restored;
 
-        // Charge the (mostly sequential) log reads of the replay window
-        // (§5.4: replay reads 64 KB chunks).
-        if let (Some(&first), Some(&last)) = (positions.first(), positions.last()) {
-            log.charge_sequential_read(last.0 - first.0 + 1);
+        // I/O accounting: with the shared cache, each 64 KB block is
+        // charged once, on its cache miss — overlapping replay windows no
+        // longer bill the same bytes once per session. Without a cache,
+        // charge the whole window sequentially (§5.4: replay reads 64 KB
+        // chunks).
+        if cache.is_none() {
+            if let (Some(&first), Some(&last)) = (positions.first(), positions.last()) {
+                log.charge_sequential_read(last.0 - first.0 + 1);
+            }
         }
 
-        let mut cursor = ReplayCursor::new(positions);
+        let mut cursor = ReplayCursor::new(positions).with_cache(cache);
         loop {
             let step = {
                 // Re-read knowledge each iteration: another MSP may crash
@@ -174,8 +198,8 @@ impl MspInner {
     }
 
     /// MSP crash recovery (Figure 12). Runs before the runtime goes live;
-    /// returns the broadcast record and the sessions to replay in
-    /// parallel.
+    /// returns the broadcast record and the sessions the recovery pool
+    /// should replay (pre-ordered, with their window spans).
     pub(crate) fn crash_recover(&self) -> MspResult<RecoveryOutcome> {
         let log = self.log();
         if log.durable_lsn().0 <= DATA_START && log.end_lsn().0 <= DATA_START {
@@ -187,6 +211,7 @@ impl MspInner {
         }
         self.stats.crash_recoveries.fetch_add(1, Ordering::Relaxed);
         let me = self.cfg.id;
+        let t_analysis = Instant::now();
 
         // 1. Re-initialize from the most recent MSP checkpoint (via the
         //    log anchor); absent one, scan the whole log.
@@ -208,12 +233,18 @@ impl MspInner {
             }
         }
 
-        // 2. Single-threaded analysis scan: rebuild position streams,
-        //    roll shared variables forward, gather knowledge.
+        // 2. Analysis scan: rebuild position streams, roll shared
+        //    variables forward, gather knowledge. The parallel engine
+        //    streams chunks off the disk in a prefetch stage so decode
+        //    overlaps I/O; the serial baseline alternates read/decode.
         let mut streams: HashMap<SessionId, PositionStream> = HashMap::new();
         let mut anchors: HashMap<SessionId, (Lsn, bool)> = HashMap::new();
         let mut ended: HashSet<SessionId> = HashSet::new();
-        let mut scan = log.scan_from(scan_start);
+        let mut scan = if self.cfg.serial_recovery {
+            log.scan_from(scan_start)
+        } else {
+            log.scan_from_pipelined(scan_start)
+        };
         for item in &mut scan {
             let (lsn, record) = item?;
             match &record {
@@ -280,6 +311,9 @@ impl MspInner {
         //    at or beyond the scan end is lost.
         let recovered_lsn = Lsn(scan.position().0.saturating_sub(1));
         drop(scan);
+        self.stats
+            .recovery_analysis_nanos
+            .store(t_analysis.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let new_epoch = epoch_base.next();
         self.epoch.store(new_epoch.0, Ordering::Release);
         let own = RecoveryRecord {
@@ -295,24 +329,41 @@ impl MspInner {
         });
         log.flush_to(lsn)?;
 
-        // 4. Materialize the sessions in "awaiting replay" state. Their
-        //    requests bounce Busy until the parallel replay (scheduled by
-        //    the builder) completes.
+        // 4. Build the shared replay cache over the now-immutable
+        //    crash-time log (everything recovery appends from here on
+        //    lands past its limit and falls back to direct log reads),
+        //    then materialize the sessions in "awaiting replay" state.
+        //    Their requests either bounce Busy or recover inline (through
+        //    the same cache) until the recovery pool reaches them.
+        if !self.cfg.serial_recovery {
+            *self.replay_cache.lock() = Some(Arc::new(ReplayCache::new(
+                log,
+                self.cfg.replay_cache_blocks,
+            )));
+        }
         let mut to_replay = Vec::new();
         {
             let mut sessions = self.sessions.lock();
             for (sid, (anchor, is_ckpt)) in anchors {
                 let stream = streams.remove(&sid).unwrap_or_default();
+                let span = stream.span_bytes();
                 let mut st = SessionState::fresh();
                 st.positions = stream;
                 st.first_lsn = Some(anchor);
                 st.last_ckpt = is_ckpt.then_some(anchor);
                 st.needs_recovery = true;
-                sessions.insert(sid, std::sync::Arc::new(SessionCell::new(sid, st)));
-                to_replay.push(sid);
+                sessions.insert(sid, Arc::new(SessionCell::new(sid, st)));
+                to_replay.push((sid, span));
             }
         }
-        to_replay.sort_unstable();
+        if self.cfg.serial_recovery {
+            // The legacy deterministic order: ascending session id.
+            to_replay.sort_unstable_by_key(|&(sid, _)| sid);
+        } else {
+            // Longest window first: LPT scheduling minimizes the replay
+            // pool's makespan (ties broken by id for determinism).
+            to_replay.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
         Ok(RecoveryOutcome {
             announce: Some(own),
             sessions_to_replay: to_replay,

@@ -31,9 +31,10 @@
 //! mid-request) also switches to live execution, with no EOS needed.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use msp_types::{Lsn, MspError, MspId, MspResult, RecoveryKnowledge, SessionId};
-use msp_wal::{LogRecord, PhysicalLog};
+use msp_wal::{LogRecord, PhysicalLog, ReplayCache};
 
 /// What [`ReplayCursor::consume`] produced.
 #[derive(Debug)]
@@ -53,6 +54,10 @@ pub enum Consume {
 pub struct ReplayCursor {
     positions: Vec<Lsn>,
     idx: usize,
+    /// Shared read-only block cache over the immutable crash-time log;
+    /// when present, all replay reads below its limit are served from it
+    /// instead of per-frame device reads.
+    cache: Option<Arc<ReplayCache>>,
     /// `orphan_lsn → ascending stream indices of EOS records closing it`,
     /// built in one pass over the stream on the first orphan hit so each
     /// position-stream record is decoded at most once per recovery
@@ -72,10 +77,29 @@ impl ReplayCursor {
         ReplayCursor {
             positions,
             idx: 0,
+            cache: None,
             eos_index: None,
             went_live: false,
             orphan_hit: None,
             eos_ranges_skipped: 0,
+        }
+    }
+
+    /// Serve replay reads through `cache` (crash recovery); `None` keeps
+    /// direct log reads (live orphan recovery, serial baseline).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Option<Arc<ReplayCache>>) -> ReplayCursor {
+        self.cache = cache;
+        self
+    }
+
+    /// One record read, via the block cache when attached. The cache
+    /// forwards reads past its immutable limit back to the log, which
+    /// can also serve its own volatile tail.
+    fn read_sized(&self, log: &PhysicalLog, lsn: Lsn) -> MspResult<(LogRecord, u64)> {
+        match &self.cache {
+            Some(c) => c.read_record_sized(lsn),
+            None => log.read_record_sized(lsn),
         }
     }
 
@@ -104,7 +128,7 @@ impl ReplayCursor {
                 self.went_live = true;
                 return Ok(Consume::WentLive);
             };
-            let (record, framed) = log.read_record_sized(lsn)?;
+            let (record, framed) = self.read_sized(log, lsn)?;
 
             // EOS records reached directly are markers from earlier
             // recoveries whose orphan record should have redirected us;
@@ -171,7 +195,7 @@ impl ReplayCursor {
         if self.eos_index.is_none() {
             let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
             for (j, &pos) in self.positions.iter().enumerate() {
-                if let LogRecord::Eos { orphan_lsn: o, .. } = log.read_record(pos)? {
+                if let (LogRecord::Eos { orphan_lsn: o, .. }, _) = self.read_sized(log, pos)? {
                     index.entry(o.0).or_default().push(j);
                 }
             }

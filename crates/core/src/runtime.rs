@@ -94,6 +94,16 @@ pub struct RuntimeStats {
     pub flushes_elided: AtomicU64,
     /// Remote flush RPCs skipped thanks to the durability-watermark table.
     pub flush_rpcs_elided: AtomicU64,
+    /// Wall-clock nanoseconds of the last crash recovery's analysis scan.
+    pub recovery_analysis_nanos: AtomicU64,
+    /// Wall-clock nanoseconds of the post-recovery MSP checkpoint.
+    pub recovery_checkpoint_nanos: AtomicU64,
+    /// Wall-clock nanoseconds of the parallel (or serial) session-replay
+    /// phase — its makespan, not the per-session sum. Zero until the
+    /// replay pool finishes.
+    pub recovery_replay_nanos: AtomicU64,
+    /// Sessions replayed by the dedicated recovery pool.
+    pub recovery_pool_sessions: AtomicU64,
 }
 
 /// Snapshot of [`RuntimeStats`].
@@ -113,6 +123,10 @@ pub struct RuntimeStatsSnapshot {
     pub flush_requests_served: u64,
     pub flushes_elided: u64,
     pub flush_rpcs_elided: u64,
+    pub recovery_analysis_nanos: u64,
+    pub recovery_checkpoint_nanos: u64,
+    pub recovery_replay_nanos: u64,
+    pub recovery_pool_sessions: u64,
 }
 
 impl RuntimeStats {
@@ -132,6 +146,10 @@ impl RuntimeStats {
             flush_requests_served: self.flush_requests_served.load(Ordering::Relaxed),
             flushes_elided: self.flushes_elided.load(Ordering::Relaxed),
             flush_rpcs_elided: self.flush_rpcs_elided.load(Ordering::Relaxed),
+            recovery_analysis_nanos: self.recovery_analysis_nanos.load(Ordering::Relaxed),
+            recovery_checkpoint_nanos: self.recovery_checkpoint_nanos.load(Ordering::Relaxed),
+            recovery_replay_nanos: self.recovery_replay_nanos.load(Ordering::Relaxed),
+            recovery_pool_sessions: self.recovery_pool_sessions.load(Ordering::Relaxed),
         }
     }
 }
@@ -160,6 +178,14 @@ pub struct MspInner {
     pub(crate) req_ids: AtomicU64,
     pub(crate) stopped: AtomicBool,
     pub(crate) stats: RuntimeStats,
+    /// Shared read-only block cache over the crash-time log; present only
+    /// between crash recovery's analysis scan and the end of parallel
+    /// replay. Inline recoveries triggered by early-arriving requests use
+    /// it too.
+    pub(crate) replay_cache: Mutex<Option<Arc<msp_wal::ReplayCache>>>,
+    /// `false` while crashed sessions are still awaiting replay; set by
+    /// the recovery pool when the replay phase completes.
+    pub(crate) recovery_done: AtomicBool,
 }
 
 impl MspInner {
@@ -817,6 +843,61 @@ impl MspInner {
         }
     }
 
+    /// Dedicated crash-recovery replay pool (Figure 12): drain `sessions`
+    /// (already ordered longest-window-first, or by id under
+    /// `serial_recovery`) across `recovery_threads` threads, then publish
+    /// the replay makespan and drop the shared block cache. Runs apart
+    /// from the live worker pool so replay never starves sessions arriving
+    /// mid-recovery.
+    fn recovery_pool(self: Arc<Self>, sessions: Vec<(SessionId, u64)>) {
+        let t0 = std::time::Instant::now();
+        let threads = if self.cfg.serial_recovery {
+            1
+        } else {
+            self.cfg.recovery_threads.max(1)
+        }
+        .min(sessions.len().max(1));
+        let (tx, rx) = crossbeam_channel::unbounded::<SessionId>();
+        for (sid, _) in sessions {
+            let _ = tx.send(sid);
+        }
+        drop(tx);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let rx = rx.clone();
+                let me = &self;
+                scope.spawn(move || {
+                    while let Ok(sid) = rx.recv() {
+                        if me.stopped() {
+                            break;
+                        }
+                        let Some(cell) = me.session(sid) else {
+                            continue;
+                        };
+                        let mut st = cell.state.lock();
+                        // A request that arrived before this pool got here
+                        // may have recovered the session inline already.
+                        if !st.ended
+                            && st.needs_recovery
+                            && me.recover_session_locked(&cell, &mut st).is_ok()
+                        {
+                            me.stats
+                                .recovery_pool_sessions
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        self.stats
+            .recovery_replay_nanos
+            .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // The immutable crash-time window has been consumed; release the
+        // block pool so live orphan recoveries read the log directly.
+        *self.replay_cache.lock() = None;
+        self.recovery_done.store(true, Ordering::Release);
+    }
+
     fn infra_loop(self: Arc<Self>, infra_rx: Receiver<InfraItem>) {
         while !self.stopped() {
             let item = match infra_rx.recv_timeout(Duration::from_millis(20)) {
@@ -1028,6 +1109,8 @@ impl MspBuilder {
             req_ids: AtomicU64::new(1),
             stopped: AtomicBool::new(false),
             stats: RuntimeStats::default(),
+            replay_cache: Mutex::new(None),
+            recovery_done: AtomicBool::new(true),
         });
 
         // Crash recovery before going live (no-op on a fresh disk).
@@ -1080,17 +1163,30 @@ impl MspBuilder {
         }
 
         // Post-recovery protocol: broadcast the recovered state number in
-        // the domain, take a fresh MSP checkpoint, then replay sessions in
-        // parallel on the worker pool (Figure 12) — new sessions are
-        // accepted concurrently.
+        // the domain, take a fresh MSP checkpoint, then replay sessions on
+        // the dedicated recovery pool (Figure 12) — new sessions are
+        // accepted concurrently on the untouched worker pool.
         if let Some(outcome) = recovery_outcome {
             if let Some(rec) = outcome.announce {
                 for peer in inner.cluster.domain_members(inner.cfg.domain, inner.cfg.id) {
                     inner.send(EndpointId::Msp(peer), Envelope::Recovery(rec));
                 }
+                let t_ckpt = std::time::Instant::now();
                 let _ = inner.msp_checkpoint();
-                for id in outcome.sessions_to_replay {
-                    let _ = inner.work_tx.send(WorkItem::RecoverSession(id));
+                inner
+                    .stats
+                    .recovery_checkpoint_nanos
+                    .store(t_ckpt.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if !outcome.sessions_to_replay.is_empty() {
+                    inner.recovery_done.store(false, Ordering::Release);
+                    let pool = Arc::clone(&inner);
+                    let sessions = outcome.sessions_to_replay;
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("{}-recovery", inner.cfg.id))
+                            .spawn(move || pool.recovery_pool(sessions))
+                            .map_err(MspError::Io)?,
+                    );
                 }
             }
         }
@@ -1157,6 +1253,37 @@ impl MspHandle {
         for t in self.threads.lock().drain(..) {
             let _ = t.join();
         }
+    }
+
+    /// `true` once crash-recovery session replay has finished (trivially
+    /// `true` when no recovery ran). The MSP accepts new work while this
+    /// is still `false`; benches poll it to measure MTTR.
+    pub fn recovery_complete(&self) -> bool {
+        self.inner.recovery_done.load(Ordering::Acquire)
+    }
+
+    /// Deterministic byte dump of every live session's externally
+    /// observable state (variables, request sequencing, buffered reply),
+    /// sorted by session id — the equivalence-test surface for comparing
+    /// serial and parallel recovery outcomes.
+    pub fn dump_sessions(&self) -> Vec<(SessionId, Vec<u8>)> {
+        let cells: Vec<Arc<SessionCell>> = self.inner.sessions.lock().values().cloned().collect();
+        let mut out: Vec<(SessionId, Vec<u8>)> = cells
+            .iter()
+            .map(|c| (c.id, encode_session_blob(&c.state.lock())))
+            .collect();
+        out.sort_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Deterministic dump of every shared variable's value, in
+    /// registration (id) order.
+    pub fn dump_shared(&self) -> Vec<Vec<u8>> {
+        self.inner
+            .shared
+            .iter()
+            .map(|v| v.state.lock().value.clone())
+            .collect()
     }
 
     /// Test/diagnostic access to a session's dependency vector.

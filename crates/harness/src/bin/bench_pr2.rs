@@ -12,7 +12,9 @@
 //! Also checks two invariants the speedup must not cost us: a fixed
 //! sequential commit pattern produces identical device-flush counts on
 //! both pipelines, and a crash mid-append recovers byte-identical state.
-//! Results go to `BENCH_PR2.json`, mirrored on stdout.
+//! A final sweep maps the reserved pipeline across committer threads ×
+//! record sizes × group-commit windows. Results go to `BENCH_PR2.json`,
+//! mirrored on stdout.
 //!
 //! ```text
 //! bench_pr2 [--per-thread N] [--scale S]
@@ -25,14 +27,18 @@ use msp_types::{Lsn, RequestSeq, SessionId};
 use msp_wal::log::DATA_START;
 use msp_wal::{DiskModel, FlushPolicy, LogRecord, MemDisk, PhysicalLog};
 
-fn rec(session: u64, seq: u64) -> LogRecord {
+fn sized_rec(session: u64, seq: u64, len: usize) -> LogRecord {
     LogRecord::RequestReceive {
         session: SessionId(session),
         seq: RequestSeq(seq),
         method: "bench".into(),
-        payload: vec![session as u8; 120],
+        payload: vec![session as u8; len],
         sender_dv: None,
     }
+}
+
+fn rec(session: u64, seq: u64) -> LogRecord {
+    sized_rec(session, seq, 120)
 }
 
 struct PassResult {
@@ -73,6 +79,44 @@ fn run_pass(serialized: bool, threads: u64, per_thread: u64, scale: f64) -> Pass
             s.spawn(move || {
                 for i in 0..per_thread {
                     let lsn = log.append(&rec(t, i));
+                    log.flush_to(lsn).expect("flush_to");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    let stats = log.stats();
+    log.close();
+    PassResult {
+        elapsed,
+        commits: threads * per_thread,
+        flushes: stats.flushes,
+        reservations: stats.append_reservations,
+        group_batches: stats.group_commit_batches,
+    }
+}
+
+/// One reserved-pipeline sweep point: `threads` committers of
+/// `record_len`-byte payloads under an optional group-commit window
+/// (the roadmap's threads × record size × window map).
+fn sweep_pass(
+    threads: u64,
+    record_len: usize,
+    window: Option<Duration>,
+    per_thread: u64,
+    scale: f64,
+) -> PassResult {
+    let disk = Arc::new(MemDisk::new());
+    let model = DiskModel::default().with_scale(scale);
+    let policy = FlushPolicy::per_request().with_group_commit_window(window);
+    let log = PhysicalLog::open(disk, model, policy).expect("open log");
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let log = Arc::clone(&log);
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let lsn = log.append(&sized_rec(t, i, record_len));
                     log.flush_to(lsn).expect("flush_to");
                 }
             });
@@ -192,6 +236,33 @@ fn main() {
     let crash_res = crash_recovery(false);
     let byte_identical = crash_ser == crash_res;
 
+    // Roadmap sweep: threads × record size × group-commit window over the
+    // reserved pipeline, fewer commits per point to bound the runtime.
+    let sweep_commits = per_thread.min(24);
+    let mut sweep_rows = Vec::new();
+    for &threads in &[1u64, 4, 8] {
+        for &record in &[64usize, 512, 2048] {
+            for window in [None, Some(Duration::from_millis(1))] {
+                let p = sweep_pass(threads, record, window, sweep_commits, scale);
+                sweep_rows.push(format!(
+                    concat!(
+                        "{{ \"threads\": {}, \"record_bytes\": {}, ",
+                        "\"window_us\": {}, \"elapsed_ms\": {:.3}, ",
+                        "\"commits_per_sec\": {:.1}, \"flushes_per_commit\": {:.3}, ",
+                        "\"group_commit_batches\": {} }}"
+                    ),
+                    threads,
+                    record,
+                    window.map_or(0, |w| w.as_micros()),
+                    p.elapsed.as_secs_f64() * 1e3,
+                    p.commits_per_sec(),
+                    p.flushes_per_commit(),
+                    p.group_batches,
+                ));
+            }
+        }
+    }
+
     let json = format!(
         concat!(
             "{{\n",
@@ -203,6 +274,7 @@ fn main() {
             "    \"reserved_1t\": {},\n",
             "    \"reserved_8t\": {}\n",
             "  }},\n",
+            "  \"sweep\": [\n    {}\n  ],\n",
             "  \"summary\": {{\n",
             "    \"speedup_8t\": {:.2},\n",
             "    \"parity_commits\": 16,\n",
@@ -219,6 +291,7 @@ fn main() {
         pass_json(&ser_8),
         pass_json(&res_1),
         pass_json(&res_8),
+        sweep_rows.join(",\n    "),
         speedup_8,
         parity_ser,
         parity_res,

@@ -1,6 +1,9 @@
-//! Response-time series and throughput summaries.
+//! Response-time series, throughput summaries and recovery-phase
+//! breakdowns.
 
 use std::time::Duration;
+
+use msp_core::runtime::RuntimeStatsSnapshot;
 
 /// A series of per-request response times plus the wall-clock span that
 /// produced them.
@@ -115,6 +118,47 @@ impl Summary {
     }
 }
 
+/// Wall-clock breakdown of one MSP crash recovery, lifted from the
+/// runtime's phase counters: the analysis log scan, the recovery
+/// checkpoint, and the (possibly parallel) session-replay phase. Replay
+/// is the pool's makespan, so it stays zero until the last session
+/// finishes replaying.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryPhases {
+    pub analysis: Duration,
+    pub checkpoint: Duration,
+    pub replay: Duration,
+}
+
+impl RecoveryPhases {
+    /// Extract the phase timings from a runtime snapshot.
+    pub fn from_stats(s: &RuntimeStatsSnapshot) -> RecoveryPhases {
+        RecoveryPhases {
+            analysis: Duration::from_nanos(s.recovery_analysis_nanos),
+            checkpoint: Duration::from_nanos(s.recovery_checkpoint_nanos),
+            replay: Duration::from_nanos(s.recovery_replay_nanos),
+        }
+    }
+
+    /// Sum of the three phases (excludes inter-phase glue, so it is a
+    /// lower bound on MTTR).
+    pub fn total(&self) -> Duration {
+        self.analysis + self.checkpoint + self.replay
+    }
+
+    pub fn analysis_ms(&self) -> f64 {
+        self.analysis.as_secs_f64() * 1e3
+    }
+
+    pub fn checkpoint_ms(&self) -> f64 {
+        self.checkpoint.as_secs_f64() * 1e3
+    }
+
+    pub fn replay_ms(&self) -> f64 {
+        self.replay.as_secs_f64() * 1e3
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +193,21 @@ mod tests {
         // 10 paper req/s.
         assert!((sum.avg_ms_paper(0.02) - 100.0).abs() < 1e-6);
         assert!((sum.throughput_paper(0.02) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovery_phases_from_snapshot() {
+        let s = RuntimeStatsSnapshot {
+            recovery_analysis_nanos: 2_000_000,
+            recovery_checkpoint_nanos: 500_000,
+            recovery_replay_nanos: 7_500_000,
+            ..Default::default()
+        };
+        let p = RecoveryPhases::from_stats(&s);
+        assert_eq!(p.total(), Duration::from_millis(10));
+        assert!((p.analysis_ms() - 2.0).abs() < 1e-9);
+        assert!((p.checkpoint_ms() - 0.5).abs() < 1e-9);
+        assert!((p.replay_ms() - 7.5).abs() < 1e-9);
     }
 
     #[test]

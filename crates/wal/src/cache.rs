@@ -1,0 +1,340 @@
+//! Shared read-only block cache over the immutable crash-time log.
+//!
+//! During MSP crash recovery the log below the recovered LSN is immutable:
+//! recovery appends (RecoveryComplete, EOS markers, checkpoints) only ever
+//! land *past* the analysis scan's end. That makes the replay window a
+//! read-only region that every recovering session walks — sessions whose
+//! position streams interleave in the same 64 KB blocks. Caching those
+//! blocks once turns N overlapping sequential re-reads into one, and the
+//! disk model is charged **per miss**, so overlapping replay windows no
+//! longer double- or triple-bill the simulated disk.
+//!
+//! Eviction is clock (second-chance): a fixed pool of
+//! `replay_cache_blocks` slots, a reference bit per slot, and a hand that
+//! clears bits until it finds a cold slot. Blocks are handed out as
+//! `Arc<Vec<u8>>` so a lookup clones the Arc and drops the bookkeeping
+//! lock before any byte is copied; concurrent misses on the same block
+//! may both read the device (both are counted — that is real I/O).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use msp_types::{Decode, Lsn, MspError};
+
+use crate::crc::crc32;
+use crate::disk::Disk;
+use crate::log::{PhysicalLog, FRAME_HEADER, FRAME_MAGIC, MAX_RECORD, SCAN_CHUNK};
+use crate::model::DiskModel;
+use crate::record::LogRecord;
+
+/// One cached block.
+struct Slot {
+    /// Block number (`offset / SCAN_CHUNK`), `None` while the slot is
+    /// still empty.
+    block: Option<u64>,
+    data: Arc<Vec<u8>>,
+    /// Clock reference bit: set on hit, cleared as the hand passes.
+    referenced: bool,
+}
+
+struct CacheInner {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    hand: usize,
+}
+
+/// Fixed-size cache of 64 KB log blocks, shared by all replaying
+/// sessions of one MSP. See the module docs for the immutability
+/// argument; reads at or past [`limit`](ReplayCache::limit) (records
+/// appended *during* recovery, e.g. EOS markers) bypass the cache and go
+/// to the owning log, which can serve its own volatile tail.
+pub struct ReplayCache {
+    log: Arc<PhysicalLog>,
+    disk: Arc<dyn Disk>,
+    model: DiskModel,
+    /// End of the immutable region: the log's durable end when the cache
+    /// was created.
+    limit: u64,
+    inner: Mutex<CacheInner>,
+}
+
+impl ReplayCache {
+    /// Build a cache of `blocks` 64 KB slots over `log`'s current durable
+    /// prefix. `blocks` is clamped to at least 1.
+    pub fn new(log: &Arc<PhysicalLog>, blocks: usize) -> ReplayCache {
+        let blocks = blocks.max(1);
+        let mut slots = Vec::with_capacity(blocks);
+        for _ in 0..blocks {
+            slots.push(Slot {
+                block: None,
+                data: Arc::new(Vec::new()),
+                referenced: false,
+            });
+        }
+        ReplayCache {
+            log: Arc::clone(log),
+            disk: log.disk(),
+            model: log.model().clone(),
+            limit: log.durable_lsn().0,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                slots,
+                hand: 0,
+            }),
+        }
+    }
+
+    /// First offset **not** covered by the cache; reads at or past it
+    /// must go to the log itself.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Fetch the 64 KB block containing `offset`, from the pool or the
+    /// device (one miss = one charged sequential read).
+    fn block(&self, block_no: u64) -> Result<Arc<Vec<u8>>, MspError> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(&slot) = inner.map.get(&block_no) {
+                inner.slots[slot].referenced = true;
+                self.log.stats_ref().on_replay_cache_hit();
+                return Ok(Arc::clone(&inner.slots[slot].data));
+            }
+        }
+        // Miss: do the device read (and pay for it) outside the lock so
+        // other sessions keep hitting the cache meanwhile.
+        self.log.stats_ref().on_replay_cache_miss();
+        self.model.charge_read(128);
+        let off = block_no * SCAN_CHUNK as u64;
+        let mut data = vec![0u8; SCAN_CHUNK];
+        let n = self.disk.read(off, &mut data).map_err(MspError::Io)?;
+        data.truncate(n);
+        let data = Arc::new(data);
+
+        let mut inner = self.inner.lock();
+        if let Some(&slot) = inner.map.get(&block_no) {
+            // A concurrent miss installed it first; serve theirs.
+            inner.slots[slot].referenced = true;
+            return Ok(Arc::clone(&inner.slots[slot].data));
+        }
+        // Clock eviction: clear reference bits until a cold slot turns up
+        // (bounded: after one full sweep every bit is clear).
+        let victim = loop {
+            let hand = inner.hand;
+            inner.hand = (inner.hand + 1) % inner.slots.len();
+            if inner.slots[hand].referenced {
+                inner.slots[hand].referenced = false;
+            } else {
+                break hand;
+            }
+        };
+        if let Some(old) = inner.slots[victim].block.take() {
+            inner.map.remove(&old);
+            self.log.stats_ref().on_replay_cache_eviction();
+        }
+        inner.slots[victim] = Slot {
+            block: Some(block_no),
+            data: Arc::clone(&data),
+            referenced: true,
+        };
+        inner.map.insert(block_no, victim);
+        Ok(data)
+    }
+
+    /// Copy bytes at absolute device offset `off` into `out`, assembling
+    /// across block boundaries. Returns the bytes available (short at the
+    /// cached region's end).
+    fn read_at(&self, mut off: u64, out: &mut [u8]) -> Result<usize, MspError> {
+        let mut copied = 0;
+        while copied < out.len() {
+            let block_no = off / SCAN_CHUNK as u64;
+            let data = self.block(block_no)?;
+            let at = (off - block_no * SCAN_CHUNK as u64) as usize;
+            if at >= data.len() {
+                break;
+            }
+            let take = (data.len() - at).min(out.len() - copied);
+            out[copied..copied + take].copy_from_slice(&data[at..at + take]);
+            copied += take;
+            off += take as u64;
+        }
+        Ok(copied)
+    }
+
+    /// Fetch and validate the frame payload at `lsn` through the cache —
+    /// the cached analogue of the log's device frame read.
+    fn read_frame(&self, lsn: Lsn) -> Result<Vec<u8>, MspError> {
+        let corrupt = |reason: &str| MspError::LogCorrupt {
+            offset: lsn.0,
+            reason: reason.into(),
+        };
+        let mut header = [0u8; FRAME_HEADER];
+        if self.read_at(lsn.0, &mut header)? < FRAME_HEADER {
+            return Err(corrupt("truncated frame header"));
+        }
+        if header[0] != FRAME_MAGIC {
+            return Err(corrupt("bad frame magic"));
+        }
+        let len = u32::from_le_bytes(header[1..5].try_into().expect("slice")) as usize;
+        let crc = u32::from_le_bytes(header[5..9].try_into().expect("slice"));
+        if len as u32 > MAX_RECORD {
+            return Err(corrupt("oversized frame"));
+        }
+        let mut payload = vec![0u8; len];
+        if self.read_at(lsn.0 + FRAME_HEADER as u64, &mut payload)? < len {
+            return Err(corrupt("truncated frame payload"));
+        }
+        if crc32(&payload) != crc {
+            return Err(corrupt("crc mismatch"));
+        }
+        Ok(payload)
+    }
+
+    /// Read and decode the record at `lsn`, plus its framed size.
+    /// Records at or past the immutable limit (appended during recovery)
+    /// transparently fall back to the owning log.
+    pub fn read_record_sized(&self, lsn: Lsn) -> Result<(LogRecord, u64), MspError> {
+        if lsn.0 >= self.limit {
+            return self.log.read_record_sized(lsn);
+        }
+        let payload = self.read_frame(lsn)?;
+        let framed = (FRAME_HEADER + payload.len()) as u64;
+        let rec = LogRecord::from_bytes(&payload).map_err(|e| MspError::LogCorrupt {
+            offset: lsn.0,
+            reason: e.to_string(),
+        })?;
+        Ok((rec, framed))
+    }
+
+    /// Read and decode the record at `lsn`.
+    pub fn read_record(&self, lsn: Lsn) -> Result<LogRecord, MspError> {
+        self.read_record_sized(lsn).map(|(rec, _)| rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use crate::log::FlushPolicy;
+    use msp_types::{RequestSeq, SessionId};
+
+    fn rec(session: u64, seq: u64, len: usize) -> LogRecord {
+        LogRecord::RequestReceive {
+            session: SessionId(session),
+            seq: RequestSeq(seq),
+            method: "m".into(),
+            payload: vec![0x5C; len],
+            sender_dv: None,
+        }
+    }
+
+    fn logged(n: u64, len: usize) -> (Arc<PhysicalLog>, Vec<Lsn>) {
+        let log = PhysicalLog::open(
+            Arc::new(MemDisk::new()),
+            DiskModel::zero(),
+            FlushPolicy::immediate(),
+        )
+        .unwrap();
+        let mut lsns = Vec::new();
+        for i in 0..n {
+            lsns.push(log.append(&rec(1, i, len)));
+        }
+        log.flush_all().unwrap();
+        (log, lsns)
+    }
+
+    #[test]
+    fn serves_records_and_counts_hits() {
+        let (log, lsns) = logged(10, 100);
+        let cache = ReplayCache::new(&log, 4);
+        for (i, &lsn) in lsns.iter().enumerate() {
+            assert_eq!(cache.read_record(lsn).unwrap(), rec(1, i as u64, 100));
+        }
+        // Re-read: everything fits in one block, so all hits.
+        for &lsn in &lsns {
+            let _ = cache.read_record(lsn).unwrap();
+        }
+        let s = log.stats();
+        assert_eq!(s.replay_cache_misses, 1, "10 small records share a block");
+        assert!(s.replay_cache_hits >= 19);
+        log.close();
+    }
+
+    #[test]
+    fn frames_spanning_blocks_read_back_intact() {
+        // 40 KB payloads force frames across the 64 KB block boundary.
+        let (log, lsns) = logged(6, 40 * 1024);
+        let cache = ReplayCache::new(&log, 8);
+        for (i, &lsn) in lsns.iter().enumerate() {
+            assert_eq!(cache.read_record(lsn).unwrap(), rec(1, i as u64, 40 * 1024));
+        }
+        log.close();
+    }
+
+    #[test]
+    fn clock_evicts_under_pressure() {
+        // ~240 KB of records through a 1-block cache: every block fetch
+        // after the first evicts.
+        let (log, lsns) = logged(6, 40 * 1024);
+        let cache = ReplayCache::new(&log, 1);
+        for &lsn in &lsns {
+            let _ = cache.read_record(lsn).unwrap();
+        }
+        let s = log.stats();
+        assert!(s.replay_cache_evictions > 0, "1-block cache must evict");
+        assert_eq!(s.replay_cache_misses, s.replay_cache_evictions + 1);
+        log.close();
+    }
+
+    #[test]
+    fn misses_charge_the_disk_model_per_block() {
+        let (log, lsns) = logged(10, 100);
+        let before = log.stats().scan_chunks;
+        let cache = ReplayCache::new(&log, 4);
+        for &lsn in &lsns {
+            let _ = cache.read_record(lsn).unwrap();
+        }
+        // Cache misses charge the model directly (not via scan_chunks);
+        // the scan counter must be untouched by cached replay.
+        assert_eq!(log.stats().scan_chunks, before);
+        log.close();
+    }
+
+    #[test]
+    fn reads_past_limit_fall_back_to_the_log() {
+        let (log, _) = logged(3, 100);
+        let cache = ReplayCache::new(&log, 4);
+        // Appended after the cache snapshot: still in the volatile tail.
+        let late = log.append(&rec(2, 0, 100));
+        assert!(late.0 >= cache.limit());
+        assert_eq!(cache.read_record(late).unwrap(), rec(2, 0, 100));
+        log.close();
+    }
+
+    #[test]
+    fn concurrent_readers_converge() {
+        let (log, lsns) = logged(32, 2048);
+        let cache = Arc::new(ReplayCache::new(&log, 2));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = Arc::clone(&cache);
+                let lsns = lsns.clone();
+                s.spawn(move || {
+                    for (i, &lsn) in lsns.iter().enumerate() {
+                        assert_eq!(
+                            cache.read_record(lsn).unwrap(),
+                            rec(1, i as u64, 2048),
+                            "thread {t} record {i}"
+                        );
+                    }
+                });
+            }
+        });
+        let s = log.stats();
+        assert!(s.replay_cache_hits > s.replay_cache_misses);
+        log.close();
+    }
+}

@@ -15,12 +15,15 @@
 //! * [`log`] — the physical log itself: buffered appends, sector-aligned
 //!   flushes, group commit with optional *batch flushing* (§5.5), random
 //!   record reads and the crash-recovery scanner.
+//! * [`cache`] — a fixed pool of 64 KB blocks over the immutable
+//!   crash-time log, shared by all concurrently replaying sessions.
 //! * [`anchor`] — the ARIES-style log anchor holding the LSN of the most
 //!   recent MSP checkpoint (§3.4).
 //! * [`position`] — per-session *position streams* that make per-session
 //!   log-record extraction (and hence parallel recovery) efficient (§3.2).
 
 pub mod anchor;
+pub mod cache;
 pub mod crc;
 pub mod disk;
 pub mod log;
@@ -31,6 +34,7 @@ pub mod stats;
 pub mod tail;
 
 pub use anchor::LogAnchor;
+pub use cache::ReplayCache;
 pub use disk::{Disk, FileDisk, MemDisk};
 pub use log::{FlushPolicy, LogScanner, PhysicalLog, SECTOR_SIZE};
 pub use model::DiskModel;

@@ -55,14 +55,14 @@ pub const SECTOR_SIZE: usize = 512;
 pub const DATA_START: u64 = SECTOR_SIZE as u64;
 
 /// Marker byte opening every record frame.
-const FRAME_MAGIC: u8 = 0xA5;
+pub(crate) const FRAME_MAGIC: u8 = 0xA5;
 
 /// Frame header: magic (1) + len (4) + crc (4).
-const FRAME_HEADER: usize = 9;
+pub(crate) const FRAME_HEADER: usize = 9;
 
 /// Upper bound on a single record's payload; a decoded length beyond this
 /// is treated as corruption.
-const MAX_RECORD: u32 = 64 << 20;
+pub(crate) const MAX_RECORD: u32 = 64 << 20;
 
 /// Size of the sequential-read unit used by recovery scans (§5.4: "Log
 /// reads are 128 sectors (= 64KB)").
@@ -264,6 +264,12 @@ impl PhysicalLog {
     /// Overhead counters.
     pub fn stats(&self) -> LogStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The live counter struct, for in-crate collaborators (the replay
+    /// cache accounts its hits/misses against the log it fronts).
+    pub(crate) fn stats_ref(&self) -> &LogStats {
+        &self.stats
     }
 
     /// Append `record` to the volatile tail; returns its LSN. Does not
@@ -505,6 +511,21 @@ impl PhysicalLog {
                 Some(&self.model),
                 Some(&self.stats),
             ),
+        }
+    }
+
+    /// Like [`scan_from`](Self::scan_from), but with the device reads
+    /// (and their disk-model cost) running in a dedicated prefetch thread
+    /// that streams 64 KB chunks ahead of the caller, so decode/analysis
+    /// overlaps I/O instead of alternating with it. Falls back to the
+    /// serial scanner if the prefetch thread cannot be spawned.
+    pub fn scan_from_pipelined(self: &Arc<Self>, from: Lsn) -> LogScanner<'_> {
+        let start = from.0.max(DATA_START);
+        match Prefetcher::spawn(Arc::clone(self), start) {
+            Ok(pf) => LogScanner {
+                raw: RawScanner::with_prefetch(self.disk.clone(), start, Some(&self.stats), pf),
+            },
+            Err(_) => self.scan_from(from),
         }
     }
 
@@ -862,6 +883,71 @@ fn read_frame_from_disk(disk: &dyn Disk, lsn: u64) -> Result<Vec<u8>, MspError> 
     Ok(payload)
 }
 
+/// Depth of the pipelined scan: 64 KB chunks buffered between the I/O
+/// stage and the decode stage.
+const PREFETCH_DEPTH: usize = 4;
+
+/// I/O stage of a pipelined scan ([`PhysicalLog::scan_from_pipelined`]):
+/// a thread streaming consecutive [`SCAN_CHUNK`] chunks off the device
+/// into a bounded channel, paying the disk model's sequential-read cost
+/// as it goes so the decode stage never waits on simulated disk time.
+struct Prefetcher {
+    rx: Option<Receiver<(u64, Vec<u8>)>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    fn spawn(log: Arc<PhysicalLog>, from: u64) -> std::io::Result<Prefetcher> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = crossbeam_channel::bounded::<(u64, Vec<u8>)>(PREFETCH_DEPTH);
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("log-prefetch".into())
+            .spawn(move || {
+                // The device length is fixed for the duration of a
+                // recovery scan (recovery appends only after analysis).
+                let limit = log.disk.len();
+                let mut off = from;
+                while off < limit && !flag.load(Ordering::Relaxed) {
+                    let mut chunk = vec![0u8; SCAN_CHUNK];
+                    let n = match log.disk.read(off, &mut chunk) {
+                        Ok(n) => n,
+                        Err(_) => break,
+                    };
+                    if n == 0 {
+                        break;
+                    }
+                    chunk.truncate(n);
+                    log.model.charge_read(128);
+                    log.stats.on_prefetch_chunk();
+                    log.stats.on_scan_chunk();
+                    if tx.send((off, chunk)).is_err() {
+                        break; // decode stage gone: scan ended early
+                    }
+                    off += n as u64;
+                }
+            })?;
+        Ok(Prefetcher {
+            rx: Some(rx),
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Dropping the receiver unblocks a sender stalled on a full
+        // pipeline; then the thread observes the flag or the send error.
+        self.rx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 /// Low-level frame walker over the durable portion of a disk.
 ///
 /// Reads through a 64 KB ([`SCAN_CHUNK`]) read-ahead buffer so a
@@ -874,6 +960,9 @@ struct RawScanner<'a> {
     charge: Option<DiskModel>,
     charged_until: u64,
     stats: Option<&'a LogStats>,
+    /// `Some`: chunks arrive from the prefetch thread instead of direct
+    /// device reads, and the model cost is charged there.
+    prefetch: Option<Prefetcher>,
     /// Read-ahead buffer holding `buf` bytes of the device starting at
     /// absolute offset `buf_start`.
     buf: Vec<u8>,
@@ -895,6 +984,29 @@ impl<'a> RawScanner<'a> {
             charge: model.cloned(),
             charged_until: from,
             stats,
+            prefetch: None,
+            buf: Vec::new(),
+            buf_start: from,
+        }
+    }
+
+    fn with_prefetch(
+        disk: Arc<dyn Disk>,
+        from: u64,
+        stats: Option<&'a LogStats>,
+        prefetch: Prefetcher,
+    ) -> RawScanner<'a> {
+        let limit = disk.len();
+        RawScanner {
+            disk,
+            offset: from,
+            limit,
+            // The prefetch thread charges the model; charging here too
+            // would double-bill the scan.
+            charge: None,
+            charged_until: from,
+            stats,
+            prefetch: Some(prefetch),
             buf: Vec::new(),
             buf_start: from,
         }
@@ -916,15 +1028,35 @@ impl<'a> RawScanner<'a> {
         while copied < out.len() {
             let buf_end = self.buf_start + self.buf.len() as u64;
             if off < self.buf_start || off >= buf_end {
-                self.buf.resize(SCAN_CHUNK, 0);
-                let n = self.disk.read(off, &mut self.buf).map_err(MspError::Io)?;
-                self.buf.truncate(n);
-                self.buf_start = off;
-                if n == 0 {
-                    break;
-                }
-                if let Some(s) = self.stats {
-                    s.on_readahead_chunk();
+                if let Some(pf) = &self.prefetch {
+                    // Pipelined refill: pull chunks until one covers
+                    // `off`. The scan only moves forward and the chunks
+                    // arrive in device order, so behind-us chunks can be
+                    // discarded and a closed channel means end of device.
+                    let Some(rx) = pf.rx.as_ref() else { break };
+                    let mut refilled = false;
+                    while let Ok((start, data)) = rx.recv() {
+                        if off < start + data.len() as u64 {
+                            self.buf = data;
+                            self.buf_start = start;
+                            refilled = true;
+                            break;
+                        }
+                    }
+                    if !refilled {
+                        break;
+                    }
+                } else {
+                    self.buf.resize(SCAN_CHUNK, 0);
+                    let n = self.disk.read(off, &mut self.buf).map_err(MspError::Io)?;
+                    self.buf.truncate(n);
+                    self.buf_start = off;
+                    if n == 0 {
+                        break;
+                    }
+                    if let Some(s) = self.stats {
+                        s.on_readahead_chunk();
+                    }
                 }
             }
             let at = (off - self.buf_start) as usize;
@@ -1454,6 +1586,44 @@ mod tests {
             "concurrent flush_to calls must coalesce, got {}",
             stats.flushes
         );
+        log.close();
+    }
+
+    #[test]
+    fn pipelined_scan_matches_serial_scan() {
+        let (_, log) = open_mem();
+        let n = 300u64;
+        for i in 0..n {
+            let l = log.append(&big_rec(1, i, 1500));
+            if i % 7 == 0 {
+                log.flush_to(l).unwrap(); // padding the scanner must skip
+            }
+        }
+        log.flush_all().unwrap();
+        let serial: Vec<_> = log.scan_from(Lsn(DATA_START)).map(|r| r.unwrap()).collect();
+        let piped: Vec<_> = log
+            .scan_from_pipelined(Lsn(DATA_START))
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(serial, piped);
+        assert!(
+            log.stats().prefetch_chunks > 0,
+            "pipelined scan must stream chunks through the prefetch stage"
+        );
+        log.close();
+    }
+
+    #[test]
+    fn pipelined_scan_dropped_early_stops_the_prefetcher() {
+        let (_, log) = open_mem();
+        for i in 0..200u64 {
+            log.append(&big_rec(1, i, 4096));
+        }
+        log.flush_all().unwrap();
+        let mut scan = log.scan_from_pipelined(Lsn(DATA_START));
+        let first = scan.next().unwrap().unwrap();
+        assert_eq!(first.1, big_rec(1, 0, 4096));
+        drop(scan); // must join the prefetch thread without hanging
         log.close();
     }
 
