@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use msp_types::{Lsn, MspError, MspResult, StateId};
 use msp_wal::record::{MspCheckpointBody, SessionAnchor};
-use msp_wal::LogRecord;
+use msp_wal::{CrashPoint, LogRecord};
 
 use crate::runtime::{MspInner, WorkItem};
 use crate::session::{SessionCell, SessionState};
@@ -49,6 +49,11 @@ impl MspInner {
             Err(e) => return Err(e),
         }
         let log = self.log();
+        // Crash site: the pre-checkpoint flush succeeded but the kill
+        // lands before the checkpoint record itself is written.
+        if log.fault_point(CrashPoint::CheckpointWrite) {
+            return Err(MspError::Shutdown);
+        }
         let body = st.to_checkpoint_body();
         let lsn = log.append(&LogRecord::SessionCheckpoint {
             session: cell.id,
@@ -165,6 +170,11 @@ impl MspInner {
         // the newest anchor before writing it.
         if max_lsn > Lsn(0) {
             log.flush_to(max_lsn)?;
+        }
+        // Crash site: anchors are durable but the MSP checkpoint record
+        // (and the log-anchor update) never happen.
+        if log.fault_point(CrashPoint::CheckpointWrite) {
+            return Err(MspError::Shutdown);
         }
         let body = MspCheckpointBody {
             epoch: self.epoch(),

@@ -125,6 +125,7 @@ impl MspClient {
                     reply_to: self.me,
                     sender_dv: None, // end clients are outside all domains
                     durable_hint: None,
+                    recoveries: Vec::new(),
                 }),
             );
             // Wait for the matching reply, discarding stale ones.

@@ -49,6 +49,14 @@ pub struct RequestMsg {
     pub sender_dv: Option<DependencyVector>,
     /// Sender's durable watermark, piggybacked on intra-domain traffic.
     pub durable_hint: Option<DurableHint>,
+    /// The sender's recovery knowledge, piggybacked on intra-domain
+    /// traffic (empty elsewhere). The one-shot recovery broadcast can be
+    /// lost or outrun by post-recovery traffic; a receiver that merged a
+    /// new-epoch DV entry before learning of the recovery would mask the
+    /// orphaned old-epoch entry forever. Gossiping the knowledge on every
+    /// message closes that window: the message that could launder an
+    /// orphan carries the evidence needed to detect it.
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 /// The reply to a [`RequestMsg`], matched by `(session, seq)`.
@@ -61,6 +69,8 @@ pub struct ReplyMsg {
     pub sender_dv: Option<DependencyVector>,
     /// Sender's durable watermark, piggybacked on intra-domain traffic.
     pub durable_hint: Option<DurableHint>,
+    /// Sender's recovery knowledge — see [`RequestMsg::recoveries`].
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 /// Everything that can travel over the simulated network.
@@ -138,6 +148,7 @@ mod tests {
             reply_to: EndpointId::Client(1),
             sender_dv: None,
             durable_hint: None,
+            recoveries: vec![],
         });
         assert_eq!(req.kind(), "Request");
         let fl = Envelope::FlushRequest {

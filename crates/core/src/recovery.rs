@@ -27,7 +27,7 @@ use std::time::Instant;
 use msp_types::{Lsn, MspError, MspResult, RecoveryRecord, SessionId};
 use msp_wal::log::DATA_START;
 use msp_wal::record::MspCheckpointBody;
-use msp_wal::{LogRecord, PositionStream, ReplayCache};
+use msp_wal::{CrashPoint, LogRecord, PositionStream, ReplayCache};
 
 use crate::envelope::ReplyStatus;
 use crate::replay::{Consume, ReplayCursor};
@@ -117,6 +117,13 @@ impl MspInner {
 
         let mut cursor = ReplayCursor::new(positions).with_cache(cache);
         loop {
+            // Crash site: the kill lands mid-replay of this recovery —
+            // the crash-during-recovery case of §4.5. The error unwinds
+            // the replaying thread (pool or inline) with the session left
+            // marked `needs_recovery` for the *next* incarnation.
+            if log.fault_point(CrashPoint::ReplayStep) {
+                return Err(MspError::Shutdown);
+            }
             let step = {
                 // Re-read knowledge each iteration: another MSP may crash
                 // *during* this recovery, and replay must see it (§4.1,
@@ -203,7 +210,20 @@ impl MspInner {
     pub(crate) fn crash_recover(&self) -> MspResult<RecoveryOutcome> {
         let log = self.log();
         if log.durable_lsn().0 <= DATA_START && log.end_lsn().0 <= DATA_START {
-            // Fresh log: nothing to recover.
+            // First boot. Make incarnation 0 durable before serving:
+            // without this marker, a crash before our first data flush
+            // leaves an empty durable log again, the next boot cannot
+            // tell it was a recovery, and the crash is never announced —
+            // peers then keep state that depended on the lost tail
+            // forever (no epoch bump means no orphan can ever be
+            // detected). With the marker, that crash recovers to epoch 1
+            // with a recovered LSN just past the marker, orphaning
+            // everything the lost incarnation handed out.
+            let lsn = log.append(&LogRecord::RecoveryComplete {
+                new_epoch: msp_types::Epoch(0),
+                recovered_lsn: Lsn(DATA_START),
+            });
+            log.flush_to(lsn)?;
             return Ok(RecoveryOutcome {
                 announce: None,
                 sessions_to_replay: Vec::new(),
@@ -260,6 +280,7 @@ impl MspInner {
                 LogRecord::RequestReceive { session, .. }
                 | LogRecord::ReplyReceive { session, .. }
                 | LogRecord::SharedRead { session, .. }
+                | LogRecord::OutgoingBind { session, .. }
                 | LogRecord::Eos { session, .. } => {
                     if !ended.contains(session) {
                         anchors.entry(*session).or_insert((lsn, false));

@@ -34,7 +34,7 @@ use msp_types::{
     DependencyVector, Epoch, Lsn, MspError, MspId, MspResult, RecoveryKnowledge, RequestSeq,
     SessionId, StateId,
 };
-use msp_wal::{Disk, DiskModel, FlushPolicy, LogAnchor, LogRecord, PhysicalLog};
+use msp_wal::{Disk, DiskModel, FaultPlan, FlushPolicy, LogAnchor, LogRecord, PhysicalLog};
 
 use crate::config::{ClusterConfig, MspConfig, SessionStrategy};
 use crate::envelope::{DurableHint, Envelope, ReplyMsg, ReplyStatus, RequestMsg};
@@ -228,6 +228,35 @@ impl MspInner {
         })
     }
 
+    /// Our recovery knowledge, for gossiping on intra-domain traffic
+    /// (see [`crate::envelope::RequestMsg::recoveries`]). Empty when
+    /// nothing in the domain has ever crashed — the common case.
+    pub(crate) fn own_recovery_gossip(&self) -> Vec<msp_types::RecoveryRecord> {
+        if !self.is_log_based() {
+            return Vec::new();
+        }
+        self.knowledge.read().iter().collect()
+    }
+
+    /// Absorb gossiped recovery records. Runs on the dispatcher, BEFORE
+    /// the carrying message is delivered — a worker that then merges the
+    /// message's DV is guaranteed to already know about any recovery the
+    /// sender knew about, so a new-epoch entry can never mask an orphaned
+    /// old-epoch one. The full absorb (log + flush + session sweep) runs
+    /// at most once per peer crash; afterwards `covers` filters the
+    /// gossip with a read lock.
+    pub(crate) fn absorb_recovery_gossip(&self, recs: &[msp_types::RecoveryRecord]) {
+        if recs.is_empty() || !self.is_log_based() {
+            return;
+        }
+        for rec in recs {
+            if rec.msp == self.cfg.id || self.knowledge.read().covers(rec) {
+                continue;
+            }
+            self.absorb_recovery_broadcast(*rec);
+        }
+    }
+
     /// Feed a peer's durable hint into the watermark table. Hints from an
     /// epoch older than the peer's current known incarnation are stale
     /// in-flight messages and are dropped — they must never resurrect a
@@ -305,6 +334,7 @@ impl MspInner {
                 status: ReplyStatus::Busy,
                 sender_dv: None,
                 durable_hint: None,
+                recoveries: self.own_recovery_gossip(),
             }),
         );
     }
@@ -602,18 +632,22 @@ impl MspInner {
         seq: RequestSeq,
         status: ReplyStatus,
     ) -> MspResult<()> {
-        let (sender_dv, durable_hint) = if self.is_log_based() {
+        let (sender_dv, durable_hint, recoveries) = if self.is_log_based() {
             let intra = reply_to
                 .as_msp()
                 .is_some_and(|m| self.cluster.same_domain(self.cfg.id, m));
             if intra {
-                (Some(st.dv.clone()), self.own_durable_hint())
+                (
+                    Some(st.dv.clone()),
+                    self.own_durable_hint(),
+                    self.own_recovery_gossip(),
+                )
             } else {
                 self.distributed_flush(&st.dv)?;
-                (None, None)
+                (None, None, Vec::new())
             }
         } else {
-            (None, None)
+            (None, None, Vec::new())
         };
         self.send(
             reply_to,
@@ -623,6 +657,7 @@ impl MspInner {
                 status,
                 sender_dv,
                 durable_hint,
+                recoveries,
             }),
         );
         Ok(())
@@ -641,14 +676,38 @@ impl MspInner {
         payload: &[u8],
     ) -> MspResult<Vec<u8>> {
         let intra = self.is_log_based() && self.cluster.same_domain(self.cfg.id, target);
-        let out = st
-            .outgoing
-            .entry(target)
-            .or_insert_with(|| OutgoingSession {
-                id: next_session_id(),
-                next_seq: RequestSeq::FIRST,
-            });
-        let (out_id, seq) = (out.id, out.next_seq);
+        let (out_id, seq) = match st.outgoing.get(&target) {
+            Some(out) => (out.id, out.next_seq),
+            None => {
+                // First call to this target: allocate the outgoing
+                // session. The allocation is nondeterministic, so log it
+                // into the session's replay stream — a later replay that
+                // reaches this point must reuse the same id and sequence
+                // numbering, or its resent calls would open a second
+                // session at the target and re-execute instead of being
+                // deduplicated (a replay that went live *before* this
+                // record re-allocates, but then this record and every
+                // effect that could depend on it are lost and orphaned
+                // together).
+                let id = next_session_id();
+                if self.is_log_based() {
+                    let (lsn, framed) = self.log().append_sized(&LogRecord::OutgoingBind {
+                        session: session_id,
+                        target,
+                        outgoing: id,
+                    });
+                    st.note_logged(self.cfg.id, self.epoch(), lsn, framed);
+                }
+                st.outgoing.insert(
+                    target,
+                    OutgoingSession {
+                        id,
+                        next_seq: RequestSeq::FIRST,
+                    },
+                );
+                (id, RequestSeq::FIRST)
+            }
+        };
         if self.is_log_based() && !intra {
             // Pessimistic boundary: nothing we depend on may be lost once
             // this message leaves the domain.
@@ -671,12 +730,28 @@ impl MspInner {
                     reply_to: self.me(),
                     sender_dv: intra.then(|| st.dv.clone()),
                     durable_hint: if intra { self.own_durable_hint() } else { None },
+                    recoveries: if intra {
+                        self.own_recovery_gossip()
+                    } else {
+                        Vec::new()
+                    },
                 }),
             );
             let rep = match rx.recv_timeout(self.cfg.rpc_timeout) {
                 Ok(rep) => rep,
                 Err(_) => {
                     self.pending_replies.lock().remove(&(out_id, seq));
+                    // Interception point on the resend path too: if the
+                    // target crashed and lost our dependency, it now
+                    // treats our sequence number as from the future and
+                    // drops the resends silently — no reply will ever run
+                    // the post-receive orphan check, so check here or spin
+                    // until the retry limit with the session lock held.
+                    if self.knowledge.read().is_orphan(&st.dv, self.cfg.id) {
+                        return Err(MspError::Orphan {
+                            session: session_id,
+                        });
+                    }
                     attempts += 1;
                     if attempts > self.cfg.rpc_retry_limit {
                         return Err(MspError::Timeout);
@@ -755,12 +830,16 @@ impl MspInner {
             };
             match env {
                 Envelope::Request(req) => {
+                    // Gossip before hints before delivery: the recovery
+                    // records void stale watermarks and must win.
+                    self.absorb_recovery_gossip(&req.recoveries);
                     if let Some(hint) = &req.durable_hint {
                         self.absorb_durable_hint(hint);
                     }
                     let _ = self.work_tx.send(WorkItem::Request(req));
                 }
                 Envelope::Reply(rep) => {
+                    self.absorb_recovery_gossip(&rep.recoveries);
                     if let Some(hint) = &rep.durable_hint {
                         self.absorb_durable_hint(hint);
                     }
@@ -1017,6 +1096,7 @@ pub struct MspBuilder {
     shared: SharedRegistry,
     disk_model: DiskModel,
     flush_policy: FlushPolicy,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl MspBuilder {
@@ -1028,6 +1108,7 @@ impl MspBuilder {
             shared: SharedRegistry::new(),
             disk_model: DiskModel::default(),
             flush_policy: FlushPolicy::immediate(),
+            fault_plan: None,
         }
     }
 
@@ -1063,6 +1144,16 @@ impl MspBuilder {
         self
     }
 
+    /// Install a crash-point plan on the log at open time (torture rig).
+    /// Armed points can then fire during the *startup* crash recovery —
+    /// the crash-during-recovery schedules — in which case `start`
+    /// returns `Err(MspError::Shutdown)` and the caller restarts again.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> MspBuilder {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Launch the MSP. If `disk` already contains a log, MSP crash
     /// recovery (§4.3) runs first: analysis scan, shared-state roll
     /// forward, recovery broadcast, then parallel session replay on the
@@ -1081,6 +1172,9 @@ impl MspBuilder {
                 policy = policy.with_group_commit_window(self.cfg.group_commit_window);
             }
             let log = PhysicalLog::open(Arc::clone(&disk), self.disk_model.clone(), policy)?;
+            if let Some(plan) = &self.fault_plan {
+                log.install_fault_plan(Arc::clone(plan));
+            }
             let anchor = LogAnchor::new(Arc::clone(&disk), self.disk_model.clone());
             (Some(log), Some(anchor))
         } else {
@@ -1300,6 +1394,14 @@ impl MspHandle {
     /// Test/diagnostic access to the durable watermark held for `peer`.
     pub fn watermark_of(&self, peer: MspId) -> Option<(Epoch, Lsn)> {
         self.inner.watermarks.lock().get(peer)
+    }
+
+    /// Arm a crash-point plan on the *live* log (torture rig); no-op on
+    /// the non-logging baselines, which have no log to crash.
+    pub fn install_fault_plan(&self, plan: Arc<FaultPlan>) {
+        if let Some(log) = &self.inner.log {
+            log.install_fault_plan(plan);
+        }
     }
 }
 

@@ -234,12 +234,113 @@ impl<'a> ServiceContext<'a> {
         }
     }
 
+    /// Atomic read-modify-write of a shared variable (the read and write
+    /// columns of Figure 8 under a single hold of the variable's lock).
+    ///
+    /// `f` maps the current value to `(new_value, result)`; the variable
+    /// takes `new_value` and `result` is returned to the caller. Unlike a
+    /// split `read_shared` + `write_shared` pair, no other session can
+    /// interleave between the read and the write, so counter-style
+    /// updates are lost-update safe. The logged record stream is the same
+    /// `SharedRead`/`SharedWrite` pair the split calls produce.
+    ///
+    /// During replay, `f` is applied to the value from the `SharedRead`
+    /// record and the write is skipped (the variable is its own recovery
+    /// unit and rolls forward from its own records) — so `f` must be a
+    /// pure function of the value for re-execution to be deterministic.
+    pub fn update_shared<T>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&[u8]) -> (Vec<u8>, T),
+    ) -> Result<T, String> {
+        let var_id = self
+            .inner
+            .shared
+            .resolve(name)
+            .ok_or_else(|| format!("no such shared variable: {name}"))?;
+
+        // Replay path: the read comes from the SharedRead record; the
+        // write half happened historically and is not re-applied.
+        if self.is_replaying() {
+            let log = self.inner.log.as_ref().expect("replay requires a log");
+            let knowledge = self.inner.knowledge.read();
+            let cursor = self.cursor.as_mut().expect("is_replaying checked");
+            match cursor
+                .consume(log, &knowledge, self.inner.cfg.id, self.session_id)
+                .map_err(|e| e.to_string())?
+            {
+                Consume::Record {
+                    lsn,
+                    record,
+                    framed,
+                } => match record {
+                    LogRecord::SharedRead {
+                        var, value, var_dv, ..
+                    } if var == var_id => {
+                        self.state.dv.merge_from(&var_dv);
+                        self.state
+                            .note_logged(self.inner.cfg.id, self.inner.epoch(), lsn, framed);
+                        return Ok(f(&value).1);
+                    }
+                    other => return Err(replay_mismatch(lsn, "SharedRead", &other).to_string()),
+                },
+                Consume::WentLive => { /* fall through to the live update */ }
+            }
+        }
+
+        let var = self.inner.shared.get(var_id).expect("resolved id");
+        if let Some(log) = &self.inner.log {
+            let mut result = None;
+            let write_lsn = {
+                let me = self.inner.cfg.id;
+                let epoch = self.inner.epoch();
+                let knowledge = self.inner.knowledge.read();
+                // Interception point (§4.1), before the read merges the
+                // variable's DV — see read_shared. The write half needs no
+                // second check: the rolled-back variable DV is clean, so
+                // merging it cannot newly orphan the session.
+                if knowledge.is_orphan(&self.state.dv, me) {
+                    drop(knowledge);
+                    return Err(self.mark_fatal(MspError::Orphan {
+                        session: self.session_id,
+                    }));
+                }
+                let env = crate::shared::SharedEnv {
+                    me,
+                    epoch,
+                    log,
+                    knowledge: &knowledge,
+                };
+                let (_, lsn) =
+                    crate::shared::update_shared(&env, var, self.session_id, self.state, |old| {
+                        let (new, t) = f(old);
+                        result = Some(t);
+                        new
+                    })
+                    .map_err(|e| self.mark_fatal(e))?;
+                lsn
+            };
+            self.inner
+                .maybe_shared_checkpoint(var, write_lsn)
+                .map_err(|e| self.mark_fatal(e))?;
+            Ok(result.expect("update closure ran"))
+        } else {
+            // Baselines: plain in-memory access, still under one lock hold.
+            let mut st = var.state.lock();
+            let (new, t) = f(&st.value);
+            st.value = new;
+            Ok(t)
+        }
+    }
+
     /// Call a service method at another MSP over this session's outgoing
     /// session to that MSP (synchronous RPC).
     pub fn call(&mut self, target: MspId, method: &str, payload: &[u8]) -> Result<Vec<u8>, String> {
         // Replay path: the reply comes from the ReplyReceive record;
-        // requests are not re-sent (§4.1).
-        if self.is_replaying() {
+        // requests are not re-sent (§4.1). A first call to a target is
+        // preceded in the stream by its OutgoingBind record — restore the
+        // binding and keep consuming.
+        while self.is_replaying() {
             let log = self.inner.log.as_ref().expect("replay requires a log");
             let consumed = {
                 let knowledge = self.inner.knowledge.read();
@@ -254,6 +355,22 @@ impl<'a> ServiceContext<'a> {
                     record,
                     framed,
                 } => match record {
+                    LogRecord::OutgoingBind {
+                        target: bind_target,
+                        outgoing,
+                        ..
+                    } => {
+                        self.state.outgoing.insert(
+                            bind_target,
+                            OutgoingSession {
+                                id: outgoing,
+                                next_seq: msp_types::RequestSeq::FIRST,
+                            },
+                        );
+                        self.state
+                            .note_logged(self.inner.cfg.id, self.inner.epoch(), lsn, framed);
+                        continue;
+                    }
                     LogRecord::ReplyReceive {
                         outgoing,
                         seq,
@@ -305,7 +422,7 @@ impl<'a> ServiceContext<'a> {
                             );
                         }
                     }
-                    // Fall through to the live call.
+                    break; // fall through to the live call
                 }
             }
         }

@@ -178,6 +178,17 @@ pub fn read_shared(
 ) -> MspResult<Vec<u8>> {
     let mut st = var.state.lock();
     rollback_if_orphan(env, var, &mut st)?;
+    Ok(read_locked(env, var, &mut st, session_id, session))
+}
+
+/// The read column's logging steps, with the variable lock already held.
+fn read_locked(
+    env: &SharedEnv<'_>,
+    var: &SharedVar,
+    st: &mut SharedVarState,
+    session_id: SessionId,
+    session: &mut SessionState,
+) -> Vec<u8> {
     let record = LogRecord::SharedRead {
         session: session_id,
         var: var.id,
@@ -189,7 +200,7 @@ pub fn read_shared(
     let framed = env.log.end_lsn().0 - before.0;
     session.dv.merge_from(&st.dv);
     session.note_logged(env.me, env.epoch, lsn, framed);
-    Ok(st.value.clone())
+    st.value.clone()
 }
 
 /// Figure 8, right column: write `value` into `var` on behalf of
@@ -207,6 +218,18 @@ pub fn write_shared(
     value: Vec<u8>,
 ) -> MspResult<Lsn> {
     let mut st = var.state.lock();
+    Ok(write_locked(env, var, &mut st, session_id, session, value))
+}
+
+/// The write column's logging steps, with the variable lock already held.
+fn write_locked(
+    env: &SharedEnv<'_>,
+    var: &SharedVar,
+    st: &mut SharedVarState,
+    session_id: SessionId,
+    session: &SessionState,
+    value: Vec<u8>,
+) -> Lsn {
     let record = LogRecord::SharedWrite {
         session: session_id,
         var: var.id,
@@ -220,10 +243,35 @@ pub fn write_shared(
     st.chain_head = lsn;
     if st.first_write.is_none() {
         st.first_write = Some(lsn);
-        var.sync_anchor(&st);
+        var.sync_anchor(st);
     }
     st.writes_since_ckpt += 1;
-    Ok(lsn)
+    lsn
+}
+
+/// Atomic read-modify-write: the read and write columns of Figure 8
+/// executed under a *single* hold of the variable lock, so no other
+/// session can interleave between the read and the dependent write (the
+/// split `read_shared` + `write_shared` pair loses updates under that
+/// interleaving). Logs the same `SharedRead`/`SharedWrite` record pair
+/// the split calls would, so the session's replay stream and the
+/// variable's backward chain are shaped identically.
+///
+/// `f` maps the current value to the value to write. Returns the value
+/// read (pre-`f`) and the write's LSN.
+pub fn update_shared(
+    env: &SharedEnv<'_>,
+    var: &SharedVar,
+    session_id: SessionId,
+    session: &mut SessionState,
+    f: impl FnOnce(&[u8]) -> Vec<u8>,
+) -> MspResult<(Vec<u8>, Lsn)> {
+    let mut st = var.state.lock();
+    rollback_if_orphan(env, var, &mut st)?;
+    let old = read_locked(env, var, &mut st, session_id, session);
+    let new = f(&old);
+    let lsn = write_locked(env, var, &mut st, session_id, session, new);
+    Ok((old, lsn))
 }
 
 /// Undo recovery of a shared variable (§4.2): follow the backward chain
@@ -493,9 +541,12 @@ mod tests {
     }
 
     #[test]
-    fn own_msp_dependencies_never_orphan_the_variable() {
-        // A variable whose DV references only our own MSP is never rolled
-        // back by the knowledge check (our log is local ground truth).
+    fn own_msp_recovery_records_orphan_lost_self_deps() {
+        // After our own recovery, knowledge holds our own recovery
+        // record. A variable whose DV references a *lost* state of our
+        // previous incarnation (LSN beyond what the recovery salvaged)
+        // is an echoed orphan and must roll back — the owner is not
+        // exempt from the check.
         let log = test_log();
         let mut k = RecoveryKnowledge::new();
         let mut reg = SharedRegistry::new();
@@ -504,16 +555,28 @@ mod tests {
 
         let writer = session_with_dv(&[(1, 0, 1_000_000)]); // self-dep, huge LSN
         write_shared(&env(&log, &k), var, SessionId(1), &writer, b"v".to_vec()).unwrap();
-        // Even a (nonsensical) recovery record about ourselves is ignored
-        // by the owner exemption.
+
+        // A self recovery record that *covers* the dependency leaves the
+        // value intact…
         k.record(RecoveryRecord {
             msp: MspId(1),
             new_epoch: Epoch(1),
-            recovered_lsn: Lsn(0),
+            recovered_lsn: Lsn(2_000_000),
         });
         let mut reader = SessionState::fresh();
         let v = read_shared(&env(&log, &k), var, SessionId(2), &mut reader).unwrap();
-        assert_eq!(v, b"v".to_vec());
+        assert_eq!(v, b"v".to_vec(), "covered self-dep survives");
+
+        // …but one that says the state was lost rolls the variable back
+        // to its last non-orphan value (here: the initial value).
+        k.record(RecoveryRecord {
+            msp: MspId(1),
+            new_epoch: Epoch(2),
+            recovered_lsn: Lsn(0),
+        });
+        let mut reader = SessionState::fresh();
+        let v = read_shared(&env(&log, &k), var, SessionId(3), &mut reader).unwrap();
+        assert_eq!(v, b"init".to_vec(), "lost self-dep is rolled back");
         log.close();
     }
 }

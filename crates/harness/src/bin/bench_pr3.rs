@@ -133,13 +133,7 @@ fn run_recovery(image: &[u8], cfg: MspConfig, scale: f64) -> RunResult {
     let model = DiskModel::default().with_scale(scale);
     let t0 = Instant::now();
     let handle = build_msp(&net, Arc::clone(&disk), cfg, model);
-    while !handle.recovery_complete() {
-        std::thread::sleep(Duration::from_micros(500));
-        assert!(
-            t0.elapsed() < Duration::from_secs(120),
-            "recovery did not complete within 120 s"
-        );
-    }
+    msp_harness::await_recovery(&handle, Duration::from_secs(120), "bench_pr3");
     let mttr = t0.elapsed();
     let stats = handle.stats();
     let log = handle.log_stats().expect("log-based MSP has log stats");

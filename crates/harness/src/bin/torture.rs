@@ -1,0 +1,126 @@
+//! Crash-storm torture driver: sweep seeds × the five §5.2 system
+//! configurations through the seed-driven fault rig and report every
+//! violation with its reproducing seed.
+//!
+//! ```text
+//! torture [--seeds N] [--seed-base B] [--config NAME]
+//!         [--requests N] [--events N]
+//! ```
+//!
+//! Each run prints one line; any oracle or post-mortem failure prints
+//! the seed and the exact one-liner that replays it, and the process
+//! exits non-zero. CI runs this with a fixed small seed set.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use msp_harness::torture::{run_torture, TortureOptions};
+use msp_harness::SystemConfig;
+
+struct Args {
+    seeds: u64,
+    seed_base: u64,
+    config: Option<SystemConfig>,
+    requests: u64,
+    events: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 8,
+        seed_base: 1,
+        config: None,
+        requests: 10,
+        events: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = val().parse().expect("--seeds N"),
+            "--seed-base" => args.seed_base = val().parse().expect("--seed-base N"),
+            "--config" => {
+                let name = val();
+                args.config = Some(
+                    SystemConfig::parse(&name).unwrap_or_else(|| panic!("unknown config {name}")),
+                );
+            }
+            "--requests" => args.requests = val().parse().expect("--requests N"),
+            "--events" => args.events = val().parse().expect("--events N"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let configs: Vec<SystemConfig> = match args.config {
+        Some(c) => vec![c],
+        None => SystemConfig::ALL.to_vec(),
+    };
+    let t0 = Instant::now();
+    let mut runs = 0u64;
+    let mut crashes = 0u64;
+    let mut recovery_crashes = 0u64;
+    let mut failures: Vec<(u64, SystemConfig, String)> = Vec::new();
+
+    for seed in args.seed_base..args.seed_base + args.seeds {
+        for &config in &configs {
+            let mut opts = TortureOptions::new(seed, config);
+            opts.requests_per_client = args.requests;
+            opts.crash_events = args.events;
+            runs += 1;
+            match run_torture(&opts) {
+                Ok(report) => {
+                    crashes += report.crashes;
+                    recovery_crashes += report.recovery_crashes;
+                    if config.is_log_based()
+                        && args.events > 0
+                        && report.scheduled_recovery_events == 0
+                    {
+                        failures.push((
+                            seed,
+                            config,
+                            "schedule carried no crash-during-recovery event".into(),
+                        ));
+                        println!("FAIL  {report}");
+                    } else {
+                        println!("ok    {report}");
+                    }
+                }
+                Err(msg) => {
+                    println!("FAIL  seed={seed:<4} config={:<12} {msg}", config.name());
+                    failures.push((seed, config, msg));
+                }
+            }
+        }
+    }
+
+    println!(
+        "\n{} runs in {:.1} s: {} crashes injected ({} during a prior recovery), {} failures",
+        runs,
+        t0.elapsed().as_secs_f64(),
+        crashes,
+        recovery_crashes,
+        failures.len()
+    );
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for (seed, config, msg) in &failures {
+            eprintln!("\nFAILED seed={seed} config={}: {msg}", config.name());
+            eprintln!(
+                "reproduce with: cargo run --release --bin torture -- \
+                 --seed-base {seed} --seeds 1 --config {} --requests {} --events {}",
+                config.name(),
+                args.requests,
+                args.events
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -14,5 +14,12 @@
 //! killing MSP2 (un-flushed tail lost) and restarting it through full MSP
 //! crash recovery, which then broadcasts its recovered state number and
 //! triggers SE1's orphan recovery at MSP1.
+//!
+//! Beyond the paper's single scripted kill-point, the torture rig
+//! ([`crate::torture`]) drives *seed-generated* schedules of crashes at
+//! four injection sites inside the log/checkpoint/replay paths
+//! (`msp_wal::CrashPoint`), on either MSP, including crashes landed
+//! *during a previous crash's recovery* (§4.5 multi-crash). Both rigs
+//! share [`MspSlot`]: a restartable MSP whose disk survives the kill.
 
-pub use crate::world::Msp2Slot;
+pub use crate::world::{Msp2Slot, MspSlot};

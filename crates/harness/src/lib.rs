@@ -12,6 +12,10 @@
 //! * [`crashes`] — the §5.4 fault injector: MSP2 is instructed to kill
 //!   itself right after its reply is consumed, so its buffered log
 //!   records are lost and session SE1 at MSP1 becomes an orphan.
+//! * [`torture`] — the seed-driven crash-storm rig: reproducible fault
+//!   schedules (crash points, lossy links, multi-crashes including
+//!   crash-during-recovery) with an exactly-once oracle and a
+//!   post-mortem log audit.
 //! * [`metrics`] — response-time series and throughput accounting.
 //! * [`experiments`] — one driver per table and figure (E1–E7 in
 //!   `DESIGN.md`) plus the ablations.
@@ -19,8 +23,10 @@
 pub mod crashes;
 pub mod experiments;
 pub mod metrics;
+pub mod torture;
 pub mod workload;
 pub mod world;
 
-pub use metrics::{Series, Summary};
+pub use metrics::{await_recovery, RecoveryPhases, Series, Summary};
+pub use torture::{run_torture, Schedule, TortureOptions, TortureReport};
 pub use world::{FlushMode, SystemConfig, World, WorldOptions};

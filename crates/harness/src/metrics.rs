@@ -1,7 +1,7 @@
 //! Response-time series, throughput summaries and recovery-phase
 //! breakdowns.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use msp_core::runtime::RuntimeStatsSnapshot;
 
@@ -157,6 +157,34 @@ impl RecoveryPhases {
     pub fn replay_ms(&self) -> f64 {
         self.replay.as_secs_f64() * 1e3
     }
+}
+
+/// Poll [`msp_core::MspHandle::recovery_complete`] under a deadline.
+///
+/// Returns the recovery phase breakdown once the pool drains; past the
+/// deadline it panics with `context` (tests put the run's seed there)
+/// and the phase timings accumulated so far, instead of hanging CI
+/// forever on a wedged recovery.
+pub fn await_recovery(
+    handle: &msp_core::MspHandle,
+    timeout: Duration,
+    context: &str,
+) -> RecoveryPhases {
+    let t0 = Instant::now();
+    while !handle.recovery_complete() {
+        if t0.elapsed() > timeout {
+            let p = RecoveryPhases::from_stats(&handle.stats());
+            panic!(
+                "{context}: recovery did not drain within {timeout:?} \
+                 (analysis {:.3} ms, checkpoint {:.3} ms, replay {:.3} ms so far)",
+                p.analysis_ms(),
+                p.checkpoint_ms(),
+                p.replay_ms()
+            );
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    RecoveryPhases::from_stats(&handle.stats())
 }
 
 #[cfg(test)]

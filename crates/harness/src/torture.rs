@@ -1,0 +1,778 @@
+//! Seed-driven crash-storm torture rig with an exactly-once oracle.
+//!
+//! The rig replaces the single scripted kill-point of [`crate::crashes`]
+//! with randomized but fully reproducible fault schedules: every choice —
+//! client count, per-request `m`, lossy links, which MSP dies, at which
+//! [`CrashPoint`], after how many site traversals, and whether the
+//! *restart* is crashed again mid-recovery (§4.5 multi-crash) — is drawn
+//! from the vendored `rand` shim seeded with one `u64`. No wall clock, no
+//! global randomness: a failing run replays from its seed, and every
+//! failure message embeds that seed.
+//!
+//! One run ([`run_torture`]) drives 8–32 concurrent clients, each issuing
+//! requests with `m ∈ 1..=4`, through one of the five §5.2
+//! [`SystemConfig`]s while a controller walks the schedule's crash
+//! events. The oracle has three layers:
+//!
+//! 1. **Per-client ledger** — every reply must carry the session counter
+//!    `k` equal to the request's 1-based index: a lost execution or a
+//!    duplicate shifts `k` and is caught at the exact request.
+//! 2. **Shared-state model** — after the storm settles (clients done,
+//!    `recovery_complete()` drained on both MSPs) SV0/SV1 at MSP1 must
+//!    equal the total request count and SV2/SV3 at MSP2 the total number
+//!    of `ServiceMethod2` calls: each request executed *exactly once*
+//!    against shared state too.
+//! 3. **Post-mortem log audit** ([`audit_log`]) — the final on-disk log
+//!    of each log-based MSP is re-opened and structurally verified:
+//!    monotone LSNs, every frame decodes, recovery epochs strictly
+//!    increase, every EOS fences an orphan record of its own session
+//!    *behind* it, and no frame exists past the scan end (the bytes
+//!    beyond the durable stream must be unwritten).
+//!
+//! Crash events only target the log-based configurations — the §5.2
+//! baselines have no recovery story for a killed MSP, so they get the
+//! message-fault dimension (drops/duplicates) and the same oracle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use msp_types::codec::Encode;
+use msp_types::Lsn;
+use msp_wal::log::DATA_START;
+use msp_wal::{
+    CrashPoint, Disk, DiskModel, FaultPlan, FlushPolicy, LogRecord, MemDisk, PhysicalLog,
+};
+
+use crate::workload::{reply_counter, request_payload, MSP1};
+use crate::world::{FlushMode, SystemConfig, World, WorldOptions};
+
+/// Tuning of one torture run.
+#[derive(Debug, Clone)]
+pub struct TortureOptions {
+    /// The seed every schedule decision derives from.
+    pub seed: u64,
+    pub config: SystemConfig,
+    /// Requests each client issues (sequentially, on one session).
+    pub requests_per_client: u64,
+    /// Crash events the controller walks (log-based configs only).
+    pub crash_events: usize,
+    /// Wall-clock bound on the whole storm; blowing it panics with the
+    /// seed rather than hanging CI forever.
+    pub settle_timeout: Duration,
+}
+
+impl TortureOptions {
+    pub fn new(seed: u64, config: SystemConfig) -> TortureOptions {
+        TortureOptions {
+            seed,
+            config,
+            requests_per_client: 10,
+            crash_events: 3,
+            settle_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// One crash in a schedule: kill `target` when `point`'s countdown of
+/// `countdown` traversals expires, and optionally crash the *restart*
+/// too, at `during_recovery`'s point/countdown — the §4.5 case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// `true` = MSP2, `false` = MSP1.
+    pub target_msp2: bool,
+    pub point: CrashPoint,
+    pub countdown: u64,
+    pub during_recovery: Option<(CrashPoint, u64)>,
+}
+
+impl CrashEvent {
+    fn target_name(&self) -> &'static str {
+        if self.target_msp2 {
+            "MSP2"
+        } else {
+            "MSP1"
+        }
+    }
+}
+
+/// Everything a seed decides, materialized up front so the run itself
+/// contains no sampling (and the schedule can be printed/compared).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    pub seed: u64,
+    /// 8..=32 concurrent clients.
+    pub clients: u64,
+    /// Per client: `Some((drop_prob, dup_prob))` for a lossy link.
+    pub link_faults: Vec<Option<(f64, f64)>>,
+    /// Per client, per request: `m` (1..=4).
+    pub ms: Vec<Vec<u8>>,
+    /// Crash events, in controller order; empty on non-log configs.
+    pub events: Vec<CrashEvent>,
+}
+
+/// Plan-A crash sites: points hot during *live* execution. `ReplayStep`
+/// is reserved for the during-recovery follow-ups — it only fires while
+/// a session is actually replaying.
+const LIVE_POINTS: [CrashPoint; 3] = [
+    CrashPoint::MidAppend,
+    CrashPoint::PreFlush,
+    CrashPoint::CheckpointWrite,
+];
+
+/// Points a during-recovery follow-up can hit: the startup flush, the
+/// recovery checkpoint, and the replay loop itself.
+const RECOVERY_POINTS: [CrashPoint; 3] = [
+    CrashPoint::ReplayStep,
+    CrashPoint::PreFlush,
+    CrashPoint::CheckpointWrite,
+];
+
+impl Schedule {
+    /// Derive the full schedule for `opts.seed`. The sampling order is
+    /// part of the reproducibility contract — append new decisions at
+    /// the end, never in the middle.
+    pub fn generate(opts: &TortureOptions) -> Schedule {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let clients = rng.random_range(8..33);
+        let mut link_faults = Vec::with_capacity(clients as usize);
+        let mut ms = Vec::with_capacity(clients as usize);
+        for _ in 0..clients {
+            let lossy = rng.random_bool(0.4);
+            // Sample both probabilities unconditionally so the stream of
+            // draws (and hence everything after) does not depend on the
+            // branch.
+            let drop_prob = rng.random_range(0..120) as f64 / 1000.0;
+            let dup_prob = rng.random_range(0..120) as f64 / 1000.0;
+            link_faults.push(lossy.then_some((drop_prob, dup_prob)));
+            ms.push(
+                (0..opts.requests_per_client)
+                    .map(|_| 1 + rng.random_range(0..4) as u8)
+                    .collect(),
+            );
+        }
+        let mut events = Vec::new();
+        if opts.config.is_log_based() {
+            for e in 0..opts.crash_events {
+                let target_msp2 = rng.random_bool(0.6);
+                let point = LIVE_POINTS[rng.random_range(0..3) as usize];
+                let countdown = 1 + rng.random_range(0..40);
+                // The first event always crashes the recovery itself (the
+                // acceptance bar: at least one crash-during-recovery
+                // schedule per run), biased to the replay loop; later
+                // events follow up with probability 0.4.
+                let follow = e == 0 || rng.random_bool(0.4);
+                let fpoint = if e == 0 {
+                    CrashPoint::ReplayStep
+                } else {
+                    RECOVERY_POINTS[rng.random_range(0..3) as usize]
+                };
+                let fcount = 1 + rng.random_range(0..6);
+                events.push(CrashEvent {
+                    target_msp2,
+                    point,
+                    countdown,
+                    during_recovery: follow.then_some((fpoint, fcount)),
+                });
+            }
+        }
+        Schedule {
+            seed: opts.seed,
+            clients,
+            link_faults,
+            ms,
+            events,
+        }
+    }
+
+    /// Total requests the storm issues.
+    pub fn total_requests(&self) -> u64 {
+        self.ms.iter().map(|v| v.len() as u64).sum()
+    }
+
+    /// Total `ServiceMethod2` calls (Σ m).
+    pub fn total_msp2_calls(&self) -> u64 {
+        self.ms
+            .iter()
+            .map(|v| v.iter().map(|&m| m as u64).sum::<u64>())
+            .sum()
+    }
+}
+
+/// Structural summary of one post-mortem log audit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogAudit {
+    pub records: u64,
+    pub eos_records: u64,
+    pub recovery_completes: u64,
+    /// One past the last byte of the last intact frame (the end of the
+    /// durable record stream; trailing zero-padding comes after).
+    pub scan_end: u64,
+    pub disk_len: u64,
+}
+
+/// What one run did; returned on success so callers (the bin, CI) can
+/// report coverage.
+#[derive(Debug, Clone)]
+pub struct TortureReport {
+    pub seed: u64,
+    pub config: SystemConfig,
+    pub clients: u64,
+    pub requests: u64,
+    pub msp2_calls: u64,
+    /// Total MSP kills (including restart attempts that failed because a
+    /// fault fired during startup recovery).
+    pub crashes: u64,
+    /// Crash points that actually fired, in order, with their target.
+    pub fired: Vec<(&'static str, CrashPoint)>,
+    /// Crashes that hit a *prior recovery* (the §4.5 dimension).
+    pub recovery_crashes: u64,
+    /// Scheduled during-recovery follow-ups (≥1 on log-based configs).
+    pub scheduled_recovery_events: u64,
+    /// Events skipped because the storm's traffic ended first.
+    pub skipped_events: u64,
+    /// Post-mortem audits (MSP1 then MSP2) on log-based configs.
+    pub audits: Vec<LogAudit>,
+}
+
+impl std::fmt::Display for TortureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed={:<4} config={:<12} clients={:<2} requests={:<4} m2_calls={:<4} \
+             crashes={} (during-recovery {}) fired=[{}] audit=[{}]",
+            self.seed,
+            self.config.name(),
+            self.clients,
+            self.requests,
+            self.msp2_calls,
+            self.crashes,
+            self.recovery_crashes,
+            self.fired
+                .iter()
+                .map(|(who, p)| format!("{who}:{}", p.name()))
+                .collect::<Vec<_>>()
+                .join(" "),
+            self.audits
+                .iter()
+                .map(|a| format!(
+                    "{}rec/{}eos/{}rc",
+                    a.records, a.eos_records, a.recovery_completes
+                ))
+                .collect::<Vec<_>>()
+                .join(" "),
+        )
+    }
+}
+
+/// How long the controller waits for an armed plan to fire before giving
+/// up on the event (traffic may have drained first).
+const FIRE_WAIT: Duration = Duration::from_secs(5);
+/// How long a during-recovery follow-up gets to hit the restart.
+const RECOVERY_FIRE_WAIT: Duration = Duration::from_secs(5);
+/// Recovery-drain bound after the storm.
+const DRAIN_WAIT: Duration = Duration::from_secs(30);
+
+fn le_counter(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[..8].try_into().expect("8-byte counter"))
+}
+
+/// Run one torture storm. `Err` carries a message that always embeds the
+/// reproducing seed and configuration.
+pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
+    let sched = Schedule::generate(opts);
+    let tag = format!("torture seed={} config={}", opts.seed, opts.config.name());
+
+    let world = World::start(WorldOptions {
+        config: opts.config,
+        time_scale: 0.0,
+        // Small threshold so session checkpoints (and hence the
+        // CheckpointWrite site) are hot even in a short storm.
+        session_ckpt_threshold: 4096,
+        checkpoints_enabled: true,
+        flush_mode: FlushMode::PerRequest,
+        workers: 4,
+        seed: opts.seed,
+        crash_every: 0,
+        durability_watermarks: true,
+        db_txn_overhead: Duration::ZERO,
+    });
+
+    let (res_tx, res_rx) = crossbeam_channel::unbounded::<Result<u64, String>>();
+    let done = AtomicU64::new(0);
+    let mut fired: Vec<(&'static str, CrashPoint)> = Vec::new();
+    let mut recovery_crashes = 0u64;
+    let mut skipped_events = 0u64;
+    let mut results: Vec<Result<u64, String>> = Vec::with_capacity(sched.clients as usize);
+
+    std::thread::scope(|s| {
+        // ---- clients ------------------------------------------------ //
+        for c in 0..sched.clients {
+            let ms = sched.ms[c as usize].clone();
+            let fault = sched.link_faults[c as usize];
+            let tx = res_tx.clone();
+            let (world, done, tag) = (&world, &done, &tag);
+            s.spawn(move || {
+                let id = 10_000 + c;
+                let mut client = match fault {
+                    Some((dp, pp)) => world.faulty_client(id, dp, pp),
+                    None => world.client(id),
+                };
+                let mut calls = 0u64;
+                let mut verdict = Ok(());
+                for (i, &m) in ms.iter().enumerate() {
+                    match client.call(MSP1, "ServiceMethod1", &request_payload(m)) {
+                        Ok(reply) => {
+                            let k = reply_counter(&reply);
+                            if k != i as u64 + 1 {
+                                verdict = Err(format!(
+                                    "{tag}: client {c} request {} saw session counter {k}, \
+                                     want {} (lost or duplicated execution)",
+                                    i + 1,
+                                    i + 1
+                                ));
+                                break;
+                            }
+                            calls += m as u64;
+                        }
+                        Err(e) => {
+                            verdict =
+                                Err(format!("{tag}: client {c} request {} failed: {e}", i + 1));
+                            break;
+                        }
+                    }
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(verdict.map(|()| calls));
+            });
+        }
+        drop(res_tx);
+
+        // ---- crash controller --------------------------------------- //
+        let trace = std::env::var_os("TORTURE_TRACE").is_some();
+        for ev in &sched.events {
+            if trace {
+                eprintln!(
+                    "[trace] event {:?} done={}/{}",
+                    ev,
+                    done.load(Ordering::SeqCst),
+                    sched.clients
+                );
+            }
+            if done.load(Ordering::SeqCst) == sched.clients {
+                skipped_events += 1;
+                continue;
+            }
+            let slot = if ev.target_msp2 {
+                &world.msp2
+            } else {
+                &world.msp1
+            };
+            let plan = Arc::new(FaultPlan::new());
+            plan.arm(ev.point, ev.countdown);
+            let (ftx, frx) = crossbeam_channel::bounded(1);
+            plan.set_notify(ftx);
+            slot.set_fault_plan(Some(Arc::clone(&plan)));
+
+            let deadline = Instant::now() + FIRE_WAIT;
+            let fired_point = loop {
+                match frx.recv_timeout(Duration::from_millis(20)) {
+                    Ok(pt) => break Some(pt),
+                    Err(_) => {
+                        if done.load(Ordering::SeqCst) == sched.clients
+                            || Instant::now() >= deadline
+                        {
+                            // Disarm, then re-check: a fire can race the
+                            // decision to give up.
+                            plan.disarm_all();
+                            break plan.fired();
+                        }
+                    }
+                }
+            };
+            let Some(pt) = fired_point else {
+                slot.set_fault_plan(None);
+                skipped_events += 1;
+                continue;
+            };
+            fired.push((ev.target_name(), pt));
+            if trace {
+                eprintln!("[trace] fired {} {:?}", ev.target_name(), pt);
+            }
+
+            // Kill first, then arm the follow-up: with the handle gone the
+            // plan is only stored for the rebuild, so it cannot fire on
+            // the dead log's stragglers — its first chance is the restart,
+            // i.e. genuinely *during recovery*.
+            slot.kill();
+            let follow = ev.during_recovery.map(|(fpoint, fcount)| {
+                let pb = Arc::new(FaultPlan::new());
+                pb.arm(fpoint, fcount);
+                let (btx, brx) = crossbeam_channel::bounded(1);
+                pb.set_notify(btx);
+                slot.set_fault_plan(Some(Arc::clone(&pb)));
+                (pb, brx)
+            });
+            if follow.is_none() {
+                slot.set_fault_plan(None);
+            }
+            let _ = slot.restart();
+            if trace {
+                eprintln!("[trace] restarted {}", ev.target_name());
+            }
+            if let Some((pb, brx)) = follow {
+                // The follow-up may already have fired inside restart()'s
+                // internal retry (startup recovery) or fire now, in the
+                // replay pool; either way the slot needs one more cycle.
+                let got = brx.recv_timeout(RECOVERY_FIRE_WAIT).ok().or_else(|| {
+                    pb.disarm_all();
+                    pb.fired()
+                });
+                slot.set_fault_plan(None);
+                if let Some(pt2) = got {
+                    recovery_crashes += 1;
+                    fired.push((ev.target_name(), pt2));
+                    if trace {
+                        eprintln!("[trace] recovery-crash {} {:?}", ev.target_name(), pt2);
+                    }
+                    slot.kill();
+                    let _ = slot.restart();
+                    if trace {
+                        eprintln!("[trace] re-restarted {}", ev.target_name());
+                    }
+                }
+            }
+        }
+
+        // ---- settle ------------------------------------------------- //
+        // Both MSPs are up (every event path ends in a restart); collect
+        // the client verdicts under the storm deadline. One rescue pass
+        // restarts the slots before declaring the run wedged.
+        let mut deadline = Instant::now() + opts.settle_timeout;
+        let mut rescued = false;
+        while results.len() < sched.clients as usize {
+            match res_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(r) => results.push(r),
+                Err(_) => {
+                    if trace {
+                        eprintln!(
+                            "[trace] settle: {} results, done={}/{}",
+                            results.len(),
+                            done.load(Ordering::SeqCst),
+                            sched.clients
+                        );
+                        for (who, slot) in [("MSP1", &world.msp1), ("MSP2", &world.msp2)] {
+                            if let Some(st) = slot.stats() {
+                                eprintln!(
+                                    "[trace]   {who} req={} replayed={} busy={} dup={} \
+                                     orphan_drop={} orphan_rec={} rec_complete={}",
+                                    st.requests,
+                                    st.replayed_requests,
+                                    st.busy_replies,
+                                    st.duplicate_requests,
+                                    st.orphan_msgs_dropped,
+                                    st.orphan_recoveries,
+                                    slot.recovery_complete(),
+                                );
+                            }
+                        }
+                    }
+                    if Instant::now() < deadline {
+                        continue;
+                    }
+                    if !rescued {
+                        rescued = true;
+                        for slot in [&world.msp1, &world.msp2] {
+                            slot.set_fault_plan(None);
+                            if !slot.is_up() {
+                                let _ = slot.restart();
+                            }
+                        }
+                        deadline = Instant::now() + Duration::from_secs(30);
+                    } else {
+                        // Panic (not Err): client threads are wedged, so
+                        // the scope cannot join — surface the seed now.
+                        panic!(
+                            "{tag}: storm did not settle: {}/{} clients finished \
+                             within {:?}",
+                            results.len(),
+                            sched.clients,
+                            opts.settle_timeout
+                        );
+                    }
+                }
+            }
+        }
+    });
+
+    // First client-level violation wins (it is the precise one).
+    let mut msp2_calls = 0u64;
+    for r in results {
+        msp2_calls += r?;
+    }
+    if msp2_calls != sched.total_msp2_calls() {
+        return Err(format!(
+            "{tag}: clients acked {} ServiceMethod2 calls, schedule says {}",
+            msp2_calls,
+            sched.total_msp2_calls()
+        ));
+    }
+
+    // Drain any recovery still in flight, then check the shared-state
+    // model: exactly-once means the counters equal the totals.
+    for (who, slot) in [("MSP1", &world.msp1), ("MSP2", &world.msp2)] {
+        let t0 = Instant::now();
+        while !slot.recovery_complete() {
+            if t0.elapsed() > DRAIN_WAIT {
+                return Err(format!(
+                    "{tag}: {who} recovery did not drain within {DRAIN_WAIT:?}"
+                ));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let requests = sched.total_requests();
+    let expect = [
+        ("MSP1", &world.msp1, ["SV0", "SV1"], requests),
+        (
+            "MSP2",
+            &world.msp2,
+            ["SV2", "SV3"],
+            sched.total_msp2_calls(),
+        ),
+    ];
+    for (who, slot, vars, want) in expect {
+        let shared = slot.dump_shared();
+        if shared.len() != 2 {
+            return Err(format!(
+                "{tag}: {who} dump_shared returned {} vars, want 2",
+                shared.len()
+            ));
+        }
+        for (name, value) in vars.iter().zip(&shared) {
+            let got = le_counter(value);
+            if got != want {
+                return Err(format!(
+                    "{tag}: {who} {name} counter is {got}, want {want} \
+                     (exactly-once violated on shared state)"
+                ));
+            }
+        }
+    }
+
+    // Post-mortem: shut the world down cleanly, then re-open the final
+    // disks and audit the log structure.
+    let disks = opts
+        .config
+        .is_log_based()
+        .then(|| [("MSP1", world.msp1.disk()), ("MSP2", world.msp2.disk())]);
+    // `world.crash_count()` reads the slot counters, which restart() resets
+    // when it rebuilds a slot; `fired` is the authoritative tally.
+    let crashes = fired.len() as u64;
+    world.shutdown();
+    let mut audits = Vec::new();
+    if let Some(disks) = disks {
+        for (who, disk) in disks {
+            audits.push(audit_log(&disk, &format!("{tag}: {who}"))?);
+        }
+    }
+
+    Ok(TortureReport {
+        seed: opts.seed,
+        config: opts.config,
+        clients: sched.clients,
+        requests,
+        msp2_calls,
+        crashes,
+        fired,
+        recovery_crashes,
+        scheduled_recovery_events: sched
+            .events
+            .iter()
+            .filter(|e| e.during_recovery.is_some())
+            .count() as u64,
+        skipped_events,
+        audits,
+    })
+}
+
+/// Re-open a crashed-or-closed MSP disk and verify the structural log
+/// invariants the recovery protocols rely on. `tag` prefixes every
+/// failure (it carries the seed).
+pub fn audit_log(disk: &Arc<MemDisk>, tag: &str) -> Result<LogAudit, String> {
+    let log = PhysicalLog::open_at(
+        Arc::clone(disk) as Arc<dyn Disk>,
+        DiskModel::zero(),
+        FlushPolicy::per_request(),
+        DATA_START,
+    )
+    .map_err(|e| format!("{tag}: post-mortem re-open failed: {e}"))?;
+
+    // Frame layout of log.rs: magic byte + u32 length + u32 crc.
+    const FRAME_HEADER: u64 = 9;
+
+    let mut audit = LogAudit::default();
+    let mut session_at = std::collections::HashMap::new();
+    let mut last_lsn: Option<u64> = None;
+    let mut last_epoch: Option<u32> = None;
+    // One past the last byte of the last intact frame — unlike the
+    // scanner's final position, this does not skip over trailing
+    // zero-padding, so it anchors the no-frame-past-a-hole sweep.
+    let mut stream_end = DATA_START;
+    {
+        let mut scanner = log.scan_from(Lsn(DATA_START));
+        for item in scanner.by_ref() {
+            let (lsn, rec) = item.map_err(|e| format!("{tag}: scan failed mid-log: {e}"))?;
+            if let Some(prev) = last_lsn {
+                if lsn.0 <= prev {
+                    return Err(format!("{tag}: non-monotone LSN {} after {prev}", lsn.0));
+                }
+            }
+            last_lsn = Some(lsn.0);
+            match &rec {
+                LogRecord::RecoveryComplete {
+                    new_epoch,
+                    recovered_lsn,
+                } => {
+                    if recovered_lsn.0 > lsn.0 {
+                        return Err(format!(
+                            "{tag}: RecoveryComplete at {} claims future \
+                             recovered_lsn {}",
+                            lsn.0, recovered_lsn.0
+                        ));
+                    }
+                    if let Some(prev) = last_epoch {
+                        if new_epoch.0 <= prev {
+                            return Err(format!(
+                                "{tag}: recovery epoch {} at LSN {} does not \
+                                 increase over {prev}",
+                                new_epoch.0, lsn.0
+                            ));
+                        }
+                    }
+                    last_epoch = Some(new_epoch.0);
+                    audit.recovery_completes += 1;
+                }
+                LogRecord::Eos {
+                    session,
+                    orphan_lsn,
+                } => {
+                    if orphan_lsn.0 < DATA_START || orphan_lsn.0 >= lsn.0 {
+                        return Err(format!(
+                            "{tag}: Eos at {} fences orphan_lsn {} outside \
+                             [{DATA_START}, {})",
+                            lsn.0, orphan_lsn.0, lsn.0
+                        ));
+                    }
+                    match session_at.get(&orphan_lsn.0) {
+                        Some(Some(s)) if s == session => {}
+                        Some(_) => {
+                            return Err(format!(
+                                "{tag}: Eos at {} for session {:?} fences a \
+                                 record of a different session at {}",
+                                lsn.0, session, orphan_lsn.0
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "{tag}: Eos at {} fences orphan_lsn {} which \
+                                 is not a record boundary",
+                                lsn.0, orphan_lsn.0
+                            ));
+                        }
+                    }
+                    audit.eos_records += 1;
+                }
+                _ => {}
+            }
+            session_at.insert(lsn.0, rec.session());
+            stream_end = lsn.0 + FRAME_HEADER + rec.to_bytes().len() as u64;
+            audit.records += 1;
+        }
+    }
+    log.close();
+
+    // No frame past a hole: the append path only ever extends the
+    // contiguous durable stream (plus zero sector-padding), so every
+    // byte after the last intact frame must be zero. Any other byte is a
+    // dead frame the scanner silently skipped over — recovery would lose
+    // it without noticing.
+    let bytes = disk.snapshot();
+    audit.scan_end = stream_end;
+    audit.disk_len = bytes.len() as u64;
+    if (stream_end as usize) < bytes.len() {
+        if let Some(i) = bytes[stream_end as usize..].iter().position(|&b| b != 0) {
+            return Err(format!(
+                "{tag}: non-zero byte {:#04x} at offset {} past the scan end \
+                 {stream_end} — dead frame beyond the hole",
+                bytes[stream_end as usize + i],
+                stream_end as usize + i
+            ));
+        }
+    }
+    Ok(audit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_seed_sensitive() {
+        let opts = TortureOptions::new(11, SystemConfig::LoOptimistic);
+        let a = Schedule::generate(&opts);
+        let b = Schedule::generate(&opts);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!((8..=32).contains(&a.clients));
+        assert!(a.ms.iter().flatten().all(|&m| (1..=4).contains(&m)));
+        assert_eq!(a.events.len(), opts.crash_events);
+        assert!(
+            a.events[0].during_recovery.is_some(),
+            "first event always crashes the recovery itself"
+        );
+        let c = Schedule::generate(&TortureOptions::new(12, SystemConfig::LoOptimistic));
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn baseline_configs_schedule_no_crash_events() {
+        for config in [
+            SystemConfig::NoLog,
+            SystemConfig::Psession,
+            SystemConfig::StateServer,
+        ] {
+            let s = Schedule::generate(&TortureOptions::new(3, config));
+            assert!(s.events.is_empty(), "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn audit_accepts_a_clean_log_and_rejects_garbage_past_the_end() {
+        use msp_types::SessionId;
+        let disk = Arc::new(MemDisk::new());
+        let log = PhysicalLog::open(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            DiskModel::zero(),
+            FlushPolicy::per_request(),
+        )
+        .unwrap();
+        for i in 0..4u64 {
+            log.append(&LogRecord::SessionEnd {
+                session: SessionId(i),
+            });
+        }
+        log.flush_to(log.end_lsn()).unwrap();
+        log.close();
+        let audit = audit_log(&disk, "unit").expect("clean log passes");
+        assert_eq!(audit.records, 4);
+
+        // A stray frame-ish byte beyond the durable stream must fail.
+        let end = audit.scan_end;
+        disk.write(end + 600, &[0xA5, 1, 2, 3]).unwrap();
+        let err = audit_log(&disk, "unit").unwrap_err();
+        assert!(err.contains("past the scan end"), "{err}");
+    }
+}

@@ -60,12 +60,15 @@ fn bump_counter_value(old: &[u8]) -> (u64, Vec<u8>) {
 }
 
 /// Read-modify-write of one shared variable: the "read and write SVx"
-/// step of both service methods.
+/// step of both service methods. Uses the atomic update primitive — with
+/// the split read + write calls, two sessions can interleave between the
+/// two lock holds and both write the same incremented value, losing an
+/// update (which the torture oracle's counter model would flag).
 fn touch_shared(ctx: &mut ServiceContext<'_>, name: &str) -> Result<u64, String> {
-    let cur = ctx.read_shared(name)?;
-    let (n, next) = bump_counter_value(&cur);
-    ctx.write_shared(name, next)?;
-    Ok(n)
+    ctx.update_shared(name, |cur| {
+        let (n, next) = bump_counter_value(cur);
+        (next, n)
+    })
 }
 
 /// "Modify session state": advance the per-session request counter and

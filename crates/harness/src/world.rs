@@ -14,10 +14,10 @@ use msp_core::{
 };
 use msp_kv::{KvOptions, KvStore};
 use msp_net::{EndpointId, NetModel, Network};
-use msp_types::DomainId;
-use msp_wal::{DiskModel, FlushPolicy, MemDisk};
+use msp_types::{DomainId, MspId};
+use msp_wal::{DiskModel, FaultPlan, FlushPolicy, MemDisk};
 
-use crate::metrics::Series;
+use crate::metrics::{RecoveryPhases, Series};
 use crate::workload::{
     self, initial_shared, make_service_method1, request_payload, AfterReplyHook, MSP1, MSP2,
 };
@@ -72,6 +72,14 @@ impl SystemConfig {
         }
     }
 
+    /// Parse a configuration name as printed by [`Self::name`]
+    /// (case-insensitive) — used by the `torture` binary's `--config`.
+    pub fn parse(name: &str) -> Option<SystemConfig> {
+        SystemConfig::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(name))
+    }
+
     pub fn is_log_based(self) -> bool {
         matches!(self, SystemConfig::LoOptimistic | SystemConfig::Pessimistic)
     }
@@ -120,9 +128,12 @@ impl WorldOptions {
     }
 }
 
-/// Everything needed to (re)build MSP2, so the fault injector can crash
-/// and restart it while the experiment runs.
-pub struct Msp2Slot {
+/// Everything needed to (re)build one MSP, so fault injectors can crash
+/// and restart it while the experiment runs. Both MSPs of the §5.1
+/// workload live in slots; the slot knows which service methods and
+/// shared variables its MSP id carries.
+pub struct MspSlot {
+    id: MspId,
     handle: Mutex<Option<msp_core::MspHandle>>,
     disk: Arc<MemDisk>,
     net: Network<Envelope>,
@@ -130,41 +141,148 @@ pub struct Msp2Slot {
     cfg: MspConfig,
     disk_model: DiskModel,
     flush_policy: FlushPolicy,
+    /// The §5.4 after-reply hook, threaded into `ServiceMethod1` on every
+    /// (re)build of the MSP1 slot.
+    hook: Option<AfterReplyHook>,
+    hook_every: u64,
+    /// Crash-point plan installed on the log at the *next* (re)build —
+    /// this is how the torture rig crashes an MSP during its own
+    /// recovery.
+    fault: Mutex<Option<Arc<FaultPlan>>>,
     pub crashes: AtomicU64,
-    /// Cumulative wall time spent with MSP2 down or recovering.
+    /// Cumulative wall time spent with the MSP down or recovering.
     pub downtime: Mutex<Duration>,
 }
 
-impl Msp2Slot {
-    fn build(&self) -> msp_core::MspHandle {
-        MspBuilder::new(self.cfg.clone(), self.cluster.clone())
+/// Backwards-compatible alias: the slot used to exist only for MSP2.
+pub type Msp2Slot = MspSlot;
+
+impl MspSlot {
+    fn build(&self) -> msp_types::MspResult<msp_core::MspHandle> {
+        let mut b = MspBuilder::new(self.cfg.clone(), self.cluster.clone())
             .disk_model(self.disk_model.clone())
-            .flush_policy(self.flush_policy)
-            .shared_var("SV2", initial_shared())
-            .shared_var("SV3", initial_shared())
-            .service("ServiceMethod2", workload::service_method2)
-            .start(&self.net, Arc::clone(&self.disk) as Arc<dyn msp_wal::Disk>)
-            .expect("start MSP2")
+            .flush_policy(self.flush_policy);
+        if let Some(plan) = self.fault.lock().clone() {
+            b = b.fault_plan(plan);
+        }
+        b = if self.id == MSP1 {
+            b.shared_var("SV0", initial_shared())
+                .shared_var("SV1", initial_shared())
+                .service(
+                    "ServiceMethod1",
+                    make_service_method1(self.hook.clone(), self.hook_every),
+                )
+        } else {
+            b.shared_var("SV2", initial_shared())
+                .shared_var("SV3", initial_shared())
+                .service("ServiceMethod2", workload::service_method2)
+        };
+        b.start(&self.net, Arc::clone(&self.disk) as Arc<dyn msp_wal::Disk>)
     }
 
-    /// Kill MSP2 (losing its buffered log records) and immediately
-    /// restart it; the restart runs MSP crash recovery.
-    pub fn crash_and_restart(&self) {
-        let t0 = Instant::now();
+    /// Kill the MSP without restarting it (losing its buffered log
+    /// records); the torture rig restarts it later via [`Self::restart`].
+    pub fn kill(&self) {
         if let Some(h) = self.handle.lock().take() {
             h.crash();
+            self.crashes.fetch_add(1, Ordering::Relaxed);
         }
-        let fresh = self.build();
+    }
+
+    /// (Re)start the MSP over its surviving disk; the start runs MSP
+    /// crash recovery and the returned [`RecoveryPhases`] says what that
+    /// recovery did. If a crash-point plan armed via
+    /// [`Self::set_fault_plan`] fires during the startup recovery itself,
+    /// the failed start counts as another crash and the slot starts over
+    /// (the plan is spent after firing, so the retry goes through).
+    pub fn restart(&self) -> RecoveryPhases {
+        let t0 = Instant::now();
+        let mut attempts = 0u32;
+        let fresh = loop {
+            match self.build() {
+                Ok(h) => break h,
+                Err(e) => {
+                    attempts += 1;
+                    self.crashes.fetch_add(1, Ordering::Relaxed);
+                    assert!(
+                        attempts < 8,
+                        "MSP{} failed to restart after {attempts} attempts: {e}",
+                        self.id.0
+                    );
+                }
+            }
+        };
+        let phases = RecoveryPhases::from_stats(&fresh.stats());
         *self.handle.lock() = Some(fresh);
-        self.crashes.fetch_add(1, Ordering::Relaxed);
         *self.downtime.lock() += t0.elapsed();
+        phases
+    }
+
+    /// Kill the MSP (losing its buffered log records) and immediately
+    /// restart it; the restart runs MSP crash recovery, whose phase
+    /// breakdown is returned.
+    pub fn crash_and_restart(&self) -> RecoveryPhases {
+        self.kill();
+        self.restart()
+    }
+
+    /// Arm a crash-point plan: installed on the live log immediately (if
+    /// the MSP is up) and re-installed on every subsequent rebuild until
+    /// cleared with `None`.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        if let Some(p) = &plan {
+            if let Some(h) = self.handle.lock().as_ref() {
+                h.install_fault_plan(Arc::clone(p));
+            }
+        }
+        *self.fault.lock() = plan;
+    }
+
+    /// `true` while a handle is installed (the MSP is not killed).
+    pub fn is_up(&self) -> bool {
+        self.handle.lock().is_some()
+    }
+
+    /// `true` once crash-recovery replay has drained (or trivially when
+    /// the MSP is down — a down MSP has no pool to wait for).
+    pub fn recovery_complete(&self) -> bool {
+        self.handle
+            .lock()
+            .as_ref()
+            .is_none_or(|h| h.recovery_complete())
     }
 
     pub fn stats(&self) -> Option<msp_core::runtime::RuntimeStatsSnapshot> {
         self.handle.lock().as_ref().map(|h| h.stats())
     }
 
+    /// Physical-log counters (log-based configurations with the MSP up).
+    pub fn log_stats(&self) -> Option<msp_wal::stats::LogStatsSnapshot> {
+        self.handle.lock().as_ref().and_then(|h| h.log_stats())
+    }
+
+    /// Current shared-variable values in registration order (empty while
+    /// the MSP is down).
+    pub fn dump_shared(&self) -> Vec<Vec<u8>> {
+        self.handle
+            .lock()
+            .as_ref()
+            .map(|h| h.dump_shared())
+            .unwrap_or_default()
+    }
+
+    /// The MSP's (simulated) disk — shared across restarts, and what the
+    /// torture rig's post-mortem pass re-opens after shutdown.
+    pub fn disk(&self) -> Arc<MemDisk> {
+        Arc::clone(&self.disk)
+    }
+
     fn shutdown(&self) {
+        // A still-armed plan would fire on the clean shutdown's final
+        // flush; the storm is over, so disarm it.
+        if let Some(plan) = self.fault.lock().take() {
+            plan.disarm_all();
+        }
         if let Some(h) = self.handle.lock().take() {
             h.shutdown();
         }
@@ -176,8 +294,8 @@ pub struct World {
     pub opts: WorldOptions,
     pub net: Network<Envelope>,
     pub cluster: ClusterConfig,
-    pub msp1: msp_core::MspHandle,
-    pub msp2: Arc<Msp2Slot>,
+    pub msp1: Arc<MspSlot>,
+    pub msp2: Arc<MspSlot>,
     state_server: Option<StateServer>,
     pub db1: Option<Arc<KvStore>>,
     pub db2: Option<Arc<KvStore>>,
@@ -267,35 +385,39 @@ impl World {
             None
         };
 
+        let slot = |id: MspId, cfg: MspConfig, hook: Option<AfterReplyHook>| {
+            Arc::new(MspSlot {
+                id,
+                handle: Mutex::new(None),
+                disk: Arc::new(MemDisk::new()),
+                net: net.clone(),
+                cluster: cluster.clone(),
+                cfg,
+                disk_model: disk_model.clone(),
+                flush_policy,
+                hook,
+                hook_every: opts.crash_every,
+                fault: Mutex::new(None),
+                crashes: AtomicU64::new(0),
+                downtime: Mutex::new(Duration::ZERO),
+            })
+        };
+
         // MSP2 first (MSP1's calls need it).
         let dom2 = cluster.domain_of(MSP2).expect("registered").0;
-        let msp2 = Arc::new(Msp2Slot {
-            handle: Mutex::new(None),
-            disk: Arc::new(MemDisk::new()),
-            net: net.clone(),
-            cluster: cluster.clone(),
-            cfg: base_cfg(MSP2, dom2).with_strategy(strategy(&mut db2)),
-            disk_model: disk_model.clone(),
-            flush_policy,
-            crashes: AtomicU64::new(0),
-            downtime: Mutex::new(Duration::ZERO),
-        });
-        *msp2.handle.lock() = Some(msp2.build());
+        let msp2 = slot(
+            MSP2,
+            base_cfg(MSP2, dom2).with_strategy(strategy(&mut db2)),
+            None,
+        );
+        *msp2.handle.lock() = Some(msp2.build().expect("start MSP2"));
 
-        let msp1 = MspBuilder::new(
+        let msp1 = slot(
+            MSP1,
             base_cfg(MSP1, 1).with_strategy(strategy(&mut db1)),
-            cluster.clone(),
-        )
-        .disk_model(disk_model)
-        .flush_policy(flush_policy)
-        .shared_var("SV0", initial_shared())
-        .shared_var("SV1", initial_shared())
-        .service(
-            "ServiceMethod1",
-            make_service_method1(hook, opts.crash_every),
-        )
-        .start(&net, Arc::new(MemDisk::new()) as Arc<dyn msp_wal::Disk>)
-        .expect("start MSP1");
+            hook,
+        );
+        *msp1.handle.lock() = Some(msp1.build().expect("start MSP1"));
 
         // Crash controller thread.
         let crash_thread = if opts.crash_every > 0 {
@@ -307,7 +429,7 @@ impl World {
                         crossbeam_channel::select! {
                             recv(crash_rx) -> r => {
                                 if r.is_err() { return; }
-                                slot.crash_and_restart();
+                                let _ = slot.crash_and_restart();
                             }
                             recv(stop_rx) -> _ => return,
                         }
@@ -352,6 +474,23 @@ impl World {
         )
     }
 
+    /// Like [`Self::client`], but with lossy links: every message between
+    /// this client and the MSPs is dropped with `drop_prob` and
+    /// duplicated with `dup_prob` — the torture rig's message-fault
+    /// dimension, exercising resend and duplicate-detection paths.
+    pub fn faulty_client(&self, id: u64, drop_prob: f64, dup_prob: f64) -> MspClient {
+        let c = self.client(id);
+        let ep = EndpointId::Client(id);
+        for msp in [EndpointId::Msp(MSP1), EndpointId::Msp(MSP2)] {
+            let model = NetModel::client_link()
+                .with_scale(self.opts.time_scale)
+                .with_faults(drop_prob, dup_prob);
+            self.net.set_link(ep, msp, model.clone());
+            self.net.set_link(msp, ep, model);
+        }
+        c
+    }
+
     /// Drive `n` end-client requests with `m` intra-request calls each,
     /// recording per-request response times.
     pub fn run_requests(&self, client: &mut MspClient, n: u64, m: u8) -> Series {
@@ -394,9 +533,9 @@ impl World {
         series
     }
 
-    /// Crashes injected so far.
+    /// Crashes injected so far (both MSPs).
     pub fn crash_count(&self) -> u64 {
-        self.msp2.crashes.load(Ordering::Relaxed)
+        self.msp1.crashes.load(Ordering::Relaxed) + self.msp2.crashes.load(Ordering::Relaxed)
     }
 
     pub fn shutdown(mut self) {
@@ -467,6 +606,28 @@ mod tests {
             assert_eq!(reply_counter(&r), i, "exactly-once across injected crashes");
         }
         assert!(world.crash_count() >= 2, "crashes were injected");
+        world.shutdown();
+    }
+
+    #[test]
+    fn slot_restart_reports_recovery_phases() {
+        let world = World::start(tiny(SystemConfig::LoOptimistic));
+        let mut c = world.client(1);
+        for i in 1..=6u64 {
+            let r = c.call(MSP1, "ServiceMethod1", &request_payload(1)).unwrap();
+            assert_eq!(reply_counter(&r), i);
+        }
+        world.msp2.kill();
+        assert!(!world.msp2.is_up());
+        let phases = world.msp2.restart();
+        assert!(world.msp2.is_up());
+        // The restarted MSP ran an analysis scan over real log bytes.
+        assert!(world.msp2.stats().unwrap().crash_recoveries >= 1);
+        let _ = phases.total();
+        for i in 7..=9u64 {
+            let r = c.call(MSP1, "ServiceMethod1", &request_payload(1)).unwrap();
+            assert_eq!(reply_counter(&r), i, "exactly-once across kill/restart");
+        }
         world.shutdown();
     }
 }

@@ -83,6 +83,17 @@ impl RecoveryKnowledge {
         }
     }
 
+    /// Whether [`record`](Self::record)ing `rec` would change nothing —
+    /// the `(msp, new_epoch)` pair is already known with an LSN at least
+    /// as conservative. Lets hot paths skip the absorb machinery for
+    /// gossip they have already seen.
+    pub fn covers(&self, rec: &RecoveryRecord) -> bool {
+        self.records
+            .get(&rec.msp)
+            .and_then(|m| m.get(&rec.new_epoch))
+            .is_some_and(|&lsn| lsn <= rec.recovered_lsn)
+    }
+
     /// The current (highest known) epoch of `msp`, if any recovery of it
     /// has been observed.
     pub fn current_epoch(&self, msp: MspId) -> Option<Epoch> {
@@ -107,19 +118,21 @@ impl RecoveryKnowledge {
         .any(|(_, &recovered)| state.lsn > recovered)
     }
 
-    /// Orphan test for a whole dependency vector, excluding the owner's
-    /// self-entry (a process is never an orphan of itself: its own log is
-    /// the ground truth it recovers from).
-    pub fn is_orphan(&self, dv: &DependencyVector, owner: MspId) -> bool {
-        dv.iter()
-            .any(|(m, s)| m != owner && self.is_orphan_dep(m, s))
+    /// Orphan test for a whole dependency vector — including entries for
+    /// the checking MSP itself. A self-entry the session logged in the
+    /// current epoch can never test as orphan (no later recovery is
+    /// known), but an *echoed* self-entry — our own pre-crash LSN carried
+    /// back to us through another MSP's message after a round trip — is a
+    /// genuine dependency on state we lost, and exempting it would keep
+    /// zombie sessions and shared values alive after the crash.
+    pub fn is_orphan(&self, dv: &DependencyVector, _owner: MspId) -> bool {
+        dv.iter().any(|(m, s)| self.is_orphan_dep(m, s))
     }
 
-    /// The first orphan dependency in `dv` (excluding `owner`), if any.
-    /// Useful for diagnostics and tests.
-    pub fn find_orphan(&self, dv: &DependencyVector, owner: MspId) -> Option<(MspId, StateId)> {
-        dv.iter()
-            .find(|&(m, s)| m != owner && self.is_orphan_dep(m, s))
+    /// The first orphan dependency in `dv`, if any. Useful for
+    /// diagnostics and tests.
+    pub fn find_orphan(&self, dv: &DependencyVector, _owner: MspId) -> Option<(MspId, StateId)> {
+        dv.iter().find(|&(m, s)| self.is_orphan_dep(m, s))
     }
 
     /// Iterate over all known records.
@@ -224,15 +237,20 @@ mod tests {
     }
 
     #[test]
-    fn dv_orphan_check_skips_owner() {
+    fn dv_orphan_check_includes_owner_echoes() {
         let mut k = RecoveryKnowledge::new();
         k.record(rec(1, 1, 100));
         let dv = DependencyVector::from_entries([
-            (MspId(1), state(0, 999)), // would be orphan...
+            (MspId(1), state(0, 999)), // lost in msp1's crash
         ]);
-        // ...but msp1 checking its own session against itself is exempt.
+        // Lost at a peer: orphan.
         assert!(k.is_orphan(&dv, MspId(2)));
-        assert!(!k.is_orphan(&dv, MspId(1)));
+        // Lost at the checking MSP itself — an echoed self-dependency on
+        // pre-crash state carried back via another MSP — equally orphan.
+        assert!(k.is_orphan(&dv, MspId(1)));
+        // A self-entry from the current epoch is not (no later recovery).
+        let live = DependencyVector::from_entries([(MspId(1), state(1, 50))]);
+        assert!(!k.is_orphan(&live, MspId(1)));
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   crash-time log, shared by all concurrently replaying sessions.
 //! * [`anchor`] — the ARIES-style log anchor holding the LSN of the most
 //!   recent MSP checkpoint (§3.4).
+//! * [`fault`] — seed-driven crash-point injection: countdown-armed crash
+//!   sites threaded through the append/flush/checkpoint/replay paths,
+//!   used by the harness torture rig.
 //! * [`position`] — per-session *position streams* that make per-session
 //!   log-record extraction (and hence parallel recovery) efficient (§3.2).
 
@@ -26,6 +29,7 @@ pub mod anchor;
 pub mod cache;
 pub mod crc;
 pub mod disk;
+pub mod fault;
 pub mod log;
 pub mod model;
 pub mod position;
@@ -36,6 +40,7 @@ pub mod tail;
 pub use anchor::LogAnchor;
 pub use cache::ReplayCache;
 pub use disk::{Disk, FileDisk, MemDisk};
+pub use fault::{CrashPoint, FaultPlan};
 pub use log::{FlushPolicy, LogScanner, PhysicalLog, SECTOR_SIZE};
 pub use model::DiskModel;
 pub use position::PositionStream;

@@ -43,6 +43,7 @@ use msp_types::{Decode, Encode, Lsn, MspError};
 
 use crate::crc::crc32;
 use crate::disk::Disk;
+use crate::fault::{CrashPoint, FaultPlan};
 use crate::model::DiskModel;
 use crate::record::LogRecord;
 use crate::stats::{LogStats, LogStatsSnapshot};
@@ -191,6 +192,10 @@ pub struct PhysicalLog {
     stopped: AtomicBool,
     stats: LogStats,
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Armed crash-point plan (torture rig); `fault_armed` is the lock-free
+    /// fast path so un-instrumented runs pay one relaxed load per site.
+    fault: Mutex<Option<Arc<FaultPlan>>>,
+    fault_armed: AtomicBool,
 }
 
 impl PhysicalLog {
@@ -240,6 +245,8 @@ impl PhysicalLog {
             stopped: AtomicBool::new(false),
             stats: LogStats::default(),
             flusher: Mutex::new(None),
+            fault: Mutex::new(None),
+            fault_armed: AtomicBool::new(false),
         });
         let worker = Arc::clone(&log);
         let handle = std::thread::Builder::new()
@@ -272,6 +279,32 @@ impl PhysicalLog {
         &self.stats
     }
 
+    /// Install a crash-point plan on the live log (torture rig). The plan
+    /// fires at most once; see [`crate::fault`].
+    pub fn install_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.fault.lock() = Some(plan);
+        self.fault_armed.store(true, Ordering::Release);
+    }
+
+    /// Crash-site probe: if an armed [`FaultPlan`]'s countdown for `point`
+    /// expires on this traversal, crash the log **here** — the unclean
+    /// shutdown runs synchronously, discarding the volatile tail before
+    /// the surrounding operation can complete — and report the fire.
+    /// Returns `true` iff this call crashed the log.
+    pub fn fault_point(&self, point: CrashPoint) -> bool {
+        if !self.fault_armed.load(Ordering::Acquire) {
+            return false;
+        }
+        let plan = self.fault.lock().clone();
+        let Some(plan) = plan else { return false };
+        if !plan.should_fire(point) {
+            return false;
+        }
+        self.shutdown(false);
+        plan.notify_fired(point);
+        true
+    }
+
     /// Append `record` to the volatile tail; returns its LSN. Does not
     /// make it durable — pair with [`flush_to`](Self::flush_to).
     pub fn append(&self, record: &LogRecord) -> Lsn {
@@ -284,6 +317,10 @@ impl PhysicalLog {
     /// probes around the append is racy once appends run concurrently,
     /// so the append itself reports it.
     pub fn append_sized(&self, record: &LogRecord) -> (Lsn, u64) {
+        // Crash site: the record's reservation goes through but its bytes
+        // die with the discarded tail (the reserved path abandons the
+        // fill once stopped), modelling a kill mid-append.
+        self.fault_point(CrashPoint::MidAppend);
         let payload = record.to_bytes();
         debug_assert!(payload.len() as u32 <= MAX_RECORD);
         let crc = crc32(&payload);
@@ -348,6 +385,11 @@ impl PhysicalLog {
     /// setting the stop flag, so no wakeup can be missed between the
     /// checks below and the wait.
     pub fn flush_to(&self, lsn: Lsn) -> Result<(), MspError> {
+        // Crash site: records were appended (reservations complete) but
+        // the kill lands before any of them can reach the device.
+        if self.fault_point(CrashPoint::PreFlush) {
+            return Err(MspError::Shutdown);
+        }
         match &self.tail {
             TailImpl::Serialized(inner_mx) => {
                 let mut inner = inner_mx.lock();

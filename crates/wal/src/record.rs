@@ -264,6 +264,18 @@ pub enum LogRecord {
     /// orphan record `orphan_lsn`; records from `orphan_lsn` up to this
     /// record are dead and must be skipped by any later recovery (§4.1).
     Eos { session: SessionId, orphan_lsn: Lsn },
+    /// `session` opened the outgoing session `outgoing` to `target`.
+    /// Allocating the outgoing session id is a nondeterministic event in
+    /// the session's execution and so must be logged: a replay that went
+    /// live before this point re-allocates (safely — everything after is
+    /// equally lost and orphaned), but a replay that passes this record
+    /// must reuse the same id and sequence numbers so resent calls hit
+    /// the target's duplicate filter instead of re-executing.
+    OutgoingBind {
+        session: SessionId,
+        target: MspId,
+        outgoing: SessionId,
+    },
 }
 
 mod tag {
@@ -278,6 +290,7 @@ mod tag {
     pub const RECOVERY_COMPLETE: u8 = 9;
     pub const SESSION_END: u8 = 10;
     pub const EOS: u8 = 11;
+    pub const OUTGOING_BIND: u8 = 12;
 }
 
 impl LogRecord {
@@ -291,7 +304,8 @@ impl LogRecord {
             | LogRecord::SharedRead { session, .. }
             | LogRecord::SessionCheckpoint { session, .. }
             | LogRecord::SessionEnd { session }
-            | LogRecord::Eos { session, .. } => Some(*session),
+            | LogRecord::Eos { session, .. }
+            | LogRecord::OutgoingBind { session, .. } => Some(*session),
             // A write advances the *variable's* state number, not the
             // session's (Figure 8), so it is not part of the session's
             // replay stream.
@@ -317,6 +331,7 @@ impl LogRecord {
             LogRecord::RecoveryComplete { .. } => "RecoveryComplete",
             LogRecord::SessionEnd { .. } => "SessionEnd",
             LogRecord::Eos { .. } => "Eos",
+            LogRecord::OutgoingBind { .. } => "OutgoingBind",
         }
     }
 }
@@ -416,6 +431,16 @@ impl Encode for LogRecord {
                 session.encode(buf);
                 orphan_lsn.encode(buf);
             }
+            LogRecord::OutgoingBind {
+                session,
+                target,
+                outgoing,
+            } => {
+                codec::put_u8(buf, tag::OUTGOING_BIND);
+                session.encode(buf);
+                target.encode(buf);
+                outgoing.encode(buf);
+            }
         }
     }
 }
@@ -473,6 +498,11 @@ impl Decode for LogRecord {
             tag::EOS => LogRecord::Eos {
                 session: SessionId::decode(buf)?,
                 orphan_lsn: Lsn::decode(buf)?,
+            },
+            tag::OUTGOING_BIND => LogRecord::OutgoingBind {
+                session: SessionId::decode(buf)?,
+                target: MspId::decode(buf)?,
+                outgoing: SessionId::decode(buf)?,
             },
             other => {
                 return Err(CodecError::InvalidTag {

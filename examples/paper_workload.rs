@@ -48,12 +48,10 @@ fn main() {
             log1.appended_bytes,
             log1.padded_bytes,
         );
+        let rt1 = world.msp1.stats().expect("MSP1 is up");
         println!(
             "   MSP1 runtime: {} requests, {} distributed flushes, {} session ckpts, {} MSP ckpts",
-            world.msp1.stats().requests,
-            world.msp1.stats().distributed_flushes,
-            world.msp1.stats().session_checkpoints,
-            world.msp1.stats().msp_checkpoints,
+            rt1.requests, rt1.distributed_flushes, rt1.session_checkpoints, rt1.msp_checkpoints,
         );
         println!(
             "   MSP2 runtime: {} requests, {} flush requests served",

@@ -78,20 +78,26 @@ fn figure7_and_8_record_sequence_for_one_request() {
     m2.shutdown();
     net.shutdown();
 
-    // MSP1's log: the request receive, then value logging of the read,
-    // the backward-chained write, and the logged reply of the outgoing
-    // call — in execution order (Figures 7 and 8).
+    // MSP1's log: the first-boot incarnation marker (epoch 0, flushed
+    // before the MSP serves anything, so an empty durable log can never
+    // be mistaken for a fresh boot after a crash), then the request
+    // receive, value logging of the read, the backward-chained write,
+    // the outgoing-session binding of the first call to MSP2, and the
+    // logged reply of that call — in execution order (Figures 7 and 8).
     assert_eq!(
         scan_kinds(&d1),
         vec![
+            "RecoveryComplete",
             "RequestReceive",
             "SharedRead",
             "SharedWrite",
+            "OutgoingBind",
             "ReplyReceive"
         ],
     );
-    // MSP2's log: just the (intra-domain) request receive.
-    assert_eq!(scan_kinds(&d2), vec!["RequestReceive"]);
+    // MSP2's log: the boot marker, then the (intra-domain) request
+    // receive.
+    assert_eq!(scan_kinds(&d2), vec!["RecoveryComplete", "RequestReceive"]);
 }
 
 #[test]
@@ -111,7 +117,10 @@ fn session_end_writes_its_marker() {
     c.end_session(M1).unwrap();
     m1.shutdown();
     net.shutdown();
-    assert_eq!(scan_kinds(&d1), vec!["RequestReceive", "SessionEnd"]);
+    assert_eq!(
+        scan_kinds(&d1),
+        vec!["RecoveryComplete", "RequestReceive", "SessionEnd"]
+    );
 }
 
 #[test]

@@ -5,11 +5,12 @@
 //! still get its orphans eliminated (§4, Figure 12).
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use msp_core::client::ClientOptions;
 use msp_core::config::LoggingConfig;
 use msp_core::{ClusterConfig, Envelope, MspBuilder, MspClient, MspConfig};
+use msp_harness::await_recovery;
 use msp_net::{NetModel, Network};
 use msp_types::{DomainId, MspId};
 use msp_wal::{DiskModel, MemDisk};
@@ -18,14 +19,7 @@ const M1: MspId = MspId(1);
 const M2: MspId = MspId(2);
 
 fn wait_recovered(handle: &msp_core::MspHandle) {
-    let t0 = Instant::now();
-    while !handle.recovery_complete() {
-        std::thread::sleep(Duration::from_micros(500));
-        assert!(
-            t0.elapsed() < Duration::from_secs(60),
-            "recovery pool did not drain"
-        );
-    }
+    await_recovery(handle, Duration::from_secs(60), "parallel_recovery");
 }
 
 // ---------------------------------------------------------------- //
@@ -134,6 +128,51 @@ fn parallel_replay_is_byte_identical_to_serial() {
         par_log.replay_cache_hits > 0,
         "parallel replay went through the shared block cache"
     );
+}
+
+/// Degenerate cache/pool sizings must still be byte-identical to the
+/// serial baseline: a single-block cache (every read evicts the previous
+/// block) and a replay pool far smaller than the session population
+/// (sessions queue behind the workers) only change speed, never state.
+#[test]
+fn degenerate_cache_and_pool_sizings_match_serial() {
+    let image = crash_image(36, 6);
+
+    let recover = |cfg: MspConfig, net_seed: u64| {
+        let net: Network<Envelope> = Network::new(NetModel::zero(), net_seed);
+        let disk = Arc::new(MemDisk::new());
+        use msp_wal::Disk;
+        disk.write(0, &image).unwrap();
+        let handle = start_solo(&net, disk, cfg);
+        wait_recovered(&handle);
+        let out = (handle.dump_sessions(), handle.dump_shared(), handle.epoch());
+        handle.shutdown();
+        net.shutdown();
+        out
+    };
+
+    let baseline = recover(solo_cfg().with_serial_recovery(true), 30);
+    assert_eq!(baseline.0.len(), 36, "all 36 sessions recovered");
+
+    // One cache block: the shared replay cache thrashes on every
+    // cross-session read but must stay coherent.
+    let one_block = recover(
+        solo_cfg()
+            .with_recovery_threads(8)
+            .with_replay_cache_blocks(1),
+        31,
+    );
+    assert_eq!(one_block, baseline, "replay_cache_blocks=1 diverged");
+
+    // Pool (2 workers) far smaller than the replay window (36 crashed
+    // sessions): most sessions wait their turn on the queue.
+    let tiny_pool = recover(
+        solo_cfg()
+            .with_recovery_threads(2)
+            .with_replay_cache_blocks(4),
+        32,
+    );
+    assert_eq!(tiny_pool, baseline, "2-thread pool diverged");
 }
 
 // ---------------------------------------------------------------- //

@@ -1,0 +1,68 @@
+//! Tier-1 slice of the crash-storm torture rig (`msp_harness::torture`).
+//!
+//! The full rig runs as the `torture` binary over large seed sets; this
+//! test pins a small fixed set of seeds across all five §5.2 system
+//! configurations so every CI run exercises the exactly-once oracle,
+//! the post-mortem log audit, and (on the log-based configs) at least
+//! one crash *during a prior recovery* (§4.5). Failures embed the seed:
+//! reproduce with
+//! `cargo run --release --bin torture -- --seed-base <seed> --seeds 1 --config <name>`.
+
+use std::time::Duration;
+
+use msp_harness::{run_torture, SystemConfig, TortureOptions};
+
+/// Seeds chosen to keep the whole matrix under a CI-friendly budget
+/// while still firing multi-crash schedules on the log-based configs.
+const SEEDS: [u64; 2] = [1, 5];
+
+fn storm(seed: u64, config: SystemConfig) -> msp_harness::TortureReport {
+    let mut opts = TortureOptions::new(seed, config);
+    opts.requests_per_client = 8;
+    opts.settle_timeout = Duration::from_secs(90);
+    run_torture(&opts)
+        .unwrap_or_else(|msg| panic!("torture seed={seed} config={}: {msg}", config.name()))
+}
+
+#[test]
+fn fixed_seeds_pass_oracle_and_audit_on_all_configs() {
+    for config in SystemConfig::ALL {
+        for seed in SEEDS {
+            let report = storm(seed, config);
+            assert!(report.requests > 0, "storm drove no traffic: {report}");
+            if config.is_log_based() {
+                assert!(
+                    report.crashes > 0,
+                    "log-based storm injected no crashes: {report}"
+                );
+                assert!(
+                    !report.audits.is_empty(),
+                    "log-based storm skipped the post-mortem audit: {report}"
+                );
+            }
+        }
+    }
+}
+
+/// Every log-based schedule must carry (and, across the seed set, at
+/// least once *fire*) a crash aimed at a prior recovery — the §4.5
+/// "crashes during recovery" dimension the oracle is most sensitive to.
+#[test]
+fn crash_during_recovery_coverage() {
+    let mut fired = 0u64;
+    for config in [SystemConfig::LoOptimistic, SystemConfig::Pessimistic] {
+        for seed in SEEDS {
+            let report = storm(seed, config);
+            assert!(
+                report.scheduled_recovery_events >= 1,
+                "schedule carried no during-recovery event: {report}"
+            );
+            fired += report.recovery_crashes;
+        }
+    }
+    assert!(
+        fired >= 1,
+        "no seed in {SEEDS:?} fired a crash during a prior recovery; \
+         widen the seed set"
+    );
+}
