@@ -145,6 +145,12 @@ pub struct MspConfig {
     /// optimisation: turning it off restores one flush RPC per remote
     /// dependency per boundary crossing.
     pub durability_watermarks: bool,
+    /// Park the worker thread on every pessimistic-boundary flush instead
+    /// of parking the reply envelope in the pending-release stage — the
+    /// pre-pipeline behaviour, kept as the measured baseline. Off by
+    /// default: replies are released asynchronously once their durability
+    /// gate settles.
+    pub blocking_durability: bool,
     /// Hold the log flusher briefly after it wakes so commits arriving
     /// while the previous flush was in flight join the same device write
     /// (group-commit coalescing window). `None` flushes immediately.
@@ -185,6 +191,7 @@ impl MspConfig {
             flush_retry_limit: 200,
             rpc_retry_limit: 10_000,
             durability_watermarks: true,
+            blocking_durability: false,
             group_commit_window: None,
             serialized_append: false,
             recovery_threads: 4,
@@ -228,6 +235,12 @@ impl MspConfig {
     #[must_use]
     pub fn with_durability_watermarks(mut self, enabled: bool) -> MspConfig {
         self.durability_watermarks = enabled;
+        self
+    }
+
+    #[must_use]
+    pub fn with_blocking_durability(mut self, blocking: bool) -> MspConfig {
+        self.blocking_durability = blocking;
         self
     }
 
@@ -304,6 +317,7 @@ mod tests {
         let cfg = MspConfig::new(MspId(1), DomainId(1))
             .with_rpc_retry_limit(3)
             .with_durability_watermarks(false)
+            .with_blocking_durability(true)
             .with_group_commit_window(Some(Duration::from_micros(500)))
             .with_serialized_append(true)
             .with_recovery_threads(8)
@@ -311,6 +325,7 @@ mod tests {
             .with_serial_recovery(true);
         assert_eq!(cfg.rpc_retry_limit, 3);
         assert!(!cfg.durability_watermarks);
+        assert!(cfg.blocking_durability);
         assert_eq!(cfg.group_commit_window, Some(Duration::from_micros(500)));
         assert!(cfg.serialized_append);
         assert_eq!(cfg.recovery_threads, 8);
@@ -319,6 +334,7 @@ mod tests {
         let cfg = MspConfig::new(MspId(1), DomainId(1));
         assert_eq!(cfg.rpc_retry_limit, 10_000);
         assert!(cfg.durability_watermarks);
+        assert!(!cfg.blocking_durability, "pipeline is the default");
         assert_eq!(cfg.group_commit_window, None);
         assert!(!cfg.serialized_append);
         assert_eq!(cfg.recovery_threads, 4);

@@ -1,4 +1,4 @@
-//! Distributed log flushes (§3.1).
+//! Distributed log flushes (§3.1) and the asynchronous durability gate.
 //!
 //! Before a message crosses a pessimistic boundary — out of the service
 //! domain or to an end client — every state the sender transitively
@@ -9,26 +9,210 @@
 //! afterwards), matching the paper's "the separate local flushes required
 //! by a distributed log flush can be done in parallel".
 //!
+//! The paper only constrains the *message*: it must not leave before its
+//! dependencies are durable. Nothing requires the *thread* to block. So
+//! the flush is split into an **issue** phase
+//! ([`MspInner::distributed_flush_issue`]) that fires every leg — the
+//! local flush as a [`msp_wal::FlushTicket`], each remote dependency as a
+//! `FlushRequest` RPC — and returns a [`DurabilityGate`], and a **settle**
+//! phase that resolves once every leg has acknowledged. Callers that must
+//! block (checkpoints, session end, recovery resends) use
+//! [`MspInner::settle_gate`]; the runtime's reply-release stage instead
+//! parks the outgoing envelope on the gate and frees the worker.
+//!
 //! A flush can *fail*: if a participant crashed and lost the requested
 //! state, the requester is an orphan — it carries a dependency on a state
 //! that no longer exists. The failure is surfaced as
-//! [`MspError::OrphanDependency`] and the caller initiates session (or
+//! [`MspError::OrphanDependency`] — at settle time, exactly as under the
+//! old blocking call — and the caller initiates session (or
 //! shared-variable) orphan recovery.
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_channel::Sender;
+use parking_lot::{Condvar, Mutex};
 
 use msp_net::EndpointId;
 use msp_types::{DependencyVector, Epoch, Lsn, MspError, MspId, MspResult, StateId};
 
 use crate::envelope::Envelope;
-use crate::runtime::MspInner;
+use crate::runtime::{MspInner, ReleaseCmd};
+
+/// One remote participant of a distributed flush.
+struct RemoteLeg {
+    msp: MspId,
+    state: StateId,
+    /// Request id of the most recent `FlushRequest` sent for this leg —
+    /// the key under which the dispatcher finds us in `pending_flushes`.
+    req_id: u64,
+    last_sent: Instant,
+    attempts: u32,
+    done: bool,
+}
+
+struct GateState {
+    legs: Vec<RemoteLeg>,
+    remote_pending: usize,
+    /// `true` while the local flush ticket is outstanding.
+    local_pending: bool,
+    failed: Option<MspError>,
+}
+
+impl GateState {
+    fn settled(&self) -> bool {
+        self.failed.is_some() || (self.remote_pending == 0 && !self.local_pending)
+    }
+}
+
+/// The settle-side handle of a non-blocking distributed flush: resolves
+/// once the local flush ticket and every remote `FlushRequest` have
+/// acknowledged, or fails with the same error the blocking call would
+/// have returned. Completion events arrive from the local flusher (via
+/// the ticket waker) and from the dispatcher's `FlushReply` arm; each one
+/// also nudges the owning MSP's reply-release stage.
+pub(crate) struct DurabilityGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    nudge: Sender<ReleaseCmd>,
+}
+
+/// Gate failures are produced locally from a closed set of variants;
+/// reproduce them without requiring `MspError: Clone` (it holds
+/// `io::Error`).
+fn clone_gate_err(e: &MspError) -> MspError {
+    match e {
+        MspError::OrphanDependency { msp } => MspError::OrphanDependency { msp: *msp },
+        MspError::FlushFailed {
+            participant,
+            reason,
+        } => MspError::FlushFailed {
+            participant: *participant,
+            reason: reason.clone(),
+        },
+        MspError::Timeout => MspError::Timeout,
+        _ => MspError::Shutdown,
+    }
+}
+
+impl DurabilityGate {
+    fn new(
+        legs: Vec<RemoteLeg>,
+        local_pending: bool,
+        nudge: Sender<ReleaseCmd>,
+    ) -> Arc<DurabilityGate> {
+        let remote_pending = legs.len();
+        Arc::new(DurabilityGate {
+            state: Mutex::new(GateState {
+                legs,
+                remote_pending,
+                local_pending,
+                failed: None,
+            }),
+            cv: Condvar::new(),
+            nudge,
+        })
+    }
+
+    /// Non-blocking outcome check: `None` while legs are outstanding.
+    pub(crate) fn poll(&self) -> Option<MspResult<()>> {
+        let st = self.state.lock();
+        if let Some(e) = &st.failed {
+            return Some(Err(clone_gate_err(e)));
+        }
+        if st.settled() {
+            return Some(Ok(()));
+        }
+        None
+    }
+
+    fn wake(&self) {
+        self.cv.notify_all();
+        let _ = self.nudge.send(ReleaseCmd::Nudge);
+    }
+
+    /// A `FlushReply` arrived for remote leg `idx`. Duplicate and stale
+    /// acknowledgements (an old request answered after a resend) are
+    /// ignored via the `done` flag.
+    pub(crate) fn remote_ack(&self, idx: usize, ok: bool) {
+        let mut st = self.state.lock();
+        if st.failed.is_some() {
+            return;
+        }
+        let Some(leg) = st.legs.get_mut(idx) else {
+            return;
+        };
+        if leg.done {
+            return;
+        }
+        if ok {
+            leg.done = true;
+            st.remote_pending -= 1;
+        } else {
+            // The participant answered "lost": whoever depends on that
+            // state is an orphan (§3.1).
+            let msp = leg.msp;
+            st.failed = Some(MspError::OrphanDependency { msp });
+        }
+        if st.settled() {
+            drop(st);
+            self.wake();
+        }
+    }
+
+    /// The local flush ticket settled.
+    fn local_settled(&self, ok: bool) {
+        let mut st = self.state.lock();
+        if st.failed.is_some() || !st.local_pending {
+            return;
+        }
+        st.local_pending = false;
+        if !ok {
+            // Same class of failure as a blocking `flush_to` during
+            // shutdown/crash: transient, no reply — the client resends.
+            st.failed = Some(MspError::Shutdown);
+        }
+        if st.settled() {
+            drop(st);
+            self.wake();
+        }
+    }
+
+    fn fail(&self, err: MspError) {
+        let mut st = self.state.lock();
+        if st.failed.is_some() {
+            return;
+        }
+        st.failed = Some(err);
+        drop(st);
+        self.wake();
+    }
+}
 
 impl MspInner {
-    /// Flush everything `dv` depends on, across the domain. Returns
+    /// Flush everything `dv` depends on, across the domain — the blocking
+    /// form: issue every leg, then settle in place. Returns
     /// `Err(OrphanDependency)` when some depended-upon state is lost.
     pub(crate) fn distributed_flush(&self, dv: &DependencyVector) -> MspResult<()> {
+        match self.distributed_flush_issue(dv)? {
+            None => Ok(()),
+            Some(gate) => self.settle_gate(&gate),
+        }
+    }
+
+    /// Issue phase: fire all remote `FlushRequest`s and the local flush
+    /// ticket without blocking. Returns `Ok(None)` when nothing needs
+    /// flushing (non-logging strategy, empty DV, or every leg elided by
+    /// watermarks) and `Err(OrphanDependency)` when a dependency is
+    /// already known lost — before anything is sent, exactly like the
+    /// blocking path's pre-send DV walk.
+    pub(crate) fn distributed_flush_issue(
+        &self,
+        dv: &DependencyVector,
+    ) -> MspResult<Option<Arc<DurabilityGate>>> {
         if !self.is_log_based() {
-            return Ok(());
+            return Ok(None);
         }
         self.stats
             .distributed_flushes
@@ -56,61 +240,159 @@ impl MspInner {
                 remote.push((m, s));
             }
         }
-
-        // Fire all remote requests first so they overlap with our local
-        // flush (parallel flushes, §3.1 / §5.2).
-        let mut waits = Vec::with_capacity(remote.len());
-        for &(m, s) in &remote {
-            waits.push((m, s, self.send_flush_request(m, s)));
-        }
-        if let Some(lsn) = local {
-            // `durable` is the exclusive end of the durable prefix, so a
-            // record starting at `lsn` is durable iff `durable > lsn`.
-            if use_watermarks && self.log().durable_lsn() > lsn {
+        // Local elision happens at issue time too: `durable` is the
+        // exclusive end of the durable prefix, so a record starting at
+        // `lsn` is durable iff `durable > lsn`.
+        let local_lsn = match local {
+            Some(lsn) if use_watermarks && self.log().durable_lsn() > lsn => {
                 self.stats.flushes_elided.fetch_add(1, Ordering::Relaxed);
-            } else {
-                self.log().flush_to(lsn)?;
+                None
             }
+            other => other,
+        };
+        if remote.is_empty() && local_lsn.is_none() {
+            return Ok(None);
         }
-        for (m, s, mut rx) in waits {
-            let mut attempts = 0u32;
-            loop {
-                match rx.recv_timeout(self.cfg.rpc_timeout) {
-                    Ok(true) => break,
-                    Ok(false) => return Err(MspError::OrphanDependency { msp: m }),
-                    Err(_) => {
-                        if self.stopped() {
-                            return Err(MspError::Shutdown);
-                        }
-                        // While the participant is down we cannot know
-                        // whether our dependency survived; its recovery
-                        // broadcast may settle the question first.
-                        if self.knowledge.read().is_orphan_dep(m, s) {
-                            return Err(MspError::OrphanDependency { msp: m });
-                        }
-                        attempts += 1;
-                        if attempts > self.cfg.flush_retry_limit {
-                            return Err(MspError::FlushFailed {
-                                participant: m,
-                                reason: "participant unreachable".into(),
-                            });
-                        }
-                        rx = self.send_flush_request(m, s);
+
+        let now = Instant::now();
+        let legs: Vec<RemoteLeg> = remote
+            .iter()
+            .map(|&(m, s)| RemoteLeg {
+                msp: m,
+                state: s,
+                req_id: 0,
+                last_sent: now,
+                attempts: 0,
+                done: false,
+            })
+            .collect();
+        let gate = DurabilityGate::new(legs, local_lsn.is_some(), self.release_tx.clone());
+
+        // Fire all remote requests first so they overlap with the local
+        // flush (parallel flushes, §3.1 / §5.2).
+        for (idx, &(m, s)) in remote.iter().enumerate() {
+            self.send_flush_request(&gate, idx, m, s);
+        }
+        if let Some(lsn) = local_lsn {
+            let ticket = self.log().flush_to_async(lsn);
+            let g = Arc::clone(&gate);
+            ticket.on_settle(move |ok| g.local_settled(ok));
+        }
+        Ok(Some(gate))
+    }
+
+    /// Settle phase, blocking form: wait on the gate, driving per-leg
+    /// retries at the same cadence (and with the same stopped / orphan /
+    /// retry-limit outcomes) as the old per-leg `recv_timeout` loop.
+    pub(crate) fn settle_gate(&self, gate: &Arc<DurabilityGate>) -> MspResult<()> {
+        loop {
+            {
+                let mut st = gate.state.lock();
+                loop {
+                    if let Some(e) = &st.failed {
+                        return Err(clone_gate_err(e));
+                    }
+                    if st.settled() {
+                        return Ok(());
+                    }
+                    if gate.cv.wait_for(&mut st, self.cfg.rpc_timeout).timed_out() {
+                        break;
                     }
                 }
             }
+            self.drive_gate(gate);
         }
-        Ok(())
     }
 
+    /// Retry driver shared by the blocking settle and the reply-release
+    /// stage: fail the gate on shutdown or a newly learned lost
+    /// dependency, resend overdue remote legs, give up past the retry
+    /// limit. A no-op for gates that are settled or not yet overdue.
+    pub(crate) fn drive_gate(&self, gate: &Arc<DurabilityGate>) {
+        let mut resend: Vec<(usize, MspId, StateId)> = Vec::new();
+        let mut stale: Vec<u64> = Vec::new();
+        {
+            let mut st = gate.state.lock();
+            if st.settled() {
+                return;
+            }
+            if self.stopped() {
+                st.failed = Some(MspError::Shutdown);
+                drop(st);
+                gate.wake();
+                return;
+            }
+            for i in 0..st.legs.len() {
+                let leg = &st.legs[i];
+                if leg.done || leg.last_sent.elapsed() < self.cfg.rpc_timeout {
+                    continue;
+                }
+                let (m, s) = (leg.msp, leg.state);
+                // While the participant is down we cannot know whether
+                // our dependency survived; its recovery broadcast may
+                // settle the question first.
+                if self.knowledge.read().is_orphan_dep(m, s) {
+                    st.failed = Some(MspError::OrphanDependency { msp: m });
+                    break;
+                }
+                let leg = &mut st.legs[i];
+                leg.attempts += 1;
+                if leg.attempts > self.cfg.flush_retry_limit {
+                    st.failed = Some(MspError::FlushFailed {
+                        participant: m,
+                        reason: "participant unreachable".into(),
+                    });
+                    break;
+                }
+                stale.push(leg.req_id);
+                resend.push((i, m, s));
+            }
+            if st.failed.is_some() {
+                drop(st);
+                gate.wake();
+                // Don't resend for a gate we just failed.
+                resend.clear();
+            }
+        }
+        {
+            let mut pending = self.pending_flushes.lock();
+            for id in stale {
+                pending.remove(&id);
+            }
+        }
+        for (idx, m, s) in resend {
+            self.send_flush_request(gate, idx, m, s);
+        }
+    }
+
+    /// Register leg `idx` under a fresh request id and send the
+    /// `FlushRequest`. The registration happens before the send so the
+    /// dispatcher can never race past an unrecorded ack.
     fn send_flush_request(
         &self,
+        gate: &Arc<DurabilityGate>,
+        idx: usize,
         target: MspId,
         state: StateId,
-    ) -> crossbeam_channel::Receiver<bool> {
+    ) {
         let req_id = self.next_req_id();
-        let (tx, rx) = crossbeam_channel::bounded(1);
-        self.pending_flushes.lock().insert(req_id, tx);
+        {
+            let mut st = gate.state.lock();
+            if st.failed.is_some() {
+                return;
+            }
+            let Some(leg) = st.legs.get_mut(idx) else {
+                return;
+            };
+            if leg.done {
+                return;
+            }
+            leg.req_id = req_id;
+            leg.last_sent = Instant::now();
+        }
+        self.pending_flushes
+            .lock()
+            .insert(req_id, (Arc::clone(gate), idx));
         self.send(
             EndpointId::Msp(target),
             Envelope::FlushRequest {
@@ -120,7 +402,21 @@ impl MspInner {
                 lsn: state.lsn,
             },
         );
-        rx
+    }
+
+    /// Fail every gate registered in `pending_flushes` (crash/stop path);
+    /// parked replies on those gates are then discarded by the release
+    /// stage rather than ever leaving the process.
+    pub(crate) fn fail_pending_gates(&self) {
+        let drained: Vec<(Arc<DurabilityGate>, usize)> = self
+            .pending_flushes
+            .lock()
+            .drain()
+            .map(|(_, v)| v)
+            .collect();
+        for (gate, _) in drained {
+            gate.fail(MspError::Shutdown);
+        }
     }
 
     /// Serve a peer's flush request: make our state `(epoch, lsn)`

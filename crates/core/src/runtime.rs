@@ -13,6 +13,10 @@
 //!   broadcasts; kept separate from the workers so that flush service
 //!   can never deadlock behind requests that are themselves waiting for
 //!   remote flushes;
+//! * **release** — the pending-release stage of the asynchronous
+//!   durability pipeline: replies whose distributed flush was issued but
+//!   not yet settled are parked here (the envelope waits, not the
+//!   worker) and leave in session order once their gate settles;
 //! * **checkpointer** — takes the periodic fuzzy MSP checkpoint (§3.4).
 //!
 //! A *crash* tears all of this down, discarding every volatile structure
@@ -61,6 +65,36 @@ pub(crate) enum WorkItem {
     Request(RequestMsg),
     RecoverSession(SessionId),
     ForceSessionCheckpoint(SessionId),
+    /// A parked reply's durability gate failed: run the same
+    /// orphan-recovery / transient-drop logic a failed blocking flush
+    /// would have run inline.
+    GateFailed {
+        session: SessionId,
+        seq: RequestSeq,
+        reply_to: EndpointId,
+        err: MspError,
+    },
+}
+
+/// A reply held back by the pending-release stage until its durability
+/// gate settles. The session's state (buffered reply, next expected
+/// sequence number) was already committed by the worker; only the
+/// envelope waits here.
+pub(crate) struct ParkedReply {
+    pub(crate) gate: Arc<crate::flush::DurabilityGate>,
+    pub(crate) session: SessionId,
+    pub(crate) seq: RequestSeq,
+    pub(crate) reply_to: EndpointId,
+    pub(crate) status: ReplyStatus,
+}
+
+/// Commands consumed by the release thread.
+pub(crate) enum ReleaseCmd {
+    /// Park a reply until its gate settles.
+    Park(ParkedReply),
+    /// A gate made progress — rescan the parked list now instead of
+    /// waiting for the next tick.
+    Nudge,
 }
 
 /// Infrastructure traffic handled off the worker pool.
@@ -89,6 +123,12 @@ pub struct RuntimeStats {
     pub crash_recoveries: AtomicU64,
     pub distributed_flushes: AtomicU64,
     pub flush_requests_served: AtomicU64,
+    /// Durability gates currently parked in the pending-release stage
+    /// (a gauge: incremented at park, decremented at release/failure).
+    pub gates_pending: AtomicU64,
+    /// Replies released asynchronously by the pending-release stage after
+    /// their gate settled (vs sent inline on the blocking path).
+    pub async_reply_releases: AtomicU64,
     /// Local log flushes skipped because the durable LSN already covered
     /// the dependency.
     pub flushes_elided: AtomicU64,
@@ -121,6 +161,8 @@ pub struct RuntimeStatsSnapshot {
     pub crash_recoveries: u64,
     pub distributed_flushes: u64,
     pub flush_requests_served: u64,
+    pub gates_pending: u64,
+    pub async_reply_releases: u64,
     pub flushes_elided: u64,
     pub flush_rpcs_elided: u64,
     pub recovery_analysis_nanos: u64,
@@ -144,6 +186,8 @@ impl RuntimeStats {
             crash_recoveries: self.crash_recoveries.load(Ordering::Relaxed),
             distributed_flushes: self.distributed_flushes.load(Ordering::Relaxed),
             flush_requests_served: self.flush_requests_served.load(Ordering::Relaxed),
+            gates_pending: self.gates_pending.load(Ordering::Relaxed),
+            async_reply_releases: self.async_reply_releases.load(Ordering::Relaxed),
             flushes_elided: self.flushes_elided.load(Ordering::Relaxed),
             flush_rpcs_elided: self.flush_rpcs_elided.load(Ordering::Relaxed),
             recovery_analysis_nanos: self.recovery_analysis_nanos.load(Ordering::Relaxed),
@@ -172,8 +216,13 @@ pub struct MspInner {
     pub(crate) services: HashMap<String, ServiceFn>,
     pub(crate) work_tx: Sender<WorkItem>,
     pub(crate) infra_tx: Sender<InfraItem>,
+    /// Feed of the pending-release stage. Always present; the release
+    /// thread only runs under `LogBased` (the only strategy that creates
+    /// gates).
+    pub(crate) release_tx: Sender<ReleaseCmd>,
     pub(crate) pending_replies: Mutex<HashMap<(SessionId, RequestSeq), Sender<ReplyMsg>>>,
-    pub(crate) pending_flushes: Mutex<HashMap<u64, Sender<bool>>>,
+    /// Outstanding flush RPCs: request id → (gate, remote-leg index).
+    pub(crate) pending_flushes: Mutex<HashMap<u64, (Arc<crate::flush::DurabilityGate>, usize)>>,
     pub(crate) pending_state: Mutex<HashMap<u64, Sender<Option<Vec<u8>>>>>,
     pub(crate) req_ids: AtomicU64,
     pub(crate) stopped: AtomicBool,
@@ -373,6 +422,16 @@ impl MspInner {
         {
             return;
         }
+        // END_SESSION bypasses the duplicate filter: processing removes
+        // the session *before* the acknowledgement can reach the client,
+        // so a resend (lost reply) lands on a fresh cell where its seq
+        // looks like an out-of-order future request dedup would drop
+        // silently — wedging the client. Ending a session is idempotent,
+        // so just end it again and re-acknowledge.
+        if req.method == END_SESSION_METHOD {
+            self.end_session_locked(st, &req);
+            return;
+        }
         if self.dedup(st, &req) {
             return;
         }
@@ -385,10 +444,6 @@ impl MspInner {
                     .fetch_add(1, Ordering::Relaxed);
                 return;
             }
-        }
-        if req.method == END_SESSION_METHOD {
-            self.end_session_locked(st, &req);
-            return;
         }
         let Some(svc) = self.services.get(&req.method).cloned() else {
             let status = ReplyStatus::Err(format!("no such method: {}", req.method));
@@ -425,11 +480,8 @@ impl MspInner {
                     Ok(p) => ReplyStatus::Ok(p),
                     Err(e) => ReplyStatus::Err(e),
                 };
-                match self.send_reply(st, req.reply_to, req.session, req.seq, status.clone()) {
-                    Ok(()) => {
-                        st.buffered_reply = Some((req.seq, status));
-                        st.next_expected = req.seq.next();
-                    }
+                match self.dispatch_reply(st, &req, status) {
+                    Ok(()) => {}
                     Err(e) => {
                         self.after_infra_failure(cell, st, &req, e);
                         return;
@@ -529,9 +581,10 @@ impl MspInner {
             }
         }
 
-        if self.dedup(st, &req) {
-            return;
-        }
+        // As on the log-based path: END_SESSION bypasses the duplicate
+        // filter, because a resend after a lost acknowledgement lands on
+        // a fresh cell (or a fresh externally-loaded state) whose seq
+        // tracking no longer matches; ending again is idempotent.
         if req.method == END_SESSION_METHOD {
             let status = ReplyStatus::Ok(Vec::new());
             let _ = self.send_reply(st, req.reply_to, req.session, req.seq, status.clone());
@@ -542,6 +595,9 @@ impl MspInner {
                 let _ = db.write_txn(vec![(key, None)]);
             }
             self.sessions.lock().remove(&req.session);
+            return;
+        }
+        if self.dedup(st, &req) {
             return;
         }
         let Some(svc) = self.services.get(&req.method).cloned() else {
@@ -660,6 +716,73 @@ impl MspInner {
                 recoveries,
             }),
         );
+        Ok(())
+    }
+
+    /// Deliver the reply of a just-executed request, choosing between the
+    /// blocking path and the asynchronous durability pipeline.
+    ///
+    /// Intra-domain replies never flush and always go out inline. A reply
+    /// crossing a pessimistic boundary blocks on `distributed_flush` when
+    /// `blocking_durability` is set (the measured baseline); otherwise the
+    /// flush is only *issued* and the envelope is parked on its gate in
+    /// the pending-release stage — the worker is free as soon as this
+    /// returns. In both cases the session's sequencing state is committed
+    /// before the reply can reach the client, so a duplicate resend finds
+    /// the buffered reply (and the blocking dedup path is the safety net
+    /// if the parked envelope is lost with a crash).
+    pub(crate) fn dispatch_reply(
+        &self,
+        st: &mut SessionState,
+        req: &RequestMsg,
+        status: ReplyStatus,
+    ) -> MspResult<()> {
+        let intra = req
+            .reply_to
+            .as_msp()
+            .is_some_and(|m| self.cluster.same_domain(self.cfg.id, m));
+        if intra || self.cfg.blocking_durability || !self.is_log_based() {
+            self.send_reply(st, req.reply_to, req.session, req.seq, status.clone())?;
+            st.buffered_reply = Some((req.seq, status));
+            st.next_expected = req.seq.next();
+            return Ok(());
+        }
+        // Pessimistic boundary, pipeline enabled: issue the flush, commit
+        // the session's sequencing state, park the envelope.
+        let gate = self.distributed_flush_issue(&st.dv)?;
+        st.buffered_reply = Some((req.seq, status.clone()));
+        st.next_expected = req.seq.next();
+        match gate {
+            None => {
+                // Every dependency already durable: nothing to wait for.
+                self.send(
+                    req.reply_to,
+                    Envelope::Reply(ReplyMsg {
+                        session: req.session,
+                        seq: req.seq,
+                        status,
+                        sender_dv: None,
+                        durable_hint: None,
+                        recoveries: Vec::new(),
+                    }),
+                );
+            }
+            Some(gate) => {
+                self.stats.gates_pending.fetch_add(1, Ordering::Relaxed);
+                let parked = ParkedReply {
+                    gate,
+                    session: req.session,
+                    seq: req.seq,
+                    reply_to: req.reply_to,
+                    status,
+                };
+                if self.release_tx.send(ReleaseCmd::Park(parked)).is_err() {
+                    // Release stage gone (stopping): the reply is dropped,
+                    // the client's resend retries through the dedup path.
+                    self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -870,8 +993,8 @@ impl MspInner {
                         self.absorb_durable_hint(hint);
                     }
                     let waiter = self.pending_flushes.lock().remove(&req_id);
-                    if let Some(tx) = waiter {
-                        let _ = tx.send(ok);
+                    if let Some((gate, leg)) = waiter {
+                        gate.remote_ack(leg, ok);
                     }
                 }
                 Envelope::Recovery(rec) => {
@@ -918,7 +1041,47 @@ impl MspInner {
                         }
                     }
                 }
+                WorkItem::GateFailed {
+                    session,
+                    seq,
+                    reply_to,
+                    err,
+                } => self.handle_gate_failure(session, seq, reply_to, err),
             }
+        }
+    }
+
+    /// A parked reply's gate failed. Mirror [`MspInner::after_infra_failure`]:
+    /// an orphan-class failure recovers the session and resends the
+    /// buffered reply (replay reconstructs it); transient failures produce
+    /// no reply — the client's resend drives the retry via the dedup path,
+    /// whose `send_reply` blocks until durability or orphan verdict.
+    fn handle_gate_failure(
+        self: &Arc<Self>,
+        session: SessionId,
+        seq: RequestSeq,
+        reply_to: EndpointId,
+        err: MspError,
+    ) {
+        let Some(cell) = self.session(session) else {
+            return;
+        };
+        let mut st = cell.state.lock();
+        if st.ended {
+            return;
+        }
+        match err {
+            MspError::OrphanDependency { .. } | MspError::Orphan { .. }
+                if self.recover_session_locked(&cell, &mut st).is_ok() =>
+            {
+                if let Some((bseq, status)) = st.buffered_reply.clone() {
+                    if bseq == seq {
+                        let _ = self.send_reply(&mut st, reply_to, session, bseq, status);
+                    }
+                }
+                cell.sync_anchor(&st);
+            }
+            _ => { /* transient: client resend drives the retry */ }
         }
     }
 
@@ -1007,6 +1170,78 @@ impl MspInner {
                 }
                 InfraItem::Recovery(rec) => self.absorb_recovery_broadcast(rec),
             }
+        }
+    }
+
+    /// The pending-release stage (asynchronous durability pipeline).
+    /// Parked replies leave in arrival order per session, and only once
+    /// their gate settles successfully; failed gates are converted into
+    /// [`WorkItem::GateFailed`] so the orphan path runs on the worker
+    /// pool (where it can take session locks without stalling releases).
+    /// On shutdown every still-parked reply is discarded — an unsettled
+    /// reply must never leave the process.
+    fn release_loop(self: Arc<Self>, release_rx: Receiver<ReleaseCmd>) {
+        let mut parked: Vec<ParkedReply> = Vec::new();
+        while !self.stopped() {
+            match release_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(ReleaseCmd::Park(p)) => parked.push(p),
+                Ok(ReleaseCmd::Nudge) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+            }
+            while let Ok(cmd) = release_rx.try_recv() {
+                if let ReleaseCmd::Park(p) = cmd {
+                    parked.push(p);
+                }
+            }
+            // Overdue-leg retries: the blocking settle path drives its own
+            // gate; parked gates are driven from here.
+            for p in &parked {
+                self.drive_gate(&p.gate);
+            }
+            let mut i = 0;
+            while i < parked.len() {
+                // Session order: an entry may only leave once every
+                // earlier parked entry of the same session has left.
+                if parked[..i].iter().any(|q| q.session == parked[i].session) {
+                    i += 1;
+                    continue;
+                }
+                match parked[i].gate.poll() {
+                    None => i += 1,
+                    Some(Ok(())) => {
+                        let p = parked.remove(i);
+                        self.send(
+                            p.reply_to,
+                            Envelope::Reply(ReplyMsg {
+                                session: p.session,
+                                seq: p.seq,
+                                status: p.status,
+                                sender_dv: None,
+                                durable_hint: None,
+                                recoveries: Vec::new(),
+                            }),
+                        );
+                        self.stats
+                            .async_reply_releases
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    Some(Err(err)) => {
+                        let p = parked.remove(i);
+                        self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
+                        let _ = self.work_tx.send(WorkItem::GateFailed {
+                            session: p.session,
+                            seq: p.seq,
+                            reply_to: p.reply_to,
+                            err,
+                        });
+                    }
+                }
+            }
+        }
+        for _ in parked.drain(..) {
+            self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
@@ -1183,6 +1418,7 @@ impl MspBuilder {
 
         let (work_tx, work_rx) = crossbeam_channel::unbounded();
         let (infra_tx, infra_rx) = crossbeam_channel::unbounded();
+        let (release_tx, release_rx) = crossbeam_channel::unbounded();
         let inner = Arc::new(MspInner {
             cfg: self.cfg,
             cluster: self.cluster,
@@ -1197,6 +1433,7 @@ impl MspBuilder {
             services: self.services,
             work_tx,
             infra_tx,
+            release_tx,
             pending_replies: Mutex::new(HashMap::new()),
             pending_flushes: Mutex::new(HashMap::new()),
             pending_state: Mutex::new(HashMap::new()),
@@ -1243,6 +1480,15 @@ impl MspBuilder {
                 std::thread::Builder::new()
                     .name(format!("{}-infra{n}", inner.cfg.id))
                     .spawn(move || i.infra_loop(rx))
+                    .map_err(MspError::Io)?,
+            );
+        }
+        if log_based {
+            let i = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-release", inner.cfg.id))
+                    .spawn(move || i.release_loop(release_rx))
                     .map_err(MspError::Io)?,
             );
         }
@@ -1332,6 +1578,9 @@ impl MspHandle {
         if let Some(log) = &self.inner.log {
             log.crash();
         }
+        // Unblock settlers: local tickets were failed by the log teardown;
+        // remote legs will never be answered.
+        self.inner.fail_pending_gates();
         for t in self.threads.lock().drain(..) {
             let _ = t.join();
         }
@@ -1344,6 +1593,7 @@ impl MspHandle {
         if let Some(log) = &self.inner.log {
             log.close();
         }
+        self.inner.fail_pending_gates();
         for t in self.threads.lock().drain(..) {
             let _ = t.join();
         }

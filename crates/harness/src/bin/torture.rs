@@ -3,9 +3,14 @@
 //! violation with its reproducing seed.
 //!
 //! ```text
-//! torture [--seeds N] [--seed-base B] [--config NAME]
-//!         [--requests N] [--events N]
+//! torture [--seeds N] [--seed-base B] [--config NAME] [--shape NAME]
+//!         [--requests N] [--events N] [--blocking]
 //! ```
+//!
+//! Without `--shape`, each seed rotates through the workload shapes
+//! (default / shared-heavy / session-churn) so a sweep covers all of
+//! them without tripling its runtime. `--blocking` runs the storm on
+//! the pre-pipeline blocking durability path.
 //!
 //! Each run prints one line; any oracle or post-mortem failure prints
 //! the seed and the exact one-liner that replays it, and the process
@@ -14,15 +19,17 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use msp_harness::torture::{run_torture, TortureOptions};
+use msp_harness::torture::{run_torture, TortureOptions, WorkloadShape};
 use msp_harness::SystemConfig;
 
 struct Args {
     seeds: u64,
     seed_base: u64,
     config: Option<SystemConfig>,
+    shape: Option<WorkloadShape>,
     requests: u64,
     events: usize,
+    blocking: bool,
 }
 
 fn parse_args() -> Args {
@@ -30,8 +37,10 @@ fn parse_args() -> Args {
         seeds: 8,
         seed_base: 1,
         config: None,
+        shape: None,
         requests: 10,
         events: 3,
+        blocking: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -48,8 +57,15 @@ fn parse_args() -> Args {
                     SystemConfig::parse(&name).unwrap_or_else(|| panic!("unknown config {name}")),
                 );
             }
+            "--shape" => {
+                let name = val();
+                args.shape = Some(
+                    WorkloadShape::parse(&name).unwrap_or_else(|| panic!("unknown shape {name}")),
+                );
+            }
             "--requests" => args.requests = val().parse().expect("--requests N"),
             "--events" => args.events = val().parse().expect("--events N"),
+            "--blocking" => args.blocking = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -66,13 +82,20 @@ fn main() -> ExitCode {
     let mut runs = 0u64;
     let mut crashes = 0u64;
     let mut recovery_crashes = 0u64;
-    let mut failures: Vec<(u64, SystemConfig, String)> = Vec::new();
+    let mut failures: Vec<(u64, SystemConfig, WorkloadShape, String)> = Vec::new();
 
     for seed in args.seed_base..args.seed_base + args.seeds {
+        // No pinned shape: rotate by seed so every sweep of ≥3 seeds
+        // covers all shapes on all configs.
+        let shape = args
+            .shape
+            .unwrap_or(WorkloadShape::ALL[(seed % WorkloadShape::ALL.len() as u64) as usize]);
         for &config in &configs {
             let mut opts = TortureOptions::new(seed, config);
+            opts.shape = shape;
             opts.requests_per_client = args.requests;
             opts.crash_events = args.events;
+            opts.blocking_durability = args.blocking;
             runs += 1;
             match run_torture(&opts) {
                 Ok(report) => {
@@ -85,6 +108,7 @@ fn main() -> ExitCode {
                         failures.push((
                             seed,
                             config,
+                            shape,
                             "schedule carried no crash-during-recovery event".into(),
                         ));
                         println!("FAIL  {report}");
@@ -94,7 +118,7 @@ fn main() -> ExitCode {
                 }
                 Err(msg) => {
                     println!("FAIL  seed={seed:<4} config={:<12} {msg}", config.name());
-                    failures.push((seed, config, msg));
+                    failures.push((seed, config, shape, msg));
                 }
             }
         }
@@ -111,14 +135,20 @@ fn main() -> ExitCode {
     if failures.is_empty() {
         ExitCode::SUCCESS
     } else {
-        for (seed, config, msg) in &failures {
-            eprintln!("\nFAILED seed={seed} config={}: {msg}", config.name());
+        for (seed, config, shape, msg) in &failures {
+            eprintln!(
+                "\nFAILED seed={seed} config={} shape={}: {msg}",
+                config.name(),
+                shape.name()
+            );
             eprintln!(
                 "reproduce with: cargo run --release --bin torture -- \
-                 --seed-base {seed} --seeds 1 --config {} --requests {} --events {}",
+                 --seed-base {seed} --seeds 1 --config {} --shape {} --requests {} --events {}{}",
                 config.name(),
+                shape.name(),
                 args.requests,
-                args.events
+                args.events,
+                if args.blocking { " --blocking" } else { "" }
             );
         }
         ExitCode::FAILURE

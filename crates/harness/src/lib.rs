@@ -28,5 +28,5 @@ pub mod workload;
 pub mod world;
 
 pub use metrics::{await_recovery, RecoveryPhases, Series, Summary};
-pub use torture::{run_torture, Schedule, TortureOptions, TortureReport};
+pub use torture::{run_torture, Schedule, TortureOptions, TortureReport, WorkloadShape};
 pub use world::{FlushMode, SystemConfig, World, WorldOptions};

@@ -50,16 +50,65 @@ use msp_wal::{
 use crate::workload::{reply_counter, request_payload, MSP1};
 use crate::world::{FlushMode, SystemConfig, World, WorldOptions};
 
+/// Traffic shape a storm drives through the workload. Each shape keeps
+/// the three oracle layers intact — it only changes *where* the pressure
+/// lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadShape {
+    /// The original mix: `m ∈ 1..=4`, every client keeps one session for
+    /// the whole storm.
+    Default,
+    /// Shared-variable-heavy: `m ∈ 3..=4`, so nearly every request is a
+    /// multi-call fan-out hammering SV2/SV3 (and the distributed-flush
+    /// path in front of every boundary crossing).
+    SharedHeavy,
+    /// Session churn: clients end their session at seed-chosen points and
+    /// continue on a fresh one — EOS records, session teardown, and
+    /// create-on-first-use all run *during* the crash storm. The
+    /// per-client ledger resets its expected counter at each churn.
+    SessionChurn,
+}
+
+impl WorkloadShape {
+    pub const ALL: [WorkloadShape; 3] = [
+        WorkloadShape::Default,
+        WorkloadShape::SharedHeavy,
+        WorkloadShape::SessionChurn,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadShape::Default => "default",
+            WorkloadShape::SharedHeavy => "shared-heavy",
+            WorkloadShape::SessionChurn => "session-churn",
+        }
+    }
+
+    /// Parse a shape name as printed by [`Self::name`] — used by the
+    /// `torture` binary's `--shape`.
+    pub fn parse(name: &str) -> Option<WorkloadShape> {
+        WorkloadShape::ALL
+            .into_iter()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+}
+
 /// Tuning of one torture run.
 #[derive(Debug, Clone)]
 pub struct TortureOptions {
     /// The seed every schedule decision derives from.
     pub seed: u64,
     pub config: SystemConfig,
+    /// Traffic shape; part of the schedule's identity (a seed reproduces
+    /// a run only together with its shape).
+    pub shape: WorkloadShape,
     /// Requests each client issues (sequentially, on one session).
     pub requests_per_client: u64,
     /// Crash events the controller walks (log-based configs only).
     pub crash_events: usize,
+    /// Run with the pre-pipeline blocking durability path instead of the
+    /// asynchronous reply-release stage (log-based configs only).
+    pub blocking_durability: bool,
     /// Wall-clock bound on the whole storm; blowing it panics with the
     /// seed rather than hanging CI forever.
     pub settle_timeout: Duration,
@@ -70,8 +119,10 @@ impl TortureOptions {
         TortureOptions {
             seed,
             config,
+            shape: WorkloadShape::Default,
             requests_per_client: 10,
             crash_events: 3,
+            blocking_durability: false,
             settle_timeout: Duration::from_secs(120),
         }
     }
@@ -104,12 +155,18 @@ impl CrashEvent {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     pub seed: u64,
+    pub shape: WorkloadShape,
     /// 8..=32 concurrent clients.
     pub clients: u64,
     /// Per client: `Some((drop_prob, dup_prob))` for a lossy link.
     pub link_faults: Vec<Option<(f64, f64)>>,
-    /// Per client, per request: `m` (1..=4).
+    /// Per client, per request: `m` (1..=4; 3..=4 under
+    /// [`WorkloadShape::SharedHeavy`]).
     pub ms: Vec<Vec<u8>>,
+    /// Per client, per request: end the session *after* this request and
+    /// continue on a fresh one. All-false except under
+    /// [`WorkloadShape::SessionChurn`].
+    pub churn_after: Vec<Vec<bool>>,
     /// Crash events, in controller order; empty on non-log configs.
     pub events: Vec<CrashEvent>,
 }
@@ -148,9 +205,15 @@ impl Schedule {
             let drop_prob = rng.random_range(0..120) as f64 / 1000.0;
             let dup_prob = rng.random_range(0..120) as f64 / 1000.0;
             link_faults.push(lossy.then_some((drop_prob, dup_prob)));
+            // The shape is an *input*, not a draw, so branching on it
+            // keeps each (seed, shape) pair deterministic — and the
+            // Default stream is bit-identical to the pre-shape rig.
             ms.push(
                 (0..opts.requests_per_client)
-                    .map(|_| 1 + rng.random_range(0..4) as u8)
+                    .map(|_| match opts.shape {
+                        WorkloadShape::SharedHeavy => 3 + rng.random_range(0..2) as u8,
+                        _ => 1 + rng.random_range(0..4) as u8,
+                    })
                     .collect(),
             );
         }
@@ -179,11 +242,26 @@ impl Schedule {
                 });
             }
         }
+        // Appended after everything else (the reproducibility contract):
+        // session-churn points, drawn only under the SessionChurn shape.
+        let churn_after: Vec<Vec<bool>> = if opts.shape == WorkloadShape::SessionChurn {
+            (0..clients)
+                .map(|_| {
+                    (0..opts.requests_per_client)
+                        .map(|_| rng.random_bool(0.25))
+                        .collect()
+                })
+                .collect()
+        } else {
+            vec![vec![false; opts.requests_per_client as usize]; clients as usize]
+        };
         Schedule {
             seed: opts.seed,
+            shape: opts.shape,
             clients,
             link_faults,
             ms,
+            churn_after,
             events,
         }
     }
@@ -220,6 +298,7 @@ pub struct LogAudit {
 pub struct TortureReport {
     pub seed: u64,
     pub config: SystemConfig,
+    pub shape: WorkloadShape,
     pub clients: u64,
     pub requests: u64,
     pub msp2_calls: u64,
@@ -242,10 +321,11 @@ impl std::fmt::Display for TortureReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "seed={:<4} config={:<12} clients={:<2} requests={:<4} m2_calls={:<4} \
+            "seed={:<4} config={:<12} shape={:<13} clients={:<2} requests={:<4} m2_calls={:<4} \
              crashes={} (during-recovery {}) fired=[{}] audit=[{}]",
             self.seed,
             self.config.name(),
+            self.shape.name(),
             self.clients,
             self.requests,
             self.msp2_calls,
@@ -284,7 +364,12 @@ fn le_counter(bytes: &[u8]) -> u64 {
 /// reproducing seed and configuration.
 pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
     let sched = Schedule::generate(opts);
-    let tag = format!("torture seed={} config={}", opts.seed, opts.config.name());
+    let tag = format!(
+        "torture seed={} config={} shape={}",
+        opts.seed,
+        opts.config.name(),
+        opts.shape.name()
+    );
 
     let world = World::start(WorldOptions {
         config: opts.config,
@@ -298,6 +383,7 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
         seed: opts.seed,
         crash_every: 0,
         durability_watermarks: true,
+        blocking_durability: opts.blocking_durability,
         db_txn_overhead: Duration::ZERO,
     });
 
@@ -312,6 +398,7 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
         // ---- clients ------------------------------------------------ //
         for c in 0..sched.clients {
             let ms = sched.ms[c as usize].clone();
+            let churn = sched.churn_after[c as usize].clone();
             let fault = sched.link_faults[c as usize];
             let tx = res_tx.clone();
             let (world, done, tag) = (&world, &done, &tag);
@@ -322,17 +409,20 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
                     None => world.client(id),
                 };
                 let mut calls = 0u64;
+                // The session counter `k` is per-session state, so the
+                // ledger expectation resets at every churn point.
+                let mut expect = 0u64;
                 let mut verdict = Ok(());
                 for (i, &m) in ms.iter().enumerate() {
                     match client.call(MSP1, "ServiceMethod1", &request_payload(m)) {
                         Ok(reply) => {
+                            expect += 1;
                             let k = reply_counter(&reply);
-                            if k != i as u64 + 1 {
+                            if k != expect {
                                 verdict = Err(format!(
                                     "{tag}: client {c} request {} saw session counter {k}, \
-                                     want {} (lost or duplicated execution)",
+                                     want {expect} (lost or duplicated execution)",
                                     i + 1,
-                                    i + 1
                                 ));
                                 break;
                             }
@@ -343,6 +433,16 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
                                 Err(format!("{tag}: client {c} request {} failed: {e}", i + 1));
                             break;
                         }
+                    }
+                    if churn[i] {
+                        if let Err(e) = client.end_session(MSP1) {
+                            verdict = Err(format!(
+                                "{tag}: client {c} end_session after request {} failed: {e}",
+                                i + 1
+                            ));
+                            break;
+                        }
+                        expect = 0;
                     }
                 }
                 done.fetch_add(1, Ordering::SeqCst);
@@ -583,6 +683,7 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
     Ok(TortureReport {
         seed: opts.seed,
         config: opts.config,
+        shape: opts.shape,
         clients: sched.clients,
         requests,
         msp2_calls,
@@ -735,6 +836,38 @@ mod tests {
         );
         let c = Schedule::generate(&TortureOptions::new(12, SystemConfig::LoOptimistic));
         assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn shapes_bias_the_schedule_without_breaking_determinism() {
+        let mut base = TortureOptions::new(11, SystemConfig::LoOptimistic);
+
+        base.shape = WorkloadShape::SharedHeavy;
+        let heavy = Schedule::generate(&base);
+        assert_eq!(heavy, Schedule::generate(&base), "same (seed, shape)");
+        assert!(
+            heavy.ms.iter().flatten().all(|&m| (3..=4).contains(&m)),
+            "shared-heavy draws m from 3..=4 only"
+        );
+        assert!(
+            heavy.churn_after.iter().flatten().all(|&b| !b),
+            "shared-heavy schedules no churn"
+        );
+
+        base.shape = WorkloadShape::SessionChurn;
+        let churn = Schedule::generate(&base);
+        assert_eq!(churn, Schedule::generate(&base), "same (seed, shape)");
+        assert!(
+            churn.churn_after.iter().flatten().any(|&b| b),
+            "a 25% per-request churn rate over a whole storm must fire"
+        );
+        // The churn draws are appended at the *end* of the stream, so
+        // everything before them is untouched by the shape.
+        base.shape = WorkloadShape::Default;
+        let plain = Schedule::generate(&base);
+        assert_eq!(plain.ms, churn.ms, "churn shape leaves m draws alone");
+        assert_eq!(plain.events, churn.events, "and crash events too");
+        assert!(plain.churn_after.iter().flatten().all(|&b| !b));
     }
 
     #[test]

@@ -107,6 +107,10 @@ pub struct WorldOptions {
     /// Durability-watermark tracking (flush-RPC elision) on the log-based
     /// configurations; ignored by the baselines.
     pub durability_watermarks: bool,
+    /// Park the worker thread for the full distributed flush (the
+    /// pre-pipeline baseline) instead of handing the reply to the
+    /// asynchronous release stage; ignored by the baselines.
+    pub blocking_durability: bool,
     /// DB transaction overhead for the Psession baseline (unscaled).
     pub db_txn_overhead: Duration,
 }
@@ -123,6 +127,7 @@ impl WorldOptions {
             seed: 1,
             crash_every: 0,
             durability_watermarks: true,
+            blocking_durability: false,
             db_txn_overhead: Duration::from_millis(4),
         }
     }
@@ -335,7 +340,8 @@ impl World {
                 .with_time_scale(scale)
                 .with_workers(opts.workers)
                 .with_logging(logging.clone())
-                .with_durability_watermarks(opts.durability_watermarks);
+                .with_durability_watermarks(opts.durability_watermarks)
+                .with_blocking_durability(opts.blocking_durability);
             c.rpc_timeout = Duration::from_millis(15);
             c.flush_retry_limit = 2_000;
             c

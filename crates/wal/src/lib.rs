@@ -41,7 +41,7 @@ pub use anchor::LogAnchor;
 pub use cache::ReplayCache;
 pub use disk::{Disk, FileDisk, MemDisk};
 pub use fault::{CrashPoint, FaultPlan};
-pub use log::{FlushPolicy, LogScanner, PhysicalLog, SECTOR_SIZE};
+pub use log::{FlushPolicy, FlushTicket, LogScanner, PhysicalLog, SECTOR_SIZE};
 pub use model::DiskModel;
 pub use position::PositionStream;
 pub use record::{LogRecord, MspCheckpointBody, SessionCheckpointBody};

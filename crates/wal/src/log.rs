@@ -32,6 +32,7 @@
 //! resumes appending after the last intact record, overwriting any torn
 //! tail.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -154,6 +155,110 @@ impl FlushPolicy {
     }
 }
 
+/// Completion state shared between a [`FlushTicket`] and the log that
+/// issued it.
+struct TicketInner {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+struct TicketState {
+    /// `None` while pending; `Some(true)` once the durable horizon passed
+    /// the target, `Some(false)` when the log stopped first.
+    done: Option<bool>,
+    /// Callback armed by [`FlushTicket::on_settle`], invoked exactly once
+    /// at settlement (usually on the flusher thread).
+    waker: Option<Box<dyn FnOnce(bool) + Send>>,
+}
+
+impl TicketInner {
+    fn new() -> Arc<TicketInner> {
+        Arc::new(TicketInner {
+            state: Mutex::new(TicketState {
+                done: None,
+                waker: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Settle the ticket (idempotent); returns `true` on the first call.
+    fn settle(&self, ok: bool) -> bool {
+        self.settle_then(ok, || {})
+    }
+
+    /// Like [`settle`](Self::settle), running `first` under the state
+    /// lock on the winning call — before any waiter can observe the
+    /// outcome (used to keep stats counters ahead of observers).
+    fn settle_then(&self, ok: bool, first: impl FnOnce()) -> bool {
+        let waker = {
+            let mut st = self.state.lock();
+            if st.done.is_some() {
+                return false;
+            }
+            st.done = Some(ok);
+            first();
+            self.cv.notify_all();
+            st.waker.take()
+        };
+        if let Some(w) = waker {
+            w(ok);
+        }
+        true
+    }
+}
+
+/// Handle returned by [`PhysicalLog::flush_to_async`]: settles when the
+/// durable horizon passes the requested LSN, or fails when the log stops
+/// (crash or close) first. The blocking [`PhysicalLog::flush_to`] is
+/// exactly `flush_to_async(lsn).wait()`.
+pub struct FlushTicket {
+    inner: Arc<TicketInner>,
+}
+
+impl FlushTicket {
+    /// Block until the ticket settles.
+    pub fn wait(&self) -> Result<(), MspError> {
+        let mut st = self.inner.state.lock();
+        while st.done.is_none() {
+            self.inner.cv.wait(&mut st);
+        }
+        if st.done == Some(true) {
+            Ok(())
+        } else {
+            Err(MspError::Shutdown)
+        }
+    }
+
+    /// Non-blocking probe: `None` while pending.
+    pub fn poll(&self) -> Option<Result<(), MspError>> {
+        self.inner
+            .state
+            .lock()
+            .done
+            .map(|ok| if ok { Ok(()) } else { Err(MspError::Shutdown) })
+    }
+
+    /// Arm a settlement callback, invoked exactly once with the outcome.
+    /// If the ticket already settled it runs inline on this thread;
+    /// otherwise it runs on the settling thread (the flusher for
+    /// completions, the crashing/closing thread for failures) and must
+    /// not block.
+    pub fn on_settle(&self, f: impl FnOnce(bool) + Send + 'static) {
+        let mut st = self.inner.state.lock();
+        match st.done {
+            Some(ok) => {
+                drop(st);
+                f(ok);
+            }
+            None => {
+                debug_assert!(st.waker.is_none(), "one settlement callback per ticket");
+                st.waker = Some(Box::new(f));
+            }
+        }
+    }
+}
+
 /// Volatile state of the log.
 struct Buffer {
     /// Framed bytes not yet handed to the device.
@@ -191,6 +296,10 @@ pub struct PhysicalLog {
     wakeup_tx: Sender<u64>,
     stopped: AtomicBool,
     stats: LogStats,
+    /// Pending flush tickets keyed by target LSN. The flusher settles
+    /// every ticket strictly below the durable horizon after each device
+    /// flush; shutdown fails whatever is left.
+    tickets: Mutex<BTreeMap<u64, Vec<Arc<TicketInner>>>>,
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// Armed crash-point plan (torture rig); `fault_armed` is the lock-free
     /// fast path so un-instrumented runs pay one relaxed load per site.
@@ -244,6 +353,7 @@ impl PhysicalLog {
             wakeup_tx,
             stopped: AtomicBool::new(false),
             stats: LogStats::default(),
+            tickets: Mutex::new(BTreeMap::new()),
             flusher: Mutex::new(None),
             fault: Mutex::new(None),
             fault_armed: AtomicBool::new(false),
@@ -378,73 +488,137 @@ impl PhysicalLog {
 
     /// Block until the record at `lsn` (and everything before it) is
     /// durable. Wakes the flusher if needed.
-    ///
-    /// Fully event-driven: the wait is untimed, relying on
-    /// `perform_flush` notifying on every durable advance and on
-    /// `shutdown` notifying (with the buffer lock bracketed) after
-    /// setting the stop flag, so no wakeup can be missed between the
-    /// checks below and the wait.
     pub fn flush_to(&self, lsn: Lsn) -> Result<(), MspError> {
+        self.flush_to_async(lsn).wait()
+    }
+
+    /// Non-blocking flush request: register interest in the durable
+    /// horizon passing `lsn`, wake the flusher if needed, and return a
+    /// [`FlushTicket`] that settles when it does. Tickets at-or-below the
+    /// new durable horizon settle together after each device flush (group
+    /// commit batches them); a crash or close fails whatever is pending.
+    pub fn flush_to_async(&self, lsn: Lsn) -> FlushTicket {
+        self.stats.on_ticket_issued();
+        let ticket = FlushTicket {
+            inner: TicketInner::new(),
+        };
         // Crash site: records were appended (reservations complete) but
         // the kill lands before any of them can reach the device.
         if self.fault_point(CrashPoint::PreFlush) {
-            return Err(MspError::Shutdown);
+            ticket.inner.settle(false);
+            return ticket;
         }
         match &self.tail {
             TailImpl::Serialized(inner_mx) => {
-                let mut inner = inner_mx.lock();
-                while inner.durable <= lsn.0 {
-                    if self.stopped.load(Ordering::SeqCst) {
-                        return Err(MspError::Shutdown);
-                    }
+                {
+                    let inner = inner_mx.lock();
                     let tail_end = inner.tail_start + inner.tail.len() as u64;
-                    if tail_end <= lsn.0 {
-                        // Nothing at that LSN has even been appended; treat
-                        // the current end as the target (defensive).
-                        break;
-                    }
-                    // `record_ends` is sorted, so the end of the record
-                    // containing `lsn` is the first entry past it.
-                    let idx = inner.record_ends.partition_point(|&e| e <= lsn.0);
-                    let target = inner.record_ends.get(idx).copied().unwrap_or(tail_end);
-                    if target > inner.requested {
-                        inner.requested = target;
+                    // Already durable — or nothing at that LSN has even
+                    // been appended (defensive, as in the old blocking
+                    // loop): settle without touching the registry.
+                    if inner.durable > lsn.0 || tail_end <= lsn.0 {
                         drop(inner);
-                        if self.wakeup_tx.send(target).is_err() {
-                            return Err(MspError::Shutdown);
-                        }
-                        inner = inner_mx.lock();
-                    }
-                    if inner.durable <= lsn.0 && !self.stopped.load(Ordering::SeqCst) {
-                        self.durable_cv.wait(&mut inner);
+                        self.stats.on_ticket_completed();
+                        ticket.inner.settle(true);
+                        return ticket;
                     }
                 }
-                Ok(())
+                // Register before the stop-flag check: `shutdown` sets the
+                // flag before sweeping the registry, so a ticket that
+                // misses the sweep observes the flag here and fails
+                // itself.
+                self.tickets
+                    .lock()
+                    .entry(lsn.0)
+                    .or_default()
+                    .push(Arc::clone(&ticket.inner));
+                if self.stopped.load(Ordering::SeqCst) {
+                    ticket.inner.settle(false);
+                    return ticket;
+                }
+                let mut inner = inner_mx.lock();
+                let tail_end = inner.tail_start + inner.tail.len() as u64;
+                // `record_ends` is sorted, so the end of the record
+                // containing `lsn` is the first entry past it.
+                let idx = inner.record_ends.partition_point(|&e| e <= lsn.0);
+                let target = inner.record_ends.get(idx).copied().unwrap_or(tail_end);
+                if target > inner.requested {
+                    inner.requested = target;
+                    drop(inner);
+                    if self.wakeup_tx.send(target).is_err() {
+                        ticket.inner.settle(false);
+                        return ticket;
+                    }
+                } else {
+                    drop(inner);
+                }
+                // The flusher may have advanced the horizon between the
+                // fast-path check and the registration; sweep once so the
+                // ticket cannot be stranded.
+                let durable = inner_mx.lock().durable;
+                if durable > lsn.0 {
+                    self.complete_tickets(durable);
+                }
             }
             TailImpl::Reserved(rt) => {
-                loop {
-                    if rt.durable() > lsn.0 {
-                        return Ok(());
-                    }
-                    if self.stopped.load(Ordering::SeqCst) {
-                        return Err(MspError::Shutdown);
-                    }
-                    let reserved = rt.reserved();
-                    if reserved <= lsn.0 {
-                        // Nothing at that LSN has even been appended
-                        // (defensive, mirrors the serialized path).
-                        return Ok(());
-                    }
-                    // Reservation points always sit on frame boundaries,
-                    // so the current reserved end is a legal target; it
-                    // also absorbs every record appended so far, which is
-                    // exactly group commit's job.
-                    if rt.note_requested(reserved) && self.wakeup_tx.send(reserved).is_err() {
-                        return Err(MspError::Shutdown);
-                    }
-                    rt.wait(|| rt.durable() > lsn.0 || self.stopped.load(Ordering::SeqCst));
+                if rt.durable() > lsn.0 || rt.reserved() <= lsn.0 {
+                    self.stats.on_ticket_completed();
+                    ticket.inner.settle(true);
+                    return ticket;
+                }
+                self.tickets
+                    .lock()
+                    .entry(lsn.0)
+                    .or_default()
+                    .push(Arc::clone(&ticket.inner));
+                if self.stopped.load(Ordering::SeqCst) {
+                    ticket.inner.settle(false);
+                    return ticket;
+                }
+                // Reservation points always sit on frame boundaries, so
+                // the current reserved end is a legal target; it also
+                // absorbs every record appended so far, which is exactly
+                // group commit's job.
+                let reserved = rt.reserved();
+                if rt.note_requested(reserved) && self.wakeup_tx.send(reserved).is_err() {
+                    ticket.inner.settle(false);
+                    return ticket;
+                }
+                let durable = rt.durable();
+                if durable > lsn.0 {
+                    self.complete_tickets(durable);
                 }
             }
+        }
+        ticket
+    }
+
+    /// Settle every registered ticket whose target is strictly below the
+    /// durable horizon (`durable > lsn` is the completion condition,
+    /// matching the blocking wait predicate).
+    fn complete_tickets(&self, durable: u64) {
+        let ready: Vec<Arc<TicketInner>> = {
+            let mut reg = self.tickets.lock();
+            if reg.is_empty() {
+                return;
+            }
+            let keep = reg.split_off(&durable);
+            let ready = std::mem::replace(&mut *reg, keep);
+            ready.into_values().flatten().collect()
+        };
+        for t in ready {
+            t.settle_then(true, || self.stats.on_ticket_completed());
+        }
+    }
+
+    /// Fail every pending ticket — crash/close path. Idempotent.
+    fn fail_all_tickets(&self) {
+        let all: Vec<Arc<TicketInner>> = std::mem::take(&mut *self.tickets.lock())
+            .into_values()
+            .flatten()
+            .collect();
+        for t in all {
+            t.settle(false);
         }
     }
 
@@ -616,6 +790,10 @@ impl PhysicalLog {
         if let Some(h) = self.flusher.lock().take() {
             let _ = h.join();
         }
+        // Fail whatever tickets the (now stopped) flusher left pending.
+        // Tickets registered after this sweep observe the stop flag and
+        // fail themselves.
+        self.fail_all_tickets();
         // Wake any stragglers stuck in flush_to. Bracketing the notify
         // with the buffer lock closes the missed-wakeup window: a waiter
         // holds the lock from its stop-flag check until it enters the
@@ -777,6 +955,7 @@ impl PhysicalLog {
             self.stats.on_flush(sectors, padding);
             rt.publish_durable(end);
             rt.retire_through(end);
+            self.complete_tickets(rt.durable());
         }
         rt.notify_force();
     }
@@ -840,9 +1019,13 @@ impl PhysicalLog {
         // MemDisk writes cannot fail; FileDisk failures would need real
         // error propagation — surfaced as a poisoned durable horizon.
         if self.disk.write(start, &bytes).is_ok() {
-            let mut inner = inner_mx.lock();
-            inner.durable = inner.durable.max(end);
-            self.stats.on_flush(sectors, padded);
+            let durable = {
+                let mut inner = inner_mx.lock();
+                inner.durable = inner.durable.max(end);
+                self.stats.on_flush(sectors, padded);
+                inner.durable
+            };
+            self.complete_tickets(durable);
         }
         self.durable_cv.notify_all();
     }
@@ -868,6 +1051,9 @@ impl Drop for PhysicalLog {
         if let Some(h) = self.flusher.lock().take() {
             let _ = h.join();
         }
+        // A FlushTicket only holds the shared TicketInner, so a waiter
+        // can outlive the log; fail the registry or they hang forever.
+        self.fail_all_tickets();
     }
 }
 
@@ -1666,6 +1852,96 @@ mod tests {
         let first = scan.next().unwrap().unwrap();
         assert_eq!(first.1, big_rec(1, 0, 4096));
         drop(scan); // must join the prefetch thread without hanging
+        log.close();
+    }
+
+    #[test]
+    fn async_ticket_settles_on_flush() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        let t = log.flush_to_async(a);
+        t.wait().unwrap();
+        assert!(log.durable_lsn().0 > a.0);
+        let s = log.stats();
+        assert!(s.flush_tickets_issued >= 1);
+        assert!(s.flush_tickets_completed >= 1);
+        log.close();
+    }
+
+    #[test]
+    fn async_ticket_already_durable_settles_immediately() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        log.flush_to(a).unwrap();
+        let t = log.flush_to_async(a);
+        assert!(matches!(t.poll(), Some(Ok(()))));
+        log.close();
+    }
+
+    #[test]
+    fn on_settle_runs_inline_when_already_settled() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        let t = log.flush_to_async(a);
+        t.wait().unwrap();
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        t.on_settle(move |ok| {
+            let _ = tx.send(ok);
+        });
+        assert_eq!(rx.try_recv(), Ok(true));
+        log.close();
+    }
+
+    #[test]
+    fn crash_fails_pending_tickets_and_fires_waker() {
+        // A long batch timeout keeps the flusher asleep so the crash
+        // wins the race against completion.
+        let log = PhysicalLog::open(
+            Arc::new(MemDisk::new()),
+            DiskModel::zero().with_scale(1.0),
+            FlushPolicy::batched(Duration::from_millis(100)),
+        )
+        .unwrap();
+        let a = log.append(&rec(1, 0));
+        let t = log.flush_to_async(a);
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        t.on_settle(move |ok| {
+            let _ = tx.send(ok);
+        });
+        log.crash();
+        assert!(matches!(t.wait(), Err(MspError::Shutdown)));
+        assert!(!rx.recv().unwrap());
+        assert_eq!(log.stats().flush_tickets_completed, 0);
+    }
+
+    #[test]
+    fn ticket_issued_after_shutdown_fails() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        log.crash();
+        let t = log.flush_to_async(a);
+        assert!(matches!(t.wait(), Err(MspError::Shutdown)));
+    }
+
+    #[test]
+    fn many_async_tickets_coalesce_into_few_flushes() {
+        let (_, log) = open_mem();
+        let tickets: Vec<FlushTicket> = (0..32)
+            .map(|i| {
+                let l = log.append(&rec(1, i));
+                log.flush_to_async(l)
+            })
+            .collect();
+        for t in &tickets {
+            t.wait().unwrap();
+        }
+        let s = log.stats();
+        assert_eq!(s.flush_tickets_completed, 32);
+        assert!(
+            s.flushes < 32,
+            "tickets must ride the group-commit batches, got {} flushes",
+            s.flushes
+        );
         log.close();
     }
 

@@ -24,6 +24,8 @@ pub struct LogStats {
     replay_cache_misses: AtomicU64,
     replay_cache_evictions: AtomicU64,
     prefetch_chunks: AtomicU64,
+    flush_tickets_issued: AtomicU64,
+    flush_tickets_completed: AtomicU64,
 }
 
 /// A point-in-time copy of [`LogStats`].
@@ -63,6 +65,12 @@ pub struct LogStatsSnapshot {
     /// 64 KB chunks streamed ahead of the analysis scan by the prefetch
     /// stage of the pipelined scanner.
     pub prefetch_chunks: u64,
+    /// Flush tickets handed out by `flush_to_async` (every `flush_to`
+    /// goes through a ticket too).
+    pub flush_tickets_issued: u64,
+    /// Flush tickets completed successfully by a durable advance. Tickets
+    /// failed by a crash/shutdown are issued but never completed.
+    pub flush_tickets_completed: u64,
 }
 
 impl LogStats {
@@ -114,6 +122,14 @@ impl LogStats {
         self.prefetch_chunks.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn on_ticket_issued(&self) {
+        self.flush_tickets_issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_ticket_completed(&self) {
+        self.flush_tickets_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> LogStatsSnapshot {
         LogStatsSnapshot {
             appends: self.appends.load(Ordering::Relaxed),
@@ -130,6 +146,8 @@ impl LogStats {
             replay_cache_misses: self.replay_cache_misses.load(Ordering::Relaxed),
             replay_cache_evictions: self.replay_cache_evictions.load(Ordering::Relaxed),
             prefetch_chunks: self.prefetch_chunks.load(Ordering::Relaxed),
+            flush_tickets_issued: self.flush_tickets_issued.load(Ordering::Relaxed),
+            flush_tickets_completed: self.flush_tickets_completed.load(Ordering::Relaxed),
         }
     }
 }
@@ -153,6 +171,8 @@ impl LogStatsSnapshot {
             replay_cache_misses: self.replay_cache_misses - earlier.replay_cache_misses,
             replay_cache_evictions: self.replay_cache_evictions - earlier.replay_cache_evictions,
             prefetch_chunks: self.prefetch_chunks - earlier.prefetch_chunks,
+            flush_tickets_issued: self.flush_tickets_issued - earlier.flush_tickets_issued,
+            flush_tickets_completed: self.flush_tickets_completed - earlier.flush_tickets_completed,
         }
     }
 }
@@ -176,6 +196,9 @@ mod tests {
         s.on_replay_cache_miss();
         s.on_replay_cache_eviction();
         s.on_prefetch_chunk();
+        s.on_ticket_issued();
+        s.on_ticket_issued();
+        s.on_ticket_completed();
         let snap = s.snapshot();
         assert_eq!(snap.appends, 2);
         assert_eq!(snap.appended_bytes, 150);
@@ -190,6 +213,8 @@ mod tests {
         assert_eq!(snap.replay_cache_misses, 1);
         assert_eq!(snap.replay_cache_evictions, 1);
         assert_eq!(snap.prefetch_chunks, 1);
+        assert_eq!(snap.flush_tickets_issued, 2);
+        assert_eq!(snap.flush_tickets_completed, 1);
     }
 
     #[test]

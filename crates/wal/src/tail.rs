@@ -24,7 +24,9 @@
 //! segment `k` is entirely durable. An appender that runs ahead of the
 //! ring waits for the flusher — bounding the volatile tail to
 //! `SEGMENT_RING × SEGMENT_SIZE` bytes (the legacy path's tail `Vec` was
-//! unbounded).
+//! unbounded). The ring's buffers come from a process-wide recycling
+//! slab (see `SLAB`) rather than being owned per log, so processes that
+//! open many logs share one bounded pool of staging memory.
 //!
 //! # Frame placement rules
 //!
@@ -56,6 +58,7 @@
 use std::cell::UnsafeCell;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex as StdMutex;
 use std::time::Duration;
 
 use crossbeam_channel::Sender;
@@ -81,6 +84,49 @@ const SEG: u64 = SEGMENT_SIZE as u64;
 /// so a (theoretically) missed notification degrades to one quantum of
 /// latency instead of a hang.
 const WAIT_QUANTUM: Duration = Duration::from_millis(1);
+
+/// Upper bound on pooled staging buffers (`SLAB_CAP × SEGMENT_SIZE`
+/// bytes of standby memory process-wide); returns beyond it simply free.
+const SLAB_CAP: usize = 4 * SEGMENT_RING;
+
+/// Process-wide recycling pool of segment staging buffers. Every
+/// [`ReservedTail`] draws its `SEGMENT_RING` buffers from this slab and
+/// returns them on drop, so worlds that build many logs (the torture rig
+/// re-opens five or more per run) stop paying `SEGMENT_RING × 1 MB` of
+/// fresh zeroed pages per log. Recycled buffers keep their stale bytes:
+/// that is safe because every readable range is either explicitly
+/// written by an appender (frames), explicitly zero-filled (gaps), or
+/// never read back from the buffer at all (flush padding goes straight
+/// into the device write).
+static SLAB: StdMutex<Vec<Box<[u8]>>> = StdMutex::new(Vec::new());
+
+/// Buffers allocated fresh because the slab was empty (observability /
+/// tests).
+static SLAB_FRESH: AtomicU64 = AtomicU64::new(0);
+
+fn slab_take() -> Box<[u8]> {
+    if let Some(buf) = SLAB.lock().unwrap_or_else(|e| e.into_inner()).pop() {
+        return buf;
+    }
+    SLAB_FRESH.fetch_add(1, Ordering::Relaxed);
+    vec![0u8; SEGMENT_SIZE].into_boxed_slice()
+}
+
+fn slab_put(buf: Box<[u8]>) {
+    if buf.len() != SEGMENT_SIZE {
+        return; // placeholder from a mid-drop tail, not a staging buffer
+    }
+    let mut pool = SLAB.lock().unwrap_or_else(|e| e.into_inner());
+    if pool.len() < SLAB_CAP {
+        pool.push(buf);
+    }
+}
+
+/// Fresh-allocation counter, for tests asserting reuse.
+#[cfg(test)]
+fn slab_fresh_allocs() -> u64 {
+    SLAB_FRESH.load(Ordering::Relaxed)
+}
 
 /// One reusable staging buffer of the segment ring.
 struct SegmentSlot {
@@ -150,7 +196,7 @@ impl ReservedTail {
             .map(|_| SegmentSlot {
                 seg: AtomicU64::new(0),
                 filled: AtomicU64::new(0),
-                buf: UnsafeCell::new(vec![0u8; SEGMENT_SIZE].into_boxed_slice()),
+                buf: UnsafeCell::new(slab_take()),
             })
             .collect();
         let tail = ReservedTail {
@@ -514,5 +560,71 @@ impl ReservedTail {
         self.reserved
             .compare_exchange(at, at + pad, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
+    }
+}
+
+impl Drop for ReservedTail {
+    fn drop(&mut self) {
+        // `&mut self` proves no appender/flusher/reader still borrows the
+        // slots, so the staging buffers can go back to the shared slab.
+        for slot in self.slots.iter_mut() {
+            let buf = std::mem::replace(slot.buf.get_mut(), Box::new([]));
+            slab_put(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_reuses_returned_buffers() {
+        // Parallel tests share the global slab, so a single observation
+        // can race a concurrent drain; a put immediately followed by a
+        // take reuses a pooled buffer in at least one of many tries.
+        slab_put(slab_take());
+        let mut reused = false;
+        for _ in 0..50 {
+            let before = slab_fresh_allocs();
+            let buf = slab_take();
+            let fresh = slab_fresh_allocs() > before;
+            slab_put(buf);
+            if !fresh {
+                reused = true;
+                break;
+            }
+        }
+        assert!(reused, "slab take after put never reused a buffer");
+    }
+
+    #[test]
+    fn dropped_tail_feeds_the_next_one() {
+        // Dropping a tail returns its ring to the slab; building the next
+        // tail should then need fewer than SEGMENT_RING fresh
+        // allocations. Tolerate concurrent tests stealing from the pool
+        // by retrying.
+        drop(ReservedTail::new(DATA_START));
+        let mut recycled = false;
+        for _ in 0..50 {
+            let before = slab_fresh_allocs();
+            let tail = ReservedTail::new(DATA_START);
+            let fresh = slab_fresh_allocs() - before;
+            drop(tail);
+            if (fresh as usize) < SEGMENT_RING {
+                recycled = true;
+                break;
+            }
+        }
+        assert!(recycled, "rebuilding a tail never drew from the slab");
+    }
+
+    #[test]
+    fn oversized_returns_are_dropped() {
+        slab_put(vec![0u8; 16].into_boxed_slice());
+        // A wrong-sized buffer must never be handed out.
+        let buf = slab_take();
+        assert_eq!(buf.len(), SEGMENT_SIZE);
+        slab_put(buf);
     }
 }

@@ -10,18 +10,32 @@
 
 use std::time::Duration;
 
-use msp_harness::{run_torture, SystemConfig, TortureOptions};
+use msp_harness::{run_torture, SystemConfig, TortureOptions, WorkloadShape};
 
 /// Seeds chosen to keep the whole matrix under a CI-friendly budget
 /// while still firing multi-crash schedules on the log-based configs.
 const SEEDS: [u64; 2] = [1, 5];
 
-fn storm(seed: u64, config: SystemConfig) -> msp_harness::TortureReport {
+fn storm_opts(seed: u64, config: SystemConfig) -> TortureOptions {
     let mut opts = TortureOptions::new(seed, config);
     opts.requests_per_client = 8;
     opts.settle_timeout = Duration::from_secs(90);
-    run_torture(&opts)
-        .unwrap_or_else(|msg| panic!("torture seed={seed} config={}: {msg}", config.name()))
+    opts
+}
+
+fn run(opts: &TortureOptions) -> msp_harness::TortureReport {
+    run_torture(opts).unwrap_or_else(|msg| {
+        panic!(
+            "torture seed={} config={} shape={}: {msg}",
+            opts.seed,
+            opts.config.name(),
+            opts.shape.name()
+        )
+    })
+}
+
+fn storm(seed: u64, config: SystemConfig) -> msp_harness::TortureReport {
+    run(&storm_opts(seed, config))
 }
 
 #[test]
@@ -65,4 +79,57 @@ fn crash_during_recovery_coverage() {
         "no seed in {SEEDS:?} fired a crash during a prior recovery; \
          widen the seed set"
     );
+}
+
+/// The PR-5 workload shapes hold the exactly-once oracle under crash
+/// storms on both log-based configs: shared-variable-heavy fan-out
+/// (every request multi-calls MSP2) and session churn (EOS + session
+/// teardown + create-on-first-use racing the crash schedule).
+#[test]
+fn workload_shapes_hold_exactly_once_under_crash_storms() {
+    for shape in [WorkloadShape::SharedHeavy, WorkloadShape::SessionChurn] {
+        for config in [SystemConfig::LoOptimistic, SystemConfig::Pessimistic] {
+            for seed in SEEDS {
+                let mut opts = storm_opts(seed, config);
+                opts.shape = shape;
+                let report = run(&opts);
+                assert!(report.requests > 0, "storm drove no traffic: {report}");
+                assert!(
+                    report.crashes > 0,
+                    "log-based storm injected no crashes: {report}"
+                );
+            }
+        }
+    }
+}
+
+/// Session churn on the baseline configurations: the END_SESSION resend
+/// path (lost acknowledgement → fresh cell) must not wedge clients on
+/// any strategy, lossy links included.
+#[test]
+fn session_churn_on_baseline_configs() {
+    for config in [
+        SystemConfig::NoLog,
+        SystemConfig::Psession,
+        SystemConfig::StateServer,
+    ] {
+        let mut opts = storm_opts(1, config);
+        opts.shape = WorkloadShape::SessionChurn;
+        let report = run(&opts);
+        assert!(report.requests > 0, "storm drove no traffic: {report}");
+    }
+}
+
+/// The pre-pipeline blocking durability path stays green under the same
+/// storm — it shares the gate machinery with the pipeline, parked on the
+/// worker thread instead of the release stage.
+#[test]
+fn blocking_durability_baseline_survives_the_storm() {
+    for shape in [WorkloadShape::Default, WorkloadShape::SessionChurn] {
+        let mut opts = storm_opts(5, SystemConfig::LoOptimistic);
+        opts.shape = shape;
+        opts.blocking_durability = true;
+        let report = run(&opts);
+        assert!(report.crashes > 0, "storm injected no crashes: {report}");
+    }
 }
