@@ -151,6 +151,15 @@ pub struct MspConfig {
     /// default: replies are released asynchronously once their durability
     /// gate settles.
     pub blocking_durability: bool,
+    /// Park the worker thread on the pre-send distributed flush of every
+    /// cross-domain *outgoing call* instead of parking the request
+    /// envelope in the release stage — the pre-PR-6 behaviour, kept as
+    /// the measured baseline for the chained-call benchmark. Off by
+    /// default: sends are released asynchronously once their gate
+    /// settles, and the waiting worker hands its run token to a sibling
+    /// thread meanwhile.
+    /// Implied by `blocking_durability` (the fully blocking baseline).
+    pub blocking_send_durability: bool,
     /// Hold the log flusher briefly after it wakes so commits arriving
     /// while the previous flush was in flight join the same device write
     /// (group-commit coalescing window). `None` flushes immediately.
@@ -192,6 +201,7 @@ impl MspConfig {
             rpc_retry_limit: 10_000,
             durability_watermarks: true,
             blocking_durability: false,
+            blocking_send_durability: false,
             group_commit_window: None,
             serialized_append: false,
             recovery_threads: 4,
@@ -245,6 +255,12 @@ impl MspConfig {
     }
 
     #[must_use]
+    pub fn with_blocking_send_durability(mut self, blocking: bool) -> MspConfig {
+        self.blocking_send_durability = blocking;
+        self
+    }
+
+    #[must_use]
     pub fn with_group_commit_window(mut self, window: Option<Duration>) -> MspConfig {
         self.group_commit_window = window;
         self
@@ -272,6 +288,14 @@ impl MspConfig {
     pub fn with_serial_recovery(mut self, serial: bool) -> MspConfig {
         self.serial_recovery = serial;
         self
+    }
+
+    /// Whether cross-domain outgoing sends block the worker on their
+    /// durability gate. True on the fully blocking baseline too — a
+    /// worker that parks on replies has nothing to gain from pipelined
+    /// sends, and keeping the baseline pure keeps the benchmark honest.
+    pub fn sends_block(&self) -> bool {
+        self.blocking_durability || self.blocking_send_durability
     }
 
     /// The busy backoff after scaling.
@@ -318,6 +342,7 @@ mod tests {
             .with_rpc_retry_limit(3)
             .with_durability_watermarks(false)
             .with_blocking_durability(true)
+            .with_blocking_send_durability(true)
             .with_group_commit_window(Some(Duration::from_micros(500)))
             .with_serialized_append(true)
             .with_recovery_threads(8)
@@ -326,6 +351,8 @@ mod tests {
         assert_eq!(cfg.rpc_retry_limit, 3);
         assert!(!cfg.durability_watermarks);
         assert!(cfg.blocking_durability);
+        assert!(cfg.blocking_send_durability);
+        assert!(cfg.sends_block());
         assert_eq!(cfg.group_commit_window, Some(Duration::from_micros(500)));
         assert!(cfg.serialized_append);
         assert_eq!(cfg.recovery_threads, 8);
@@ -335,6 +362,14 @@ mod tests {
         assert_eq!(cfg.rpc_retry_limit, 10_000);
         assert!(cfg.durability_watermarks);
         assert!(!cfg.blocking_durability, "pipeline is the default");
+        assert!(!cfg.blocking_send_durability, "for sends too");
+        assert!(!cfg.sends_block());
+        assert!(
+            MspConfig::new(MspId(1), DomainId(1))
+                .with_blocking_durability(true)
+                .sends_block(),
+            "the fully blocking baseline blocks sends as well"
+        );
         assert_eq!(cfg.group_commit_window, None);
         assert!(!cfg.serialized_append);
         assert_eq!(cfg.recovery_threads, 4);

@@ -405,8 +405,10 @@ impl MspInner {
     }
 
     /// Fail every gate registered in `pending_flushes` (crash/stop path);
-    /// parked replies on those gates are then discarded by the release
-    /// stage rather than ever leaving the process.
+    /// parked envelopes — replies and outgoing sends — on those gates are
+    /// then discarded by the release stage rather than ever leaving the
+    /// process (a parked send's waiting worker observes the failure over
+    /// its notify channel).
     pub(crate) fn fail_pending_gates(&self) {
         let drained: Vec<(Arc<DurabilityGate>, usize)> = self
             .pending_flushes
@@ -426,6 +428,12 @@ impl MspInner {
             .flush_requests_served
             .fetch_add(1, Ordering::Relaxed);
         if !self.is_log_based() {
+            return false;
+        }
+        // Torture-rig crash site: the serving participant dies inside a
+        // peer's gate issue→settle window, so the peer's parked envelope
+        // must ride out a flush-leg retry against our restart.
+        if self.log().fault_point(msp_wal::CrashPoint::FlushServe) {
             return false;
         }
         let current = self.epoch();

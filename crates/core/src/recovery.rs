@@ -199,7 +199,7 @@ impl MspInner {
         st.needs_recovery = false;
         cell.sync_anchor(st);
         if st.ended {
-            self.sessions.lock().remove(&cell.id);
+            self.tombstone_session(cell.id);
         }
         Ok(())
     }
@@ -327,6 +327,10 @@ impl MspInner {
                 }
             }
         }
+
+        // Sessions whose SessionEnd survived are gone for good: seed the
+        // runtime tombstones so no late traffic can resurrect them.
+        self.ended_sessions.lock().extend(ended.iter().copied());
 
         // 3. The largest persistent LSN bounds what survived; everything
         //    at or beyond the scan end is lost.

@@ -8,22 +8,27 @@
 //!   requests to the worker queue, replies/flush-acks to their waiting
 //!   callers, infrastructure traffic to the infra threads;
 //! * **workers** (the paper's thread pool, §2.1) — process requests,
-//!   run session orphan recovery and forced checkpoints;
+//!   run session orphan recovery and forced checkpoints. The pool is
+//!   oversubscribed in threads but bounded by run tokens, so a worker
+//!   waiting out a pipelined durability gate or RPC reply hands its
+//!   capacity to a sibling thread instead of idling;
 //! * **infra** — serve distributed-log-flush requests and recovery
 //!   broadcasts; kept separate from the workers so that flush service
 //!   can never deadlock behind requests that are themselves waiting for
 //!   remote flushes;
 //! * **release** — the pending-release stage of the asynchronous
-//!   durability pipeline: replies whose distributed flush was issued but
-//!   not yet settled are parked here (the envelope waits, not the
-//!   worker) and leave in session order once their gate settles;
+//!   durability pipeline: *envelopes* (client replies and cross-domain
+//!   outgoing sends alike) whose distributed flush was issued but not
+//!   yet settled are parked here (the envelope waits, not the worker)
+//!   and leave in per-session order once their gate settles;
 //! * **checkpointer** — takes the periodic fuzzy MSP checkpoint (§3.4).
 //!
 //! A *crash* tears all of this down, discarding every volatile structure
 //! (the un-flushed log tail included); re-`start`ing over the same disk
 //! runs MSP crash recovery (§4.3) before going live.
 
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -38,7 +43,9 @@ use msp_types::{
     DependencyVector, Epoch, Lsn, MspError, MspId, MspResult, RecoveryKnowledge, RequestSeq,
     SessionId, StateId,
 };
-use msp_wal::{Disk, DiskModel, FaultPlan, FlushPolicy, LogAnchor, LogRecord, PhysicalLog};
+use msp_wal::{
+    CrashPoint, Disk, DiskModel, FaultPlan, FlushPolicy, LogAnchor, LogRecord, PhysicalLog,
+};
 
 use crate::config::{ClusterConfig, MspConfig, SessionStrategy};
 use crate::envelope::{DurableHint, Envelope, ReplyMsg, ReplyStatus, RequestMsg};
@@ -60,6 +67,108 @@ pub fn next_session_id() -> SessionId {
 /// ended by client requests).
 pub const END_SESSION_METHOD: &str = "__end_session";
 
+thread_local! {
+    /// Whether this thread currently holds a run token of its MSP's
+    /// worker pool. Only token holders hand capacity back while waiting
+    /// out a pipelined gate or reply — infra, release, and recovery
+    /// threads reaching the same waits just wait.
+    static HOLDS_RUN_TOKEN: Cell<bool> = const { Cell::new(false) };
+}
+/// Worker threads spawned per configured worker. Concurrency is bounded
+/// by run tokens (== `cfg.workers`); the spare threads exist so that a
+/// token released by a parked worker always has an idle thread to land
+/// on, even when every other token holder parks too.
+const WORKER_OVERSUBSCRIPTION: usize = 4;
+/// Poll interval of token and notify waits, bounded so `stopped` is
+/// observed promptly.
+const PARK_POLL: Duration = Duration::from_millis(20);
+
+/// Counting semaphore bounding how many worker threads *run* at once: a
+/// bounded channel preloaded with one unit per configured worker. The
+/// pool spawns [`WORKER_OVERSUBSCRIPTION`]× more threads than tokens; a
+/// worker that parks on a pipelined durability gate or RPC reply hands
+/// its token back so a sibling thread runs a *fresh* request start to
+/// finish, and re-acquires it on wake. No request ever executes inside
+/// another's wait, so per-request latency stays its own — unlike
+/// synchronous work stealing, whose nested frames serialize the stack.
+pub(crate) struct RunTokens {
+    tx: Sender<()>,
+    rx: Receiver<()>,
+    /// Workers whose wait just ended and who are re-acquiring. Fresh-item
+    /// acquisition defers to them: a resuming request is mid-latency, a
+    /// queued one has not started its clock — so priority here bounds
+    /// per-request tail latency instead of letting starts starve resumes.
+    resume_waiters: AtomicU64,
+}
+
+impl RunTokens {
+    fn new(n: usize) -> RunTokens {
+        let n = n.max(1);
+        let (tx, rx) = crossbeam_channel::bounded(n);
+        for _ in 0..n {
+            tx.send(()).expect("preload bounded(n)");
+        }
+        RunTokens {
+            tx,
+            rx,
+            resume_waiters: AtomicU64::new(0),
+        }
+    }
+
+    /// Priority acquisition for a worker resuming from a pipelined wait:
+    /// block until a token is free, polling `stopped`; false = stopping.
+    fn acquire_resume(&self, stopped: &AtomicBool) -> bool {
+        self.resume_waiters.fetch_add(1, Ordering::SeqCst);
+        let got = loop {
+            match self.rx.recv_timeout(PARK_POLL) {
+                Ok(()) => break true,
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    if stopped.load(Ordering::Relaxed) {
+                        break false;
+                    }
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break false,
+            }
+        };
+        self.resume_waiters.fetch_sub(1, Ordering::SeqCst);
+        got
+    }
+
+    /// Acquisition for a fresh work item: yields to resuming workers —
+    /// a token grabbed while one waits is handed straight back. Deferral
+    /// cannot deadlock (resumers never depend on local fresh items) and
+    /// cannot starve (`resume_waiters` drains to zero between waves).
+    fn acquire_fresh(&self, stopped: &AtomicBool) -> bool {
+        loop {
+            if stopped.load(Ordering::Relaxed) {
+                return false;
+            }
+            if self.resume_waiters.load(Ordering::SeqCst) > 0 {
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            match self.rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(()) => {
+                    if self.resume_waiters.load(Ordering::SeqCst) > 0 {
+                        let _ = self.tx.try_send(());
+                        std::thread::sleep(Duration::from_micros(200));
+                        continue;
+                    }
+                    return true;
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return false,
+            }
+        }
+    }
+
+    /// Return a token. Every release pairs with an acquire and the
+    /// channel is bounded at the preload count, so this cannot overflow.
+    fn release(&self) {
+        let _ = self.tx.try_send(());
+    }
+}
+
 /// Work consumed by the worker pool.
 pub(crate) enum WorkItem {
     Request(RequestMsg),
@@ -76,25 +185,56 @@ pub(crate) enum WorkItem {
     },
 }
 
-/// A reply held back by the pending-release stage until its durability
-/// gate settles. The session's state (buffered reply, next expected
-/// sequence number) was already committed by the worker; only the
-/// envelope waits here.
-pub(crate) struct ParkedReply {
+/// An envelope held back by the pending-release stage until its
+/// durability gate settles. For a reply, the session's state (buffered
+/// reply, next expected sequence number) was already committed by the
+/// worker; for an outgoing send, the worker is in `outgoing_call` with
+/// its run token handed back to the pool until `notify` fires. Either
+/// way no pool *capacity* waits here — only the envelope.
+pub(crate) struct ParkedEnvelope {
     pub(crate) gate: Arc<crate::flush::DurabilityGate>,
+    /// Ordering key: the *local* session the envelope belongs to — the
+    /// inbound session for a reply, the parent session for an outgoing
+    /// send. Entries of one session leave in park order.
     pub(crate) session: SessionId,
-    pub(crate) seq: RequestSeq,
-    pub(crate) reply_to: EndpointId,
-    pub(crate) status: ReplyStatus,
+    pub(crate) kind: ParkedKind,
+}
+
+/// What a parked envelope releases into once its gate settles.
+pub(crate) enum ParkedKind {
+    /// A client-facing reply; a failed gate becomes [`WorkItem::GateFailed`]
+    /// (no worker is waiting for it).
+    Reply {
+        seq: RequestSeq,
+        reply_to: EndpointId,
+        status: ReplyStatus,
+    },
+    /// A cross-domain outgoing request; the issuing worker observes the
+    /// outcome over `notify`, so a failed gate flows back through
+    /// `outgoing_call`'s error path into the existing orphan recovery.
+    Send {
+        to: EndpointId,
+        env: Envelope,
+        notify: Sender<MspResult<()>>,
+    },
 }
 
 /// Commands consumed by the release thread.
 pub(crate) enum ReleaseCmd {
-    /// Park a reply until its gate settles.
-    Park(ParkedReply),
+    /// Park an envelope until its gate settles.
+    Park(ParkedEnvelope),
     /// A gate made progress — rescan the parked list now instead of
     /// waiting for the next tick.
     Nudge,
+}
+
+/// Per-session FIFO of the release stage: entry `i` may only leave once
+/// no earlier parked entry of the same session remains. Shared with the
+/// release-order property tests.
+pub(crate) fn fifo_blocked<T>(entries: &[T], i: usize, session: impl Fn(&T) -> SessionId) -> bool {
+    entries[..i]
+        .iter()
+        .any(|e| session(e) == session(&entries[i]))
 }
 
 /// Infrastructure traffic handled off the worker pool.
@@ -129,6 +269,21 @@ pub struct RuntimeStats {
     /// Replies released asynchronously by the pending-release stage after
     /// their gate settled (vs sent inline on the blocking path).
     pub async_reply_releases: AtomicU64,
+    /// Outgoing-send gates currently parked in the release stage (a
+    /// gauge, like `gates_pending` but for the send path).
+    pub send_gates_pending: AtomicU64,
+    /// Outgoing sends emitted by the release stage after their gate
+    /// settled (vs flushed inline on the blocking-send path).
+    pub async_send_releases: AtomicU64,
+    /// Total nanoseconds workers spent inside `outgoing_call` — the
+    /// per-hop wait of a call chain (durability gate + RPC round trip),
+    /// accumulated on both durability modes so benches can compare the
+    /// per-hop breakdown. Divide by requests × m for the mean hop.
+    pub chain_hop_wait_nanos: AtomicU64,
+    /// Times a worker handed its run token back to the pool while one of
+    /// its pipelined sends waited out a durability gate or its reply (a
+    /// sibling thread ran fresh requests on the freed capacity).
+    pub worker_parks: AtomicU64,
     /// Local log flushes skipped because the durable LSN already covered
     /// the dependency.
     pub flushes_elided: AtomicU64,
@@ -163,6 +318,10 @@ pub struct RuntimeStatsSnapshot {
     pub flush_requests_served: u64,
     pub gates_pending: u64,
     pub async_reply_releases: u64,
+    pub send_gates_pending: u64,
+    pub async_send_releases: u64,
+    pub chain_hop_wait_nanos: u64,
+    pub worker_parks: u64,
     pub flushes_elided: u64,
     pub flush_rpcs_elided: u64,
     pub recovery_analysis_nanos: u64,
@@ -188,6 +347,10 @@ impl RuntimeStats {
             flush_requests_served: self.flush_requests_served.load(Ordering::Relaxed),
             gates_pending: self.gates_pending.load(Ordering::Relaxed),
             async_reply_releases: self.async_reply_releases.load(Ordering::Relaxed),
+            send_gates_pending: self.send_gates_pending.load(Ordering::Relaxed),
+            async_send_releases: self.async_send_releases.load(Ordering::Relaxed),
+            chain_hop_wait_nanos: self.chain_hop_wait_nanos.load(Ordering::Relaxed),
+            worker_parks: self.worker_parks.load(Ordering::Relaxed),
             flushes_elided: self.flushes_elided.load(Ordering::Relaxed),
             flush_rpcs_elided: self.flush_rpcs_elided.load(Ordering::Relaxed),
             recovery_analysis_nanos: self.recovery_analysis_nanos.load(Ordering::Relaxed),
@@ -212,9 +375,23 @@ pub struct MspInner {
     /// empty on every start.
     pub(crate) watermarks: Mutex<WatermarkTable>,
     pub(crate) sessions: Mutex<HashMap<SessionId, Arc<SessionCell>>>,
+    /// Tombstones of ended sessions. A stale duplicate of an old request
+    /// can be dequeued *after* the session's `__end_session` was
+    /// processed (workers race on the queue); without a tombstone,
+    /// create-on-first-use would resurrect the session with a fresh
+    /// `next_expected` and re-execute the duplicate — a lost-update-free
+    /// but exactly-once-violating double execution. Seeded from
+    /// `SessionEnd` records during crash recovery; lock order is
+    /// `sessions` → `ended_sessions` everywhere.
+    pub(crate) ended_sessions: Mutex<HashSet<SessionId>>,
     pub(crate) shared: SharedRegistry,
     pub(crate) services: HashMap<String, ServiceFn>,
     pub(crate) work_tx: Sender<WorkItem>,
+    /// Run-token semaphore of the worker pool (see [`RunTokens`]): the
+    /// oversubscribed worker threads acquire a token to run an item, and
+    /// pipelined waits hand the token back so the pool loses no capacity
+    /// to a wait.
+    pub(crate) run_tokens: RunTokens,
     pub(crate) infra_tx: Sender<InfraItem>,
     /// Feed of the pending-release stage. Always present; the release
     /// thread only runs under `LogBased` (the only strategy that creates
@@ -332,13 +509,24 @@ impl MspInner {
     }
 
     /// Look up or create the session cell for an incoming session id.
-    pub(crate) fn get_or_create_session(&self, id: SessionId) -> Arc<SessionCell> {
+    /// `None` means the session already ended (tombstoned) — the request
+    /// is stale traffic and must not resurrect it.
+    pub(crate) fn get_or_create_session(&self, id: SessionId) -> Option<Arc<SessionCell>> {
         let mut sessions = self.sessions.lock();
-        Arc::clone(
-            sessions
-                .entry(id)
-                .or_insert_with(|| Arc::new(SessionCell::new(id, SessionState::fresh()))),
-        )
+        if self.ended_sessions.lock().contains(&id) {
+            return None;
+        }
+        Some(Arc::clone(sessions.entry(id).or_insert_with(|| {
+            Arc::new(SessionCell::new(id, SessionState::fresh()))
+        })))
+    }
+
+    /// Tombstone `id` and drop its cell, atomically w.r.t.
+    /// [`Self::get_or_create_session`] (both under the `sessions` lock).
+    pub(crate) fn tombstone_session(&self, id: SessionId) {
+        let mut sessions = self.sessions.lock();
+        self.ended_sessions.lock().insert(id);
+        sessions.remove(&id);
     }
 
     pub(crate) fn session(&self, id: SessionId) -> Option<Arc<SessionCell>> {
@@ -350,7 +538,39 @@ impl MspInner {
     // ------------------------------------------------------------------
 
     pub(crate) fn handle_request(self: &Arc<Self>, req: RequestMsg) {
-        let cell = self.get_or_create_session(req.session);
+        let Some(cell) = self.get_or_create_session(req.session) else {
+            // The session ended. An END_SESSION resend (lost ack) is
+            // re-acknowledged — ending is idempotent and the SessionEnd
+            // is already logged; anything else is a stale duplicate of a
+            // request whose reply the client already consumed, dropped
+            // before it can resurrect the session and re-execute.
+            if req.method == END_SESSION_METHOD {
+                // The first end's acknowledgement is gated on durability,
+                // and the resend may overtake that still-parked gate — so
+                // this re-ack must not leak an earlier acknowledgement.
+                // The ended cell (and its DV) are gone, but the log is
+                // prefix-flushed: flushing to the current end covers the
+                // session's records exactly as the first ack's gate did.
+                if self.is_log_based() {
+                    let log = self.log();
+                    if log.flush_to(log.end_lsn()).is_err() {
+                        return; // no ack — the client's resend retries
+                    }
+                }
+                self.send(
+                    req.reply_to,
+                    Envelope::Reply(ReplyMsg {
+                        session: req.session,
+                        seq: req.seq,
+                        status: ReplyStatus::Ok(Vec::new()),
+                        sender_dv: None,
+                        durable_hint: None,
+                        recoveries: self.own_recovery_gossip(),
+                    }),
+                );
+            }
+            return;
+        };
         // At most one request at a time per session (§2.1); a failed
         // try-lock means the session is busy processing, checkpointing or
         // recovering — tell the client to back off and resend (§5.4).
@@ -422,12 +642,12 @@ impl MspInner {
         {
             return;
         }
-        // END_SESSION bypasses the duplicate filter: processing removes
-        // the session *before* the acknowledgement can reach the client,
-        // so a resend (lost reply) lands on a fresh cell where its seq
-        // looks like an out-of-order future request dedup would drop
-        // silently — wedging the client. Ending a session is idempotent,
-        // so just end it again and re-acknowledge.
+        // END_SESSION bypasses the duplicate filter: processing
+        // tombstones the session *before* the acknowledgement can reach
+        // the client, so a resend (lost reply) is re-acknowledged off
+        // the tombstone in `handle_request`; a first end reaching this
+        // point just ends the session — its seq needs no dedup check
+        // (ending is idempotent either way).
         if req.method == END_SESSION_METHOD {
             self.end_session_locked(st, &req);
             return;
@@ -468,6 +688,14 @@ impl MspInner {
             st.dv.merge_from(dv);
         }
         st.note_logged(self.cfg.id, self.epoch(), lsn, framed);
+        // Publish the fuzzy checkpoint anchor *before* executing: the MSP
+        // checkpoint reads it without the state lock, and a session whose
+        // first request is still in flight would otherwise be absent from
+        // the checkpoint — its records below `min_lsn`, unreachable by the
+        // recovery scan, and the request re-executed (not deduplicated) on
+        // the client's resend. Deep pipelined chains keep requests in
+        // flight long enough to make that window routine.
+        cell.sync_anchor(st);
 
         // Execute the method.
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -542,11 +770,12 @@ impl MspInner {
         st.next_expected = req.seq.next();
         st.ended = true;
         st.positions.truncate();
-        // Drop the session before the reply can reach the client: once the
-        // client observes the acknowledgement, the session must be gone. A
-        // failed reply is harmless — the client's resend lands on a fresh
-        // session cell and ending it again is idempotent.
-        self.sessions.lock().remove(&req.session);
+        // Tombstone + drop before the reply can reach the client: once
+        // the client observes the acknowledgement, the session must be
+        // gone, and the tombstone keeps stale duplicates still in the
+        // work queue from resurrecting it. A failed reply is harmless —
+        // the client's resend is re-acknowledged off the tombstone.
+        self.tombstone_session(req.session);
         let _ = self.send_reply(st, req.reply_to, req.session, req.seq, status);
     }
 
@@ -582,9 +811,9 @@ impl MspInner {
         }
 
         // As on the log-based path: END_SESSION bypasses the duplicate
-        // filter, because a resend after a lost acknowledgement lands on
-        // a fresh cell (or a fresh externally-loaded state) whose seq
-        // tracking no longer matches; ending again is idempotent.
+        // filter — ending is idempotent, and a resend after a lost
+        // acknowledgement is re-acknowledged off the tombstone in
+        // `handle_request` before ever reaching a cell.
         if req.method == END_SESSION_METHOD {
             let status = ReplyStatus::Ok(Vec::new());
             let _ = self.send_reply(st, req.reply_to, req.session, req.seq, status.clone());
@@ -594,7 +823,7 @@ impl MspInner {
             if let Some(db) = &db {
                 let _ = db.write_txn(vec![(key, None)]);
             }
-            self.sessions.lock().remove(&req.session);
+            self.tombstone_session(req.session);
             return;
         }
         if self.dedup(st, &req) {
@@ -769,12 +998,14 @@ impl MspInner {
             }
             Some(gate) => {
                 self.stats.gates_pending.fetch_add(1, Ordering::Relaxed);
-                let parked = ParkedReply {
+                let parked = ParkedEnvelope {
                     gate,
                     session: req.session,
-                    seq: req.seq,
-                    reply_to: req.reply_to,
-                    status,
+                    kind: ParkedKind::Reply {
+                        seq: req.seq,
+                        reply_to: req.reply_to,
+                        status,
+                    },
                 };
                 if self.release_tx.send(ReleaseCmd::Park(parked)).is_err() {
                     // Release stage gone (stopping): the reply is dropped,
@@ -786,11 +1017,35 @@ impl MspInner {
         Ok(())
     }
 
-    /// A live outgoing call from `session` to `target` (§2.1, Figure 3):
-    /// resend-until-reply over the session's outgoing session, with
-    /// optimistic DV attachment inside the domain and a pessimistic flush
-    /// before sending across domains.
+    /// A live outgoing call from `session` to `target` (§2.1, Figure 3).
+    /// Thin wrapper around [`Self::outgoing_call_inner`] accumulating the
+    /// per-hop wait counter — the wall time a chained request spends in
+    /// one hop (durability gate + RPC round trip), on every path.
     pub(crate) fn outgoing_call(
+        &self,
+        st: &mut SessionState,
+        session_id: SessionId,
+        target: MspId,
+        method: &str,
+        payload: &[u8],
+    ) -> MspResult<Vec<u8>> {
+        let t0 = std::time::Instant::now();
+        let result = self.outgoing_call_inner(st, session_id, target, method, payload);
+        self.stats
+            .chain_hop_wait_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
+    }
+
+    /// Resend-until-reply over the session's outgoing session, with
+    /// optimistic DV attachment inside the domain and a pessimistic flush
+    /// before sending across domains. The pessimistic flush blocks the
+    /// worker only under `sends_block()`; otherwise the envelope is
+    /// parked behind its durability gate in the release stage and the
+    /// worker hands its run token back to the pool until the gate
+    /// settles — the pipelined-send path that keeps deep call chains off
+    /// the flush critical path.
+    fn outgoing_call_inner(
         &self,
         st: &mut SessionState,
         session_id: SessionId,
@@ -831,38 +1086,71 @@ impl MspInner {
                 (id, RequestSeq::FIRST)
             }
         };
-        if self.is_log_based() && !intra {
-            // Pessimistic boundary: nothing we depend on may be lost once
-            // this message leaves the domain.
+        let pessimistic = self.is_log_based() && !intra;
+        let pipelined = pessimistic && !self.cfg.sends_block();
+        if pessimistic && !pipelined {
+            // Pessimistic boundary, blocking baseline: nothing we depend
+            // on may be lost once this message leaves the domain.
             self.distributed_flush(&st.dv)?;
         }
         let mut attempts = 0u32;
+        // On the pipelined path the *first* send goes through the release
+        // stage (gate-parked); timeout resends go out directly — the gate
+        // settled before the wait began, so the DV is already durable.
+        let mut park_first = pipelined;
         loop {
             if self.stopped() {
                 return Err(MspError::Shutdown);
             }
             let (tx, rx) = crossbeam_channel::bounded(1);
+            // Register the waiter before the envelope can leave: a
+            // released send may be answered before this worker gets back
+            // from its gate wait.
             self.pending_replies.lock().insert((out_id, seq), tx);
-            self.send(
-                EndpointId::Msp(target),
-                Envelope::Request(RequestMsg {
+            if park_first {
+                park_first = false;
+                let env = Envelope::Request(RequestMsg {
                     session: out_id,
                     seq,
                     method: method.to_string(),
                     payload: payload.to_vec(),
                     reply_to: self.me(),
-                    sender_dv: intra.then(|| st.dv.clone()),
-                    durable_hint: if intra { self.own_durable_hint() } else { None },
-                    recoveries: if intra {
-                        self.own_recovery_gossip()
-                    } else {
-                        Vec::new()
-                    },
-                }),
-            );
-            let rep = match rx.recv_timeout(self.cfg.rpc_timeout) {
+                    // Cross-domain: never optimistic attachments.
+                    sender_dv: None,
+                    durable_hint: None,
+                    recoveries: Vec::new(),
+                });
+                if let Err(e) = self.pipelined_send(&st.dv, session_id, target, env) {
+                    self.pending_replies.lock().remove(&(out_id, seq));
+                    return Err(e);
+                }
+            } else {
+                self.send(
+                    EndpointId::Msp(target),
+                    Envelope::Request(RequestMsg {
+                        session: out_id,
+                        seq,
+                        method: method.to_string(),
+                        payload: payload.to_vec(),
+                        reply_to: self.me(),
+                        sender_dv: intra.then(|| st.dv.clone()),
+                        durable_hint: if intra { self.own_durable_hint() } else { None },
+                        recoveries: if intra {
+                            self.own_recovery_gossip()
+                        } else {
+                            Vec::new()
+                        },
+                    }),
+                );
+            }
+            let got = if pipelined {
+                self.recv_reply_parking(&rx)
+            } else {
+                rx.recv_timeout(self.cfg.rpc_timeout).map_err(|_| ())
+            };
+            let rep = match got {
                 Ok(rep) => rep,
-                Err(_) => {
+                Err(()) => {
                     self.pending_replies.lock().remove(&(out_id, seq));
                     // Interception point on the resend path too: if the
                     // target crashed and lost our dependency, it now
@@ -937,6 +1225,129 @@ impl MspInner {
                     };
                 }
             }
+        }
+    }
+
+    /// Pipelined cross-domain send: issue the durability gate, park the
+    /// envelope in the release stage, and wait the gate out with the run
+    /// token handed back to the pool — the pool never loses capacity to
+    /// durability. Returns once the release stage has emitted the
+    /// envelope (or after an inline send, when every dependency was
+    /// already durable); from then on the session's DV is durable, so
+    /// timeout resends may skip the gate. A failed gate surfaces here as
+    /// the error a blocking `distributed_flush` would have returned,
+    /// feeding the same orphan recovery.
+    fn pipelined_send(
+        &self,
+        dv: &DependencyVector,
+        session_id: SessionId,
+        target: MspId,
+        env: Envelope,
+    ) -> MspResult<()> {
+        let to = EndpointId::Msp(target);
+        let Some(gate) = self.distributed_flush_issue(dv)? else {
+            // Every dependency already durable: no gate, no window.
+            if self.log().fault_point(CrashPoint::SendGateIssue) {
+                return Err(MspError::Shutdown);
+            }
+            self.send(to, env);
+            return Ok(());
+        };
+        let (ntx, nrx) = crossbeam_channel::bounded(1);
+        self.stats
+            .send_gates_pending
+            .fetch_add(1, Ordering::Relaxed);
+        let parked = ParkedEnvelope {
+            gate,
+            session: session_id,
+            kind: ParkedKind::Send {
+                to,
+                env,
+                notify: ntx,
+            },
+        };
+        if self.release_tx.send(ReleaseCmd::Park(parked)).is_err() {
+            // Release stage gone — only happens while stopping.
+            self.stats
+                .send_gates_pending
+                .fetch_sub(1, Ordering::Relaxed);
+            return Err(MspError::Shutdown);
+        }
+        // The crash window the torture rig aims at: the send is logged
+        // and parked but not yet released.
+        if self.log().fault_point(CrashPoint::SendGateIssue) {
+            return Err(MspError::Shutdown);
+        }
+        // The worker is now pure wait: hand the run token to a sibling
+        // thread (which runs fresh requests start-to-finish on the freed
+        // capacity) and block on the notify channel. The release stage
+        // always settles it — release, gate failure, and shutdown drain
+        // all notify, so this cannot hang.
+        let parked = self.park_run_token();
+        let outcome = loop {
+            match nrx.recv_timeout(PARK_POLL) {
+                Ok(outcome) => break outcome,
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    if self.stopped() {
+                        break Err(MspError::Shutdown);
+                    }
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    break Err(MspError::Shutdown)
+                }
+            }
+        };
+        if parked && !self.unpark_run_token() {
+            return Err(MspError::Shutdown);
+        }
+        outcome
+    }
+
+    /// Phase-2 wait of a pipelined outgoing call: wait on the reply
+    /// channel under the per-attempt `rpc_timeout` deadline with the run
+    /// token handed back to the pool. `Err(())` means timed out (or
+    /// stopping) — the caller runs the ordinary resend path.
+    fn recv_reply_parking(&self, rx: &Receiver<ReplyMsg>) -> Result<ReplyMsg, ()> {
+        let deadline = std::time::Instant::now() + self.cfg.rpc_timeout;
+        let parked = self.park_run_token();
+        let got = loop {
+            let now = std::time::Instant::now();
+            if self.stopped() || now >= deadline {
+                break Err(());
+            }
+            match rx.recv_timeout((deadline - now).min(PARK_POLL)) {
+                Ok(rep) => break Ok(rep),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break Err(()),
+            }
+        };
+        if parked && !self.unpark_run_token() {
+            return Err(());
+        }
+        got
+    }
+
+    /// Hand this worker's run token back to the pool for the duration of
+    /// a pipelined wait. Only pool threads hold tokens — on any other
+    /// thread (infra, release, recovery pool) this is a no-op. Returns
+    /// whether a token was released and must be re-acquired.
+    fn park_run_token(&self) -> bool {
+        if !HOLDS_RUN_TOKEN.with(|t| t.get()) {
+            return false;
+        }
+        HOLDS_RUN_TOKEN.with(|t| t.set(false));
+        self.run_tokens.release();
+        self.stats.worker_parks.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Re-acquire after [`Self::park_run_token`]; false = stopping.
+    fn unpark_run_token(&self) -> bool {
+        if self.run_tokens.acquire_resume(&self.stopped) {
+            HOLDS_RUN_TOKEN.with(|t| t.set(true));
+            true
+        } else {
+            false
         }
     }
 
@@ -1019,6 +1430,14 @@ impl MspInner {
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
                 Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
             };
+            // Capacity gate: the pool is oversubscribed in threads but
+            // bounded in run tokens, so a parked sibling's token always
+            // has an idle thread to land on without ever running more
+            // than `cfg.workers` items at once.
+            if !self.run_tokens.acquire_fresh(&self.stopped) {
+                break;
+            }
+            HOLDS_RUN_TOKEN.with(|t| t.set(true));
             match item {
                 WorkItem::Request(req) => self.handle_request(req),
                 WorkItem::RecoverSession(id) => {
@@ -1047,6 +1466,11 @@ impl MspInner {
                     reply_to,
                     err,
                 } => self.handle_gate_failure(session, seq, reply_to, err),
+            }
+            // A wait that lost the re-acquire race to shutdown returns
+            // without the token — only release what we still hold.
+            if HOLDS_RUN_TOKEN.with(|t| t.replace(false)) {
+                self.run_tokens.release();
             }
         }
     }
@@ -1173,15 +1597,19 @@ impl MspInner {
         }
     }
 
-    /// The pending-release stage (asynchronous durability pipeline).
-    /// Parked replies leave in arrival order per session, and only once
-    /// their gate settles successfully; failed gates are converted into
-    /// [`WorkItem::GateFailed`] so the orphan path runs on the worker
-    /// pool (where it can take session locks without stalling releases).
-    /// On shutdown every still-parked reply is discarded — an unsettled
-    /// reply must never leave the process.
+    /// The pending-release stage (asynchronous durability pipeline),
+    /// unified over every envelope kind. Parked envelopes — client
+    /// replies and outgoing sends alike — leave in arrival order per
+    /// session, and only once their gate settles successfully. Failed
+    /// reply gates are converted into [`WorkItem::GateFailed`] so the
+    /// orphan path runs on the worker pool (where it can take session
+    /// locks without stalling releases); failed send gates report over
+    /// the parked send's notify channel to the worker already waiting in
+    /// `outgoing_call`, whose error path runs the same recovery. On
+    /// shutdown every still-parked envelope is discarded — an unsettled
+    /// envelope must never leave the process.
     fn release_loop(self: Arc<Self>, release_rx: Receiver<ReleaseCmd>) {
-        let mut parked: Vec<ParkedReply> = Vec::new();
+        let mut parked: Vec<ParkedEnvelope> = Vec::new();
         while !self.stopped() {
             match release_rx.recv_timeout(Duration::from_millis(20)) {
                 Ok(ReleaseCmd::Park(p)) => parked.push(p),
@@ -1203,7 +1631,7 @@ impl MspInner {
             while i < parked.len() {
                 // Session order: an entry may only leave once every
                 // earlier parked entry of the same session has left.
-                if parked[..i].iter().any(|q| q.session == parked[i].session) {
+                if fifo_blocked(&parked, i, |p| p.session) {
                     i += 1;
                     continue;
                 }
@@ -1211,37 +1639,79 @@ impl MspInner {
                     None => i += 1,
                     Some(Ok(())) => {
                         let p = parked.remove(i);
-                        self.send(
-                            p.reply_to,
-                            Envelope::Reply(ReplyMsg {
-                                session: p.session,
-                                seq: p.seq,
-                                status: p.status,
-                                sender_dv: None,
-                                durable_hint: None,
-                                recoveries: Vec::new(),
-                            }),
-                        );
-                        self.stats
-                            .async_reply_releases
-                            .fetch_add(1, Ordering::Relaxed);
-                        self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
+                        match p.kind {
+                            ParkedKind::Reply {
+                                seq,
+                                reply_to,
+                                status,
+                            } => {
+                                self.send(
+                                    reply_to,
+                                    Envelope::Reply(ReplyMsg {
+                                        session: p.session,
+                                        seq,
+                                        status,
+                                        sender_dv: None,
+                                        durable_hint: None,
+                                        recoveries: Vec::new(),
+                                    }),
+                                );
+                                self.stats
+                                    .async_reply_releases
+                                    .fetch_add(1, Ordering::Relaxed);
+                                self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
+                            }
+                            ParkedKind::Send { to, env, notify } => {
+                                self.send(to, env);
+                                self.stats
+                                    .async_send_releases
+                                    .fetch_add(1, Ordering::Relaxed);
+                                self.stats
+                                    .send_gates_pending
+                                    .fetch_sub(1, Ordering::Relaxed);
+                                let _ = notify.send(Ok(()));
+                            }
+                        }
                     }
                     Some(Err(err)) => {
                         let p = parked.remove(i);
-                        self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
-                        let _ = self.work_tx.send(WorkItem::GateFailed {
-                            session: p.session,
-                            seq: p.seq,
-                            reply_to: p.reply_to,
-                            err,
-                        });
+                        match p.kind {
+                            ParkedKind::Reply {
+                                seq,
+                                reply_to,
+                                status: _,
+                            } => {
+                                self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
+                                let _ = self.work_tx.send(WorkItem::GateFailed {
+                                    session: p.session,
+                                    seq,
+                                    reply_to,
+                                    err,
+                                });
+                            }
+                            ParkedKind::Send { notify, .. } => {
+                                self.stats
+                                    .send_gates_pending
+                                    .fetch_sub(1, Ordering::Relaxed);
+                                let _ = notify.send(Err(err));
+                            }
+                        }
                     }
                 }
             }
         }
-        for _ in parked.drain(..) {
-            self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
+        for p in parked.drain(..) {
+            match p.kind {
+                ParkedKind::Reply { .. } => {
+                    self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
+                }
+                ParkedKind::Send { notify, .. } => {
+                    self.stats
+                        .send_gates_pending
+                        .fetch_sub(1, Ordering::Relaxed);
+                    let _ = notify.send(Err(MspError::Shutdown));
+                }
+            }
         }
     }
 }
@@ -1419,6 +1889,7 @@ impl MspBuilder {
         let (work_tx, work_rx) = crossbeam_channel::unbounded();
         let (infra_tx, infra_rx) = crossbeam_channel::unbounded();
         let (release_tx, release_rx) = crossbeam_channel::unbounded();
+        let run_tokens = RunTokens::new(self.cfg.workers);
         let inner = Arc::new(MspInner {
             cfg: self.cfg,
             cluster: self.cluster,
@@ -1429,9 +1900,11 @@ impl MspBuilder {
             knowledge: RwLock::new(RecoveryKnowledge::new()),
             watermarks: Mutex::new(WatermarkTable::new()),
             sessions: Mutex::new(HashMap::new()),
+            ended_sessions: Mutex::new(HashSet::new()),
             shared: self.shared,
             services: self.services,
             work_tx,
+            run_tokens,
             infra_tx,
             release_tx,
             pending_replies: Mutex::new(HashMap::new()),
@@ -1463,7 +1936,10 @@ impl MspBuilder {
                     .map_err(MspError::Io)?,
             );
         }
-        for w in 0..inner.cfg.workers {
+        // Oversubscribed pool: thread count exceeds the run-token count
+        // (== cfg.workers) so a parked worker's released capacity always
+        // has a thread to run on.
+        for w in 0..inner.cfg.workers * WORKER_OVERSUBSCRIPTION {
             let i = Arc::clone(&inner);
             let rx = work_rx.clone();
             threads.push(
@@ -1690,5 +2166,80 @@ mod tests {
     #[test]
     fn session_keys_are_distinct() {
         assert_ne!(session_key(SessionId(1)), session_key(SessionId(2)));
+    }
+
+    /// Pure simulator of the release stage's scan over `fifo_blocked`:
+    /// entries park in order, gates settle in an arbitrary order, and a
+    /// scan pass releases every settled, unblocked entry until a
+    /// fixpoint. Returns the release order (as park indices).
+    fn simulate_release(sessions: &[u64], settle_order: &[usize]) -> Vec<usize> {
+        let mut parked: Vec<(usize, u64)> = sessions.iter().copied().enumerate().collect();
+        let mut settled = vec![false; sessions.len()];
+        let mut released = Vec::new();
+        for &s in settle_order {
+            settled[s] = true;
+            loop {
+                let mut progressed = false;
+                let mut i = 0;
+                while i < parked.len() {
+                    if fifo_blocked(&parked, i, |e| SessionId(e.1)) || !settled[parked[i].0] {
+                        i += 1;
+                        continue;
+                    }
+                    released.push(parked.remove(i).0);
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+        released
+    }
+
+    /// The cross-path ordering hole the PR-6 audit looked for: a reply
+    /// whose gate settles early must not overtake a causally-earlier
+    /// parked send of the same session.
+    #[test]
+    fn reply_never_overtakes_an_earlier_send_of_its_session() {
+        // Entry 0 = the send, entry 1 = the reply; the reply's gate
+        // settles first.
+        let released = simulate_release(&[7, 7], &[1, 0]);
+        assert_eq!(released, vec![0, 1], "per-session FIFO holds");
+        // An unrelated session is never blocked by either.
+        let released = simulate_release(&[7, 7, 9], &[2, 1, 0]);
+        assert_eq!(released, vec![2, 0, 1]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 64, ..Default::default()
+        })]
+
+        /// Over arbitrary park orders and settle orders: every entry is
+        /// eventually released (no cross-session blocking), and within
+        /// each session the release order equals the park order.
+        #[test]
+        fn release_order_is_per_session_fifo_and_complete(
+            sessions in proptest::collection::vec(0u64..4, 1..24),
+            prios in proptest::collection::vec(0u64..1000, 24..25),
+        ) {
+            let n = sessions.len();
+            let mut settle_order: Vec<usize> = (0..n).collect();
+            settle_order.sort_by_key(|&i| (prios[i], i));
+            let released = simulate_release(&sessions, &settle_order);
+            proptest::prop_assert_eq!(released.len(), n, "every entry releases");
+            for s in 0..4u64 {
+                let order: Vec<usize> = released
+                    .iter()
+                    .copied()
+                    .filter(|&i| sessions[i] == s)
+                    .collect();
+                proptest::prop_assert!(
+                    order.windows(2).all(|w| w[0] < w[1]),
+                    "session {} released out of park order: {:?}", s, order
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,244 @@
+//! Macro-benchmark for fully asynchronous call chains (PR 6).
+//!
+//! Boots the **Pessimistic** world — MSP1 and MSP2 in separate service
+//! domains, so every `ServiceMethod1 → ServiceMethod2` hop crosses a
+//! domain boundary and must flush the sender's dependencies before the
+//! message may leave (§3.1) — and drives deep chains through both send
+//! paths:
+//!
+//! * **blocking-send** — the PR 5 state of the world: replies are
+//!   pipelined through the release stage, but each of the `m` outgoing
+//!   sends still parks the worker inside `distributed_flush` for the
+//!   full disk-flush latency, once per hop; and
+//! * **pipelined** — flush-ticket issue + envelope release: the worker
+//!   parks the outgoing envelope behind its durability gate and hands
+//!   its run token to a sibling thread until the gate settles, so the
+//!   flush of hop *i* overlaps other sessions' work instead of a parked
+//!   worker.
+//!
+//! The sweep maps committed chain throughput and p50/p99 response times
+//! over chain depth (`m`) × worker threads × disk-flush latency, plus
+//! the mean per-hop wait (`chain_hop_wait_nanos / (requests · m)`) that
+//! shows *where* the win comes from. Both paths deliver identical
+//! guarantees — a send leaves only after the DV it carries is durable —
+//! so the comparison is apples to apples. Results go to
+//! `BENCH_PR6.json`, mirrored on stdout.
+//!
+//! ```text
+//! bench_pr6 [--per-client N] [--clients-per-worker N]
+//! ```
+
+use std::time::Duration;
+
+use msp_harness::{FlushMode, SystemConfig, World, WorldOptions};
+
+/// Workers per sweep row; the 8-thread slow-disk m=4 row carries the
+/// headline speedup assertion.
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+/// Disk/network time scales (1.0 = the paper's native milliseconds):
+/// 0.1 is the harness default, 0.25 the slow-disk point where a worker
+/// parked per hop hurts most.
+const SCALES: [f64; 2] = [0.1, 0.25];
+/// Chain depths: m sequential cross-domain calls per request.
+const MS: [u8; 2] = [2, 4];
+
+struct Cell {
+    scale: f64,
+    workers: usize,
+    m: u8,
+    blocking_send: bool,
+    clients: u64,
+    requests: u64,
+    throughput: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    hop_wait_ms_mean: f64,
+    async_send_releases: u64,
+    send_gates_pending_end: u64,
+    worker_parks: u64,
+}
+
+fn run_cell(
+    scale: f64,
+    workers: usize,
+    m: u8,
+    blocking_send: bool,
+    per_client: u64,
+    cpw: u64,
+) -> Cell {
+    let world = World::start(WorldOptions {
+        time_scale: scale,
+        workers,
+        // Replies stay pipelined (PR 5) on both paths; only the
+        // outgoing-send flush toggles, so the delta is the send path.
+        blocking_durability: false,
+        blocking_send_durability: blocking_send,
+        // Group commit, so the flusher device is not the per-commit
+        // serial bottleneck: a single watermark sweep completes every
+        // ticket the write covered.
+        flush_mode: FlushMode::GroupCommit,
+        // Keep checkpoints out of the measurement: the win is in the
+        // per-hop flush path.
+        session_ckpt_threshold: u64::MAX,
+        checkpoints_enabled: false,
+        db_txn_overhead: Duration::ZERO,
+        ..WorldOptions::new(SystemConfig::Pessimistic)
+    });
+    let clients = cpw * workers as u64;
+    let series = world.run_concurrent(clients, per_client, m);
+    let sum = series.summary();
+    let stats1 = world.msp1.stats().expect("MSP1 up");
+    world.shutdown();
+    let hops = sum.count.max(1) * m as u64;
+    Cell {
+        scale,
+        workers,
+        m,
+        blocking_send,
+        clients,
+        requests: sum.count,
+        throughput: sum.throughput,
+        p50_ms: sum.p50.as_secs_f64() * 1e3,
+        p99_ms: sum.p99.as_secs_f64() * 1e3,
+        hop_wait_ms_mean: stats1.chain_hop_wait_nanos as f64 / hops as f64 / 1e6,
+        async_send_releases: stats1.async_send_releases,
+        send_gates_pending_end: stats1.send_gates_pending,
+        worker_parks: stats1.worker_parks,
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        concat!(
+            "{{ \"scale\": {}, \"workers\": {}, \"m\": {}, \"mode\": \"{}\", ",
+            "\"clients\": {}, \"requests\": {}, ",
+            "\"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, ",
+            "\"hop_wait_ms_mean\": {:.3}, ",
+            "\"async_send_releases\": {}, \"send_gates_pending_end\": {}, ",
+            "\"worker_parks\": {} }}"
+        ),
+        c.scale,
+        c.workers,
+        c.m,
+        if c.blocking_send {
+            "blocking-send"
+        } else {
+            "pipelined"
+        },
+        c.clients,
+        c.requests,
+        c.throughput,
+        c.p50_ms,
+        c.p99_ms,
+        c.hop_wait_ms_mean,
+        c.async_send_releases,
+        c.send_gates_pending_end,
+        c.worker_parks,
+    )
+}
+
+fn main() {
+    let mut per_client = 30u64;
+    let mut cpw = 4u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--per-client" => {
+                per_client = it.next().and_then(|v| v.parse().ok()).unwrap_or(per_client)
+            }
+            "--clients-per-worker" => cpw = it.next().and_then(|v| v.parse().ok()).unwrap_or(cpw),
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+
+    let mut cells = Vec::new();
+    for &scale in &SCALES {
+        for &m in &MS {
+            for &workers in &WORKERS {
+                // The 1-worker cells carry the p99-regression assertion;
+                // give them more samples so the tail is stable.
+                let n = if workers == 1 {
+                    per_client * 3
+                } else {
+                    per_client
+                };
+                for blocking_send in [true, false] {
+                    cells.push(run_cell(scale, workers, m, blocking_send, n, cpw));
+                }
+            }
+        }
+    }
+
+    let find = |scale: f64, workers: usize, m: u8, blocking_send: bool| {
+        cells
+            .iter()
+            .find(|c| {
+                c.scale == scale
+                    && c.workers == workers
+                    && c.m == m
+                    && c.blocking_send == blocking_send
+            })
+            .expect("cell exists")
+    };
+    let slow = *SCALES.last().expect("non-empty");
+    let deep = *MS.last().expect("non-empty");
+    let speedup_8w_m4 =
+        find(slow, 8, deep, false).throughput / find(slow, 8, deep, true).throughput;
+    let p99_ratio_1w = find(slow, 1, deep, false).p99_ms / find(slow, 1, deep, true).p99_ms;
+    let hop_ratio_8w =
+        find(slow, 8, deep, false).hop_wait_ms_mean / find(slow, 8, deep, true).hop_wait_ms_mean;
+    let pipelined_ok = cells
+        .iter()
+        .filter(|c| !c.blocking_send)
+        .all(|c| c.send_gates_pending_end == 0 && c.async_send_releases > 0);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pr6_async_call_chains\",\n",
+            "  \"workload\": {{ \"per_client_requests\": {}, ",
+            "\"clients_per_worker\": {}, \"ms\": [2, 4], ",
+            "\"config\": \"Pessimistic\" }},\n",
+            "  \"cells\": [\n    {}\n  ],\n",
+            "  \"summary\": {{\n",
+            "    \"speedup_8w_m4_slow_disk\": {:.2},\n",
+            "    \"p99_ratio_1w_m4_slow_disk\": {:.3},\n",
+            "    \"hop_wait_ratio_8w_m4_slow_disk\": {:.3},\n",
+            "    \"send_pipeline_counters_consistent\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        per_client,
+        cpw,
+        cells
+            .iter()
+            .map(cell_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        speedup_8w_m4,
+        p99_ratio_1w,
+        hop_ratio_8w,
+        pipelined_ok,
+    );
+
+    print!("{json}");
+    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
+
+    assert!(
+        speedup_8w_m4 >= 2.0,
+        "pipelined sends must be >=2x blocking sends at m=4, 8 workers, slow disk, \
+         got {speedup_8w_m4:.2}x"
+    );
+    assert!(
+        p99_ratio_1w <= 1.25,
+        "send pipelining must not regress single-worker p99 by >25%, got {p99_ratio_1w:.3}x"
+    );
+    assert!(
+        pipelined_ok,
+        "pipelined cells must drain send_gates_pending to 0 and release sends asynchronously"
+    );
+    eprintln!(
+        "wrote BENCH_PR6.json ({speedup_8w_m4:.2}x at m=4, 8 workers, slow disk; \
+         1-worker p99 ratio {p99_ratio_1w:.3})"
+    );
+}

@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Without `--shape`, each seed rotates through the workload shapes
-//! (default / shared-heavy / session-churn) so a sweep covers all of
-//! them without tripling its runtime. `--blocking` runs the storm on
+//! (default / shared-heavy / session-churn / deep-chain) so a sweep
+//! covers all of them without multiplying its runtime. `--blocking` runs the storm on
 //! the pre-pipeline blocking durability path.
 //!
 //! Each run prints one line; any oracle or post-mortem failure prints

@@ -67,13 +67,21 @@ pub enum WorkloadShape {
     /// create-on-first-use all run *during* the crash storm. The
     /// per-client ledger resets its expected counter at each churn.
     SessionChurn,
+    /// Deep call chains: every request runs `m = 4`, so the pipelined
+    /// outgoing-send path (gate-parked envelopes, token-parked workers) is hot
+    /// on every request, and roughly half the crash events are retargeted
+    /// onto the PR-6 crash sites — the parked-send window on MSP1
+    /// (`SendGateIssue`, Pessimistic) and the flush-serving participant
+    /// on MSP2 (`FlushServe`, LoOptimistic).
+    DeepChain,
 }
 
 impl WorkloadShape {
-    pub const ALL: [WorkloadShape; 3] = [
+    pub const ALL: [WorkloadShape; 4] = [
         WorkloadShape::Default,
         WorkloadShape::SharedHeavy,
         WorkloadShape::SessionChurn,
+        WorkloadShape::DeepChain,
     ];
 
     pub fn name(self) -> &'static str {
@@ -81,6 +89,7 @@ impl WorkloadShape {
             WorkloadShape::Default => "default",
             WorkloadShape::SharedHeavy => "shared-heavy",
             WorkloadShape::SessionChurn => "session-churn",
+            WorkloadShape::DeepChain => "deep-chain",
         }
     }
 
@@ -212,6 +221,12 @@ impl Schedule {
                 (0..opts.requests_per_client)
                     .map(|_| match opts.shape {
                         WorkloadShape::SharedHeavy => 3 + rng.random_range(0..2) as u8,
+                        WorkloadShape::DeepChain => {
+                            // Fixed m = 4; still consume one draw so the
+                            // crash-event stream matches Default's.
+                            let _ = rng.random_range(0..4);
+                            4
+                        }
                         _ => 1 + rng.random_range(0..4) as u8,
                     })
                     .collect(),
@@ -255,6 +270,30 @@ impl Schedule {
         } else {
             vec![vec![false; opts.requests_per_client as usize]; clients as usize]
         };
+        // Appended after the churn draws (same append-only contract):
+        // under DeepChain, retarget ~half the crash events onto the PR-6
+        // sites — but only where they are actually hot, or the armed
+        // plan would never fire: pipelined sends gate on MSP1 across the
+        // pessimistic boundary; flush serving runs on MSP2 for
+        // LoOptimistic reply gates.
+        if opts.shape == WorkloadShape::DeepChain {
+            for ev in &mut events {
+                if !rng.random_bool(0.5) {
+                    continue;
+                }
+                match opts.config {
+                    // (a --blocking storm never walks the pipelined-send
+                    // path, so the site would never fire there)
+                    SystemConfig::Pessimistic if !ev.target_msp2 && !opts.blocking_durability => {
+                        ev.point = CrashPoint::SendGateIssue;
+                    }
+                    SystemConfig::LoOptimistic if ev.target_msp2 => {
+                        ev.point = CrashPoint::FlushServe;
+                    }
+                    _ => {}
+                }
+            }
+        }
         Schedule {
             seed: opts.seed,
             shape: opts.shape,
@@ -384,6 +423,9 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
         crash_every: 0,
         durability_watermarks: true,
         blocking_durability: opts.blocking_durability,
+        // `blocking_durability` already implies blocking sends via
+        // `sends_block()`; otherwise the storm runs the pipelined path.
+        blocking_send_durability: false,
         db_txn_overhead: Duration::ZERO,
     });
 
@@ -634,6 +676,32 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
             std::thread::sleep(Duration::from_micros(200));
         }
     }
+    // Release-stage drain: once the storm settled, both gate gauges must
+    // be zero on every shape — a nonzero gauge is a leaked parked
+    // envelope (a reply or an outgoing send that neither left nor was
+    // discarded).
+    if opts.config.is_log_based() {
+        for (who, slot) in [("MSP1", &world.msp1), ("MSP2", &world.msp2)] {
+            let t0 = Instant::now();
+            loop {
+                let Some(st) = slot.stats() else {
+                    return Err(format!("{tag}: {who} down at release-drain check"));
+                };
+                if st.gates_pending == 0 && st.send_gates_pending == 0 {
+                    break;
+                }
+                if t0.elapsed() > DRAIN_WAIT {
+                    return Err(format!(
+                        "{tag}: {who} release stage did not drain: \
+                         gates_pending={} send_gates_pending={}",
+                        st.gates_pending, st.send_gates_pending
+                    ));
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
     let requests = sched.total_requests();
     let expect = [
         ("MSP1", &world.msp1, ["SV0", "SV1"], requests),
@@ -652,9 +720,12 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
                 shared.len()
             ));
         }
-        for (name, value) in vars.iter().zip(&shared) {
+        for (vi, (name, value)) in vars.iter().zip(&shared).enumerate() {
             let got = le_counter(value);
             if got != want {
+                if std::env::var_os("TORTURE_TRACE").is_some() {
+                    dump_var_history(&slot.disk(), who, vi as u32);
+                }
                 return Err(format!(
                     "{tag}: {who} {name} counter is {got}, want {want} \
                      (exactly-once violated on shared state)"
@@ -817,6 +888,97 @@ pub fn audit_log(disk: &Arc<MemDisk>, tag: &str) -> Result<LogAudit, String> {
     Ok(audit)
 }
 
+/// `TORTURE_TRACE` diagnostic for a shared-counter oracle failure: scan
+/// the MSP's disk and print every record that moved the failed variable,
+/// plus the session-lifecycle records needed to see *why* (which request
+/// wrote each value, where recoveries and orphan skips cut the stream).
+fn dump_var_history(disk: &Arc<MemDisk>, who: &str, var: u32) {
+    let log = match PhysicalLog::open_at(
+        Arc::clone(disk) as Arc<dyn Disk>,
+        DiskModel::zero(),
+        FlushPolicy::per_request(),
+        DATA_START,
+    ) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("[trace] {who} var-history scan failed to open: {e}");
+            return;
+        }
+    };
+    eprintln!("[trace] ---- {who} history of var {var} ----");
+    for item in log.scan_from(Lsn(DATA_START)) {
+        let Ok((lsn, rec)) = item else { break };
+        match &rec {
+            LogRecord::SharedWrite {
+                session,
+                var: v,
+                value,
+                prev_write,
+                ..
+            } if v.0 == var => eprintln!(
+                "[trace] {:>8} SharedWrite   {session:?} value={} prev={}",
+                lsn.0,
+                le_counter(value),
+                prev_write.0
+            ),
+            LogRecord::SharedCheckpoint { var: v, value } if v.0 == var => eprintln!(
+                "[trace] {:>8} SharedCkpt    value={}",
+                lsn.0,
+                le_counter(value)
+            ),
+            LogRecord::RequestReceive { session, seq, .. } => {
+                eprintln!("[trace] {:>8} RequestRecv   {session:?} {seq:?}", lsn.0)
+            }
+            LogRecord::ReplyReceive {
+                session,
+                outgoing,
+                seq,
+                ..
+            } => eprintln!(
+                "[trace] {:>8} ReplyRecv     {session:?} out={outgoing:?} {seq:?}",
+                lsn.0
+            ),
+            LogRecord::OutgoingBind {
+                session, outgoing, ..
+            } => eprintln!(
+                "[trace] {:>8} OutgoingBind  {session:?} out={outgoing:?}",
+                lsn.0
+            ),
+            LogRecord::SessionCheckpoint { session, body } => eprintln!(
+                "[trace] {:>8} SessionCkpt   {session:?} next={:?}",
+                lsn.0, body.next_expected
+            ),
+            LogRecord::MspCheckpoint(body) => eprintln!(
+                "[trace] {:>8} MspCheckpoint sessions={:?}",
+                lsn.0,
+                body.sessions
+                    .iter()
+                    .map(|s| s.session.0)
+                    .collect::<Vec<_>>()
+            ),
+            LogRecord::SessionEnd { session } => {
+                eprintln!("[trace] {:>8} SessionEnd    {session:?}", lsn.0)
+            }
+            LogRecord::Eos {
+                session,
+                orphan_lsn,
+            } => eprintln!(
+                "[trace] {:>8} Eos           {session:?} orphan_lsn={}",
+                lsn.0, orphan_lsn.0
+            ),
+            LogRecord::RecoveryComplete {
+                new_epoch,
+                recovered_lsn,
+            } => eprintln!(
+                "[trace] {:>8} RecoveryDone  epoch={} recovered_lsn={}",
+                lsn.0, new_epoch.0, recovered_lsn.0
+            ),
+            _ => {}
+        }
+    }
+    log.close();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,6 +1030,45 @@ mod tests {
         assert_eq!(plain.ms, churn.ms, "churn shape leaves m draws alone");
         assert_eq!(plain.events, churn.events, "and crash events too");
         assert!(plain.churn_after.iter().flatten().all(|&b| !b));
+    }
+
+    #[test]
+    fn deep_chain_forces_m4_and_retargets_events_onto_the_new_sites() {
+        let mut opts = TortureOptions::new(11, SystemConfig::Pessimistic);
+        opts.shape = WorkloadShape::DeepChain;
+        let deep = Schedule::generate(&opts);
+        assert_eq!(deep, Schedule::generate(&opts), "same (seed, shape)");
+        assert!(deep.ms.iter().flatten().all(|&m| m == 4), "m pinned to 4");
+        // The retarget rewrites *points* only — targets, countdowns and
+        // follow-ups are the same stream as Default's.
+        opts.shape = WorkloadShape::Default;
+        let plain = Schedule::generate(&opts);
+        assert_eq!(deep.events.len(), plain.events.len());
+        for (d, p) in deep.events.iter().zip(&plain.events) {
+            assert_eq!(d.target_msp2, p.target_msp2);
+            assert_eq!(d.countdown, p.countdown);
+            assert_eq!(d.during_recovery, p.during_recovery);
+        }
+        // Over enough seeds the new sites are actually scheduled, each on
+        // the configuration where it is hot.
+        let mut any_send_gate = false;
+        let mut any_flush_serve = false;
+        for seed in 0..64 {
+            let mut o = TortureOptions::new(seed, SystemConfig::Pessimistic);
+            o.shape = WorkloadShape::DeepChain;
+            any_send_gate |= Schedule::generate(&o)
+                .events
+                .iter()
+                .any(|e| e.point == CrashPoint::SendGateIssue);
+            let mut o = TortureOptions::new(seed, SystemConfig::LoOptimistic);
+            o.shape = WorkloadShape::DeepChain;
+            any_flush_serve |= Schedule::generate(&o)
+                .events
+                .iter()
+                .any(|e| e.point == CrashPoint::FlushServe);
+        }
+        assert!(any_send_gate, "Pessimistic deep-chain hits SendGateIssue");
+        assert!(any_flush_serve, "LoOptimistic deep-chain hits FlushServe");
     }
 
     #[test]

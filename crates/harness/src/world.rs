@@ -111,6 +111,11 @@ pub struct WorldOptions {
     /// pre-pipeline baseline) instead of handing the reply to the
     /// asynchronous release stage; ignored by the baselines.
     pub blocking_durability: bool,
+    /// Park the worker thread on the pessimistic pre-send flush of every
+    /// cross-domain outgoing call (the pre-PR-6 baseline) instead of
+    /// parking the request envelope in the release stage; ignored by the
+    /// baselines. Implied by `blocking_durability`.
+    pub blocking_send_durability: bool,
     /// DB transaction overhead for the Psession baseline (unscaled).
     pub db_txn_overhead: Duration,
 }
@@ -128,6 +133,7 @@ impl WorldOptions {
             crash_every: 0,
             durability_watermarks: true,
             blocking_durability: false,
+            blocking_send_durability: false,
             db_txn_overhead: Duration::from_millis(4),
         }
     }
@@ -341,7 +347,8 @@ impl World {
                 .with_workers(opts.workers)
                 .with_logging(logging.clone())
                 .with_durability_watermarks(opts.durability_watermarks)
-                .with_blocking_durability(opts.blocking_durability);
+                .with_blocking_durability(opts.blocking_durability)
+                .with_blocking_send_durability(opts.blocking_send_durability);
             c.rpc_timeout = Duration::from_millis(15);
             c.flush_retry_limit = 2_000;
             c

@@ -1,8 +1,8 @@
 //! Seed-driven crash-point injection.
 //!
 //! The torture rig (harness `torture` module) arms a [`FaultPlan`] with a
-//! countdown at one of four [`CrashPoint`]s threaded through the logging
-//! and recovery stack. When the countdown reaches zero the log **crashes
+//! countdown at one of six [`CrashPoint`]s threaded through the logging,
+//! durability-gate, and recovery stack. When the countdown reaches zero the log **crashes
 //! itself at the site** — [`crate::PhysicalLog::fault_point`] calls the
 //! unclean shutdown path synchronously, so the volatile tail is discarded
 //! at exactly the instrumented instant, before the surrounding operation
@@ -41,14 +41,29 @@ pub enum CrashPoint {
     /// In the session-replay loop of a *prior* recovery — the
     /// crash-during-recovery case (§4.5 multi-crash).
     ReplayStep,
+    /// In `outgoing_call`, after a pipelined send's durability gate has
+    /// been issued and the envelope parked, but before the release stage
+    /// can emit it: the parked send dies with the volatile tail. Fires on
+    /// the *sender* of a cross-domain call (MSP1 in the Pessimistic
+    /// configuration).
+    SendGateIssue,
+    /// At `serve_flush_request` entry, before the local `flush_to`: the
+    /// remote participant of a peer's durability gate dies inside the
+    /// gate's issue→settle window, so the peer's parked envelope must
+    /// ride out a flush-leg retry against the restarted MSP. Fires on
+    /// the *serving* side (MSP2 when MSP1 gates a client reply under
+    /// LoOptimistic).
+    FlushServe,
 }
 
 /// All points, for schedule generators.
-pub const CRASH_POINTS: [CrashPoint; 4] = [
+pub const CRASH_POINTS: [CrashPoint; 6] = [
     CrashPoint::MidAppend,
     CrashPoint::PreFlush,
     CrashPoint::CheckpointWrite,
     CrashPoint::ReplayStep,
+    CrashPoint::SendGateIssue,
+    CrashPoint::FlushServe,
 ];
 
 impl CrashPoint {
@@ -58,6 +73,8 @@ impl CrashPoint {
             CrashPoint::PreFlush => "pre-flush",
             CrashPoint::CheckpointWrite => "checkpoint-write",
             CrashPoint::ReplayStep => "replay-step",
+            CrashPoint::SendGateIssue => "send-gate-issue",
+            CrashPoint::FlushServe => "flush-serve",
         }
     }
 
@@ -67,6 +84,8 @@ impl CrashPoint {
             CrashPoint::PreFlush => 1,
             CrashPoint::CheckpointWrite => 2,
             CrashPoint::ReplayStep => 3,
+            CrashPoint::SendGateIssue => 4,
+            CrashPoint::FlushServe => 5,
         }
     }
 }
@@ -77,7 +96,7 @@ const NOT_FIRED: usize = usize::MAX;
 /// One armed crash: per-point hit countdowns plus a fire-once latch.
 pub struct FaultPlan {
     /// Remaining hits before the point fires; [`DISARMED`] = never.
-    counters: [AtomicU64; 4],
+    counters: [AtomicU64; 6],
     /// Index of the point that fired, or [`NOT_FIRED`].
     fired: AtomicUsize,
     /// Where to report the fire (the rig's controller thread).
@@ -94,6 +113,8 @@ impl FaultPlan {
     pub fn new() -> FaultPlan {
         FaultPlan {
             counters: [
+                AtomicU64::new(DISARMED),
+                AtomicU64::new(DISARMED),
                 AtomicU64::new(DISARMED),
                 AtomicU64::new(DISARMED),
                 AtomicU64::new(DISARMED),

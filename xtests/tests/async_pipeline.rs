@@ -1,16 +1,17 @@
-//! The asynchronous durability pipeline (PR 5): crash safety of the
+//! The asynchronous durability pipeline: crash safety of the
 //! issue→settle window, blocking-vs-pipelined equivalence, and the
-//! observability counters.
+//! observability counters — for client replies (PR 5) and cross-domain
+//! outgoing sends (PR 6) alike.
 //!
 //! The pipeline moves the wait for durability off the worker thread and
-//! onto the reply *envelope*: `dispatch_reply` issues the distributed
-//! flush, parks the reply behind its [`DurabilityGate`], and the release
-//! stage sends it once the gate settles. These tests pin the two
-//! properties that make that safe:
+//! onto the *envelope*: `dispatch_reply` (and, for deep call chains,
+//! `pipelined_send`) issues the distributed flush, parks the envelope
+//! behind its [`DurabilityGate`], and the release stage emits it once
+//! the gate settles. These tests pin the properties that make that safe:
 //!
-//! 1. a reply parked between issue and settle is **never** released if
-//!    the MSP crashes first (the client's resend re-drives the request
-//!    through recovery instead), and
+//! 1. an envelope parked between issue and settle is **never** released
+//!    if the MSP crashes first (the client's resend re-drives the
+//!    request through recovery instead), and
 //! 2. with identical traffic, the pipelined and blocking paths commit
 //!    identical session transcripts and byte-identical logs (modulo the
 //!    globally allocated session ids).
@@ -19,6 +20,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use msp_harness::torture::{run_torture, TortureOptions, WorkloadShape};
 use msp_harness::workload::{reply_counter, request_payload, MSP1};
 use msp_harness::{FlushMode, SystemConfig, World, WorldOptions};
 use msp_types::Lsn;
@@ -218,5 +220,214 @@ fn pipeline_counters_track_releases_and_drain() {
         "blocking_durability keeps every release on the worker thread"
     );
     assert_eq!(s.gates_pending, 0);
+    world.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// PR 6: gate-parked outgoing sends (fully asynchronous call chains)
+// ---------------------------------------------------------------------
+
+/// The Pessimistic world: MSP1 and MSP2 in separate domains, so every
+/// `ServiceMethod1 → ServiceMethod2` hop is a pessimistic boundary.
+/// Replies stay pipelined (PR 5); `blocking_send` toggles only the
+/// outgoing-send flush between the blocking baseline and the
+/// gate-parked release path.
+fn chain_world(blocking_send: bool) -> World {
+    World::start(WorldOptions {
+        time_scale: 0.0,
+        checkpoints_enabled: false,
+        session_ckpt_threshold: u64::MAX,
+        flush_mode: FlushMode::PerRequest,
+        workers: 2,
+        blocking_durability: false,
+        blocking_send_durability: blocking_send,
+        ..WorldOptions::new(SystemConfig::Pessimistic)
+    })
+}
+
+/// Crash MSP1 inside the parked-send window — after `pipelined_send`
+/// has issued the gate and parked the outgoing envelope, before the
+/// release stage can emit it. The chain's hop is lost with the crash;
+/// the client's resend re-drives the request through recovery, and the
+/// session counters must stay exactly-once: a send released without its
+/// durability gate would surface as a duplicated execution at MSP2, a
+/// swallowed one as a wedged client.
+#[test]
+fn crash_in_parked_send_window_is_exactly_once() {
+    let world = chain_world(false);
+    let plan = Arc::new(FaultPlan::new());
+    plan.arm(CrashPoint::SendGateIssue, 3);
+    let (ftx, frx) = crossbeam_channel::bounded(1);
+    plan.set_notify(ftx);
+    world.msp1.set_fault_plan(Some(Arc::clone(&plan)));
+
+    std::thread::scope(|s| {
+        let world = &world;
+        let t = s.spawn(move || {
+            let mut c = world.client(31);
+            (1..=8u64)
+                .map(|_| {
+                    reply_counter(
+                        &c.call(MSP1, "ServiceMethod1", &request_payload(2))
+                            .expect("request survives the crash via resend"),
+                    )
+                })
+                .collect::<Vec<u64>>()
+        });
+        frx.recv_timeout(Duration::from_secs(10))
+            .expect("the send-gate fault fires mid-chain");
+        world.msp1.kill();
+        world.msp1.set_fault_plan(None);
+        world.msp1.restart();
+        let ks = t.join().expect("client thread");
+        assert_eq!(
+            ks,
+            (1..=8).collect::<Vec<u64>>(),
+            "session counters must be exactly-once across the crash"
+        );
+    });
+    assert!(world.msp1.stats().unwrap().crash_recoveries >= 1);
+    world.shutdown();
+}
+
+/// The other end of the window: crash MSP2 — the flush *participant* a
+/// parked send's gate is waiting on — while deep chains are in flight.
+/// MSP1's gates fail or time out, its sessions recover, and the resends
+/// must deduplicate at the restarted MSP2.
+#[test]
+fn callee_crash_under_parked_sends_is_exactly_once() {
+    let world = chain_world(false);
+    std::thread::scope(|s| {
+        let world = &world;
+        let t = s.spawn(move || {
+            let mut c = world.client(32);
+            (1..=8u64)
+                .map(|_| {
+                    reply_counter(
+                        &c.call(MSP1, "ServiceMethod1", &request_payload(3))
+                            .expect("request survives the callee crash via resend"),
+                    )
+                })
+                .collect::<Vec<u64>>()
+        });
+        // Let a few chains commit, then yank the callee mid-storm.
+        std::thread::sleep(Duration::from_millis(30));
+        world.msp2.kill();
+        world.msp2.restart();
+        let ks = t.join().expect("client thread");
+        assert_eq!(
+            ks,
+            (1..=8).collect::<Vec<u64>>(),
+            "session counters must be exactly-once across the callee crash"
+        );
+    });
+    assert!(world.msp2.stats().unwrap().crash_recoveries >= 1);
+    world.shutdown();
+}
+
+/// Pinned fixed-seed deep-chain storms through the full torture oracle.
+/// These seeds' schedules retarget crash events onto the PR-6 sites —
+/// `SendGateIssue` inside MSP1's parked-send window (Pessimistic) and
+/// `FlushServe` on the MSP2 flush participant (LoOptimistic) — so the
+/// issue→release window is crashed on both MSPs, with recovery,
+/// resends, and the exactly-once ledger checked end to end.
+#[test]
+fn deep_chain_torture_crashes_the_send_window_on_both_msps() {
+    for &(seed, config) in &[
+        (2u64, SystemConfig::Pessimistic),
+        (3u64, SystemConfig::LoOptimistic),
+    ] {
+        let mut opts = TortureOptions::new(seed, config);
+        opts.shape = WorkloadShape::DeepChain;
+        opts.requests_per_client = 5;
+        opts.crash_events = 3;
+        let report =
+            run_torture(&opts).unwrap_or_else(|e| panic!("seed {seed} {}: {e}", config.name()));
+        assert!(
+            report.crashes >= 1,
+            "seed {seed} {} injected no crash",
+            config.name()
+        );
+    }
+}
+
+/// One fixed single-client deep-chain run on the Pessimistic world.
+fn fixed_chain_run(blocking_send: bool) -> (Vec<u64>, Vec<String>, Vec<String>) {
+    let world = chain_world(blocking_send);
+    let mut c = world.client(33);
+    let mut ks = Vec::new();
+    for &m in &[2u8, 4, 3, 2] {
+        ks.push(reply_counter(
+            &c.call(MSP1, "ServiceMethod1", &request_payload(m)).unwrap(),
+        ));
+    }
+    c.end_session(MSP1).unwrap();
+    for &m in &[4u8, 2] {
+        ks.push(reply_counter(
+            &c.call(MSP1, "ServiceMethod1", &request_payload(m)).unwrap(),
+        ));
+    }
+    let (d1, d2) = (world.msp1.disk(), world.msp2.disk());
+    world.shutdown();
+    (ks, canonical_log(&d1), canonical_log(&d2))
+}
+
+/// Send pipelining is an ordering change, not a protocol change: with
+/// identical deep-chain traffic, the blocking-send baseline and the
+/// gate-parked path must commit the identical transcript and the
+/// identical record streams at the identical offsets on both MSPs.
+#[test]
+fn blocking_and_pipelined_send_paths_are_log_equivalent() {
+    let (ks_b, log1_b, log2_b) = fixed_chain_run(true);
+    let (ks_p, log1_p, log2_p) = fixed_chain_run(false);
+    assert_eq!(ks_b, vec![1, 2, 3, 4, 1, 2], "blocking-send transcript");
+    assert_eq!(ks_p, ks_b, "pipelined transcript matches blocking");
+    assert_eq!(log1_p, log1_b, "MSP1 logs are equivalent");
+    assert_eq!(log2_p, log2_b, "MSP2 logs are equivalent");
+}
+
+/// The send-path counters: pipelined chains release sends
+/// asynchronously, the pending-send-gate gauge drains back to zero once
+/// traffic stops, and the per-hop wait accumulator ticks on every hop.
+/// The blocking-send baseline releases nothing asynchronously.
+#[test]
+fn send_pipeline_counters_track_releases_and_drain() {
+    let world = chain_world(false);
+    let mut c = world.client(34);
+    for i in 1..=6u64 {
+        let r = c.call(MSP1, "ServiceMethod1", &request_payload(3)).unwrap();
+        assert_eq!(reply_counter(&r), i);
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let s = world.msp1.stats().unwrap();
+        if s.send_gates_pending == 0 && s.gates_pending == 0 && s.async_send_releases > 0 {
+            assert!(
+                s.chain_hop_wait_nanos > 0,
+                "per-hop wait accumulator must tick on chained calls"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "send counters did not settle: send_gates_pending={} releases={}",
+            s.send_gates_pending,
+            s.async_send_releases
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    world.shutdown();
+
+    let world = chain_world(true);
+    let mut c = world.client(35);
+    for _ in 0..4 {
+        c.call(MSP1, "ServiceMethod1", &request_payload(3)).unwrap();
+    }
+    let s = world.msp1.stats().unwrap();
+    assert_eq!(
+        s.async_send_releases, 0,
+        "blocking_send_durability keeps every send flush on the worker"
+    );
+    assert_eq!(s.send_gates_pending, 0);
     world.shutdown();
 }
