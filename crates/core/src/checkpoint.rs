@@ -43,7 +43,7 @@ impl MspInner {
             Ok(()) => {}
             Err(e @ (MspError::OrphanDependency { .. } | MspError::Orphan { .. })) => {
                 st.needs_recovery = true;
-                let _ = self.work_tx.send(WorkItem::RecoverSession(cell.id));
+                self.send_work(WorkItem::RecoverSession(cell.id));
                 return Err(e);
             }
             Err(e) => return Err(e),
@@ -198,7 +198,7 @@ impl MspInner {
         for cell in &cells {
             let n = cell.msp_ckpts_since_ckpt.fetch_add(1, Ordering::AcqRel) + 1;
             if n >= force_after && cell.anchor().is_some() {
-                let _ = self.work_tx.send(WorkItem::ForceSessionCheckpoint(cell.id));
+                self.send_work(WorkItem::ForceSessionCheckpoint(cell.id));
             }
         }
         for var in self.shared.iter() {

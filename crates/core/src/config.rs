@@ -179,6 +179,19 @@ pub struct MspConfig {
     /// per-session whole-window read charging — the measured baseline the
     /// parallel engine is compared against.
     pub serial_recovery: bool,
+    /// Stripe the WAL across this many disks, each with its own
+    /// reservation tail and flusher; an LSN becomes durable only when
+    /// every stripe holding a record at or below it has flushed (the
+    /// merged durability watermark). `0` keeps the legacy single-log
+    /// path; `>= 1` runs the striped backend over exactly that many
+    /// disks (handed to [`crate::runtime::MspBuilder::start_with_disks`]).
+    pub log_stripes: usize,
+    /// Shard the runtime — worker pool, run tokens, pending-release
+    /// stage — into this many independent instances, sessions assigned
+    /// by consistent hash. Per-session ordering is untouched (a session
+    /// lives on one shard); cross-shard state (sessions map, shared
+    /// variables, knowledge) stays global.
+    pub runtime_shards: usize,
     /// Back-off before resending when the server answered *Busy*
     /// (checkpointing / recovering). Paper: 100 ms, scaled.
     pub busy_backoff: Duration,
@@ -207,6 +220,8 @@ impl MspConfig {
             recovery_threads: 4,
             replay_cache_blocks: 64,
             serial_recovery: false,
+            log_stripes: 0,
+            runtime_shards: 1,
             busy_backoff: Duration::from_millis(100),
             time_scale: 0.02,
         }
@@ -285,6 +300,18 @@ impl MspConfig {
     }
 
     #[must_use]
+    pub fn with_log_stripes(mut self, stripes: usize) -> MspConfig {
+        self.log_stripes = stripes;
+        self
+    }
+
+    #[must_use]
+    pub fn with_runtime_shards(mut self, shards: usize) -> MspConfig {
+        self.runtime_shards = shards;
+        self
+    }
+
+    #[must_use]
     pub fn with_serial_recovery(mut self, serial: bool) -> MspConfig {
         self.serial_recovery = serial;
         self
@@ -347,7 +374,9 @@ mod tests {
             .with_serialized_append(true)
             .with_recovery_threads(8)
             .with_replay_cache_blocks(16)
-            .with_serial_recovery(true);
+            .with_serial_recovery(true)
+            .with_log_stripes(4)
+            .with_runtime_shards(2);
         assert_eq!(cfg.rpc_retry_limit, 3);
         assert!(!cfg.durability_watermarks);
         assert!(cfg.blocking_durability);
@@ -358,6 +387,8 @@ mod tests {
         assert_eq!(cfg.recovery_threads, 8);
         assert_eq!(cfg.replay_cache_blocks, 16);
         assert!(cfg.serial_recovery);
+        assert_eq!(cfg.log_stripes, 4);
+        assert_eq!(cfg.runtime_shards, 2);
         let cfg = MspConfig::new(MspId(1), DomainId(1));
         assert_eq!(cfg.rpc_retry_limit, 10_000);
         assert!(cfg.durability_watermarks);
@@ -375,6 +406,8 @@ mod tests {
         assert_eq!(cfg.recovery_threads, 4);
         assert_eq!(cfg.replay_cache_blocks, 64);
         assert!(!cfg.serial_recovery);
+        assert_eq!(cfg.log_stripes, 0, "single log is the default");
+        assert_eq!(cfg.runtime_shards, 1, "one shard is the default");
     }
 
     #[test]

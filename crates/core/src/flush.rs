@@ -75,7 +75,10 @@ impl GateState {
 pub(crate) struct DurabilityGate {
     state: Mutex<GateState>,
     cv: Condvar,
-    nudge: Sender<ReleaseCmd>,
+    /// One nudge feed per runtime shard: the gate does not know which
+    /// shard (if any) parked an envelope on it, so progress fans out to
+    /// every release stage.
+    nudge: Vec<Sender<ReleaseCmd>>,
 }
 
 /// Gate failures are produced locally from a closed set of variants;
@@ -100,7 +103,7 @@ impl DurabilityGate {
     fn new(
         legs: Vec<RemoteLeg>,
         local_pending: bool,
-        nudge: Sender<ReleaseCmd>,
+        nudge: Vec<Sender<ReleaseCmd>>,
     ) -> Arc<DurabilityGate> {
         let remote_pending = legs.len();
         Arc::new(DurabilityGate {
@@ -129,7 +132,9 @@ impl DurabilityGate {
 
     fn wake(&self) {
         self.cv.notify_all();
-        let _ = self.nudge.send(ReleaseCmd::Nudge);
+        for tx in &self.nudge {
+            let _ = tx.send(ReleaseCmd::Nudge);
+        }
     }
 
     /// A `FlushReply` arrived for remote leg `idx`. Duplicate and stale
@@ -266,7 +271,7 @@ impl MspInner {
                 done: false,
             })
             .collect();
-        let gate = DurabilityGate::new(legs, local_lsn.is_some(), self.release_tx.clone());
+        let gate = DurabilityGate::new(legs, local_lsn.is_some(), self.nudge_senders());
 
         // Fire all remote requests first so they overlap with the local
         // flush (parallel flushes, §3.1 / §5.2).
@@ -487,9 +492,7 @@ impl MspInner {
                 _ => false,
             };
             if schedule {
-                let _ = self
-                    .work_tx
-                    .send(crate::runtime::WorkItem::RecoverSession(cell.id));
+                self.send_work(crate::runtime::WorkItem::RecoverSession(cell.id));
             }
         }
     }

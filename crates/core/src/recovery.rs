@@ -27,7 +27,7 @@ use std::time::Instant;
 use msp_types::{Lsn, MspError, MspResult, RecoveryRecord, SessionId};
 use msp_wal::log::DATA_START;
 use msp_wal::record::MspCheckpointBody;
-use msp_wal::{CrashPoint, LogRecord, PositionStream, ReplayCache};
+use msp_wal::{CrashPoint, LogRecord, PositionStream, WalReplayCache};
 
 use crate::envelope::ReplyStatus;
 use crate::replay::{Consume, ReplayCursor};
@@ -299,11 +299,24 @@ impl MspInner {
                     }
                 }
                 LogRecord::SharedWrite {
+                    session,
                     var,
                     value,
                     writer_dv,
                     ..
                 } => {
+                    // The write belongs to *two* recovery units: the
+                    // variable rolls forward from it below, and it joins
+                    // the writing session's replay stream — the replay
+                    // write-half consumes it, so a write the crash cut
+                    // off surfaces as end-of-stream and re-executes live
+                    // instead of being silently dropped (on a striped log
+                    // the write lives on the variable's stripe and can be
+                    // lost while the session's own records survive).
+                    if !ended.contains(session) {
+                        anchors.entry(*session).or_insert((lsn, false));
+                        streams.entry(*session).or_default().push(lsn);
+                    }
                     if let Some(v) = self.shared.get(*var) {
                         let mut vst = v.state.lock();
                         vst.value = value.clone();
@@ -324,6 +337,15 @@ impl MspInner {
                 }
                 LogRecord::MspCheckpoint(body) => {
                     self.absorb_msp_checkpoint_body(body, &mut epoch_base);
+                }
+                // The striped scanner unwraps stripe envelopes before
+                // yielding; one surviving here means a stripe device was
+                // scanned without its merge layer.
+                LogRecord::Striped { .. } => {
+                    return Err(MspError::LogCorrupt {
+                        offset: lsn.0,
+                        reason: "stripe envelope leaked into analysis scan".into(),
+                    })
                 }
             }
         }
@@ -361,7 +383,7 @@ impl MspInner {
         //    Their requests either bounce Busy or recover inline (through
         //    the same cache) until the recovery pool reaches them.
         if !self.cfg.serial_recovery {
-            *self.replay_cache.lock() = Some(Arc::new(ReplayCache::new(
+            *self.replay_cache.lock() = Some(Arc::new(WalReplayCache::new(
                 log,
                 self.cfg.replay_cache_blocks,
             )));

@@ -9,8 +9,11 @@
 //!   record;
 //! * an outgoing call takes the reply from the `ReplyReceive` record
 //!   (requests are not re-sent);
-//! * writing a shared variable is skipped (the variable recovers
-//!   separately).
+//! * writing a shared variable consumes its `SharedWrite` record as
+//!   confirmation the write survived — the variable's value recovers
+//!   separately, so nothing is applied. A write the crash cut off (on a
+//!   striped log it lives on the *variable's* stripe and can die alone)
+//!   surfaces as cursor exhaustion and re-executes live.
 //!
 //! When the cursor reaches a record whose logged dependency vector is an
 //! **orphan** under current knowledge, replay must stop there. Two cases
@@ -34,7 +37,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use msp_types::{Lsn, MspError, MspId, MspResult, RecoveryKnowledge, SessionId};
-use msp_wal::{LogRecord, PhysicalLog, ReplayCache};
+use msp_wal::{LogRecord, Wal, WalReplayCache};
 
 /// What [`ReplayCursor::consume`] produced.
 #[derive(Debug)]
@@ -57,7 +60,7 @@ pub struct ReplayCursor {
     /// Shared read-only block cache over the immutable crash-time log;
     /// when present, all replay reads below its limit are served from it
     /// instead of per-frame device reads.
-    cache: Option<Arc<ReplayCache>>,
+    cache: Option<Arc<WalReplayCache>>,
     /// `orphan_lsn → ascending stream indices of EOS records closing it`,
     /// built in one pass over the stream on the first orphan hit so each
     /// position-stream record is decoded at most once per recovery
@@ -88,7 +91,7 @@ impl ReplayCursor {
     /// Serve replay reads through `cache` (crash recovery); `None` keeps
     /// direct log reads (live orphan recovery, serial baseline).
     #[must_use]
-    pub fn with_cache(mut self, cache: Option<Arc<ReplayCache>>) -> ReplayCursor {
+    pub fn with_cache(mut self, cache: Option<Arc<WalReplayCache>>) -> ReplayCursor {
         self.cache = cache;
         self
     }
@@ -96,7 +99,7 @@ impl ReplayCursor {
     /// One record read, via the block cache when attached. The cache
     /// forwards reads past its immutable limit back to the log, which
     /// can also serve its own volatile tail.
-    fn read_sized(&self, log: &PhysicalLog, lsn: Lsn) -> MspResult<(LogRecord, u64)> {
+    fn read_sized(&self, log: &Wal, lsn: Lsn) -> MspResult<(LogRecord, u64)> {
         match &self.cache {
             Some(c) => c.read_record_sized(lsn),
             None => log.read_record_sized(lsn),
@@ -113,7 +116,7 @@ impl ReplayCursor {
     /// written on its behalf).
     pub fn consume(
         &mut self,
-        log: &PhysicalLog,
+        log: &Wal,
         knowledge: &RecoveryKnowledge,
         me: MspId,
         session: SessionId,
@@ -191,7 +194,7 @@ impl ReplayCursor {
     /// Index (within `positions`) of the EOS record pointing back at
     /// `orphan_lsn`, ahead of the current position. Served from
     /// [`Self::eos_index`], built lazily with a single decode pass.
-    fn find_eos(&mut self, log: &PhysicalLog, orphan_lsn: Lsn) -> MspResult<Option<usize>> {
+    fn find_eos(&mut self, log: &Wal, orphan_lsn: Lsn) -> MspResult<Option<usize>> {
         if self.eos_index.is_none() {
             let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
             for (j, &pos) in self.positions.iter().enumerate() {
@@ -228,13 +231,15 @@ mod tests {
     use msp_wal::{DiskModel, FlushPolicy, MemDisk};
     use std::sync::Arc;
 
-    fn test_log() -> Arc<PhysicalLog> {
-        PhysicalLog::open(
-            Arc::new(MemDisk::new()),
-            DiskModel::zero(),
-            FlushPolicy::immediate(),
-        )
-        .unwrap()
+    fn test_log() -> Arc<Wal> {
+        Arc::new(Wal::Single(
+            msp_wal::PhysicalLog::open(
+                Arc::new(MemDisk::new()),
+                DiskModel::zero(),
+                FlushPolicy::immediate(),
+            )
+            .unwrap(),
+        ))
     }
 
     fn dv(m: u32, l: u64) -> DependencyVector {

@@ -45,6 +45,7 @@ use msp_types::{
 };
 use msp_wal::{
     CrashPoint, Disk, DiskModel, FaultPlan, FlushPolicy, LogAnchor, LogRecord, PhysicalLog,
+    StripedLog, Wal, WalReplayCache,
 };
 
 use crate::config::{ClusterConfig, MspConfig, SessionStrategy};
@@ -73,6 +74,10 @@ thread_local! {
     /// out a pipelined gate or reply — infra, release, and recovery
     /// threads reaching the same waits just wait.
     static HOLDS_RUN_TOKEN: Cell<bool> = const { Cell::new(false) };
+    /// Which runtime shard's token pool this worker thread belongs to.
+    /// Set once at worker spawn; other threads keep the 0 default and
+    /// never hold run tokens, so they never consult it.
+    static SHARD_INDEX: Cell<usize> = const { Cell::new(0) };
 }
 /// Worker threads spawned per configured worker. Concurrency is bounded
 /// by run tokens (== `cfg.workers`); the spare threads exist so that a
@@ -183,6 +188,19 @@ pub(crate) enum WorkItem {
         reply_to: EndpointId,
         err: MspError,
     },
+}
+
+impl WorkItem {
+    /// The session a work item belongs to — the shard-routing key. Every
+    /// variant carries one, so a session's items always land on the same
+    /// shard's queue (per-session ordering needs no cross-shard locks).
+    fn session(&self) -> SessionId {
+        match self {
+            WorkItem::Request(req) => req.session,
+            WorkItem::RecoverSession(id) | WorkItem::ForceSessionCheckpoint(id) => *id,
+            WorkItem::GateFailed { session, .. } => *session,
+        }
+    }
 }
 
 /// An envelope held back by the pending-release stage until its
@@ -361,13 +379,77 @@ impl RuntimeStats {
     }
 }
 
+/// Per-shard operation counters (the per-shard breakdown next to the
+/// process-wide [`RuntimeStats`]).
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Requests executed by this shard's worker pool.
+    pub requests: AtomicU64,
+    /// Envelopes (replies and sends) emitted by this shard's
+    /// pending-release stage after their gate settled.
+    pub releases: AtomicU64,
+    /// Times a worker of this shard handed its run token back during a
+    /// pipelined wait.
+    pub worker_parks: AtomicU64,
+}
+
+/// Snapshot of [`ShardStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStatsSnapshot {
+    pub requests: u64,
+    pub releases: u64,
+    pub worker_parks: u64,
+}
+
+impl ShardStats {
+    fn snapshot(&self) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            worker_parks: self.worker_parks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One runtime shard: an independent worker pool (queue + run tokens)
+/// and pending-release stage. Sessions are assigned to shards by a
+/// consistent hash of their id, so one session's requests, parked
+/// envelopes and recovery items all serialize through one shard while
+/// different sessions spread across all of them. State that is genuinely
+/// global — the sessions map, shared variables, recovery knowledge, the
+/// log itself — stays on [`MspInner`].
+pub(crate) struct ShardRt {
+    pub(crate) work_tx: Sender<WorkItem>,
+    /// Run-token semaphore of this shard's worker pool (see
+    /// [`RunTokens`]): the oversubscribed worker threads acquire a token
+    /// to run an item, and pipelined waits hand the token back so the
+    /// pool loses no capacity to a wait.
+    pub(crate) run_tokens: RunTokens,
+    /// Feed of this shard's pending-release stage. Always present; the
+    /// release thread only runs under `LogBased` (the only strategy that
+    /// creates gates).
+    pub(crate) release_tx: Sender<ReleaseCmd>,
+    pub(crate) stats: ShardStats,
+}
+
+/// Consistent shard route: Fibonacci multiply-shift over the session id
+/// (same family as the WAL's stripe router, so neither inherits the
+/// other's collisions on sequential ids).
+fn shard_route(id: u64, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % n
+}
+
 /// Everything shared between an MSP's threads.
 pub struct MspInner {
     pub(crate) cfg: MspConfig,
     pub(crate) cluster: ClusterConfig,
     pub(crate) net: Network<Envelope>,
-    /// Present only under the `LogBased` strategy.
-    pub(crate) log: Option<Arc<PhysicalLog>>,
+    /// Present only under the `LogBased` strategy. Single-log or striped
+    /// behind the [`Wal`] facade.
+    pub(crate) log: Option<Wal>,
     pub(crate) anchor: Option<LogAnchor>,
     pub(crate) epoch: AtomicU32,
     pub(crate) knowledge: RwLock<RecoveryKnowledge>,
@@ -386,17 +468,11 @@ pub struct MspInner {
     pub(crate) ended_sessions: Mutex<HashSet<SessionId>>,
     pub(crate) shared: SharedRegistry,
     pub(crate) services: HashMap<String, ServiceFn>,
-    pub(crate) work_tx: Sender<WorkItem>,
-    /// Run-token semaphore of the worker pool (see [`RunTokens`]): the
-    /// oversubscribed worker threads acquire a token to run an item, and
-    /// pipelined waits hand the token back so the pool loses no capacity
-    /// to a wait.
-    pub(crate) run_tokens: RunTokens,
+    /// The runtime shards (at least one): per-shard worker queue, run
+    /// tokens and release stage. Sessions hash onto them via
+    /// [`MspInner::shard_of`].
+    pub(crate) shards: Vec<ShardRt>,
     pub(crate) infra_tx: Sender<InfraItem>,
-    /// Feed of the pending-release stage. Always present; the release
-    /// thread only runs under `LogBased` (the only strategy that creates
-    /// gates).
-    pub(crate) release_tx: Sender<ReleaseCmd>,
     pub(crate) pending_replies: Mutex<HashMap<(SessionId, RequestSeq), Sender<ReplyMsg>>>,
     /// Outstanding flush RPCs: request id → (gate, remote-leg index).
     pub(crate) pending_flushes: Mutex<HashMap<u64, (Arc<crate::flush::DurabilityGate>, usize)>>,
@@ -408,7 +484,7 @@ pub struct MspInner {
     /// between crash recovery's analysis scan and the end of parallel
     /// replay. Inline recoveries triggered by early-arriving requests use
     /// it too.
-    pub(crate) replay_cache: Mutex<Option<Arc<msp_wal::ReplayCache>>>,
+    pub(crate) replay_cache: Mutex<Option<Arc<WalReplayCache>>>,
     /// `false` while crashed sessions are still awaiting replay; set by
     /// the recovery pool when the replay phase completes.
     pub(crate) recovery_done: AtomicBool,
@@ -502,10 +578,40 @@ impl MspInner {
     }
 
     /// The log, for paths that only run under `LogBased`.
-    pub(crate) fn log(&self) -> &Arc<PhysicalLog> {
+    pub(crate) fn log(&self) -> &Wal {
         self.log
             .as_ref()
             .expect("operation requires the LogBased strategy")
+    }
+
+    /// The runtime shard owning `session`.
+    pub(crate) fn shard_of(&self, session: SessionId) -> usize {
+        shard_route(session.0, self.shards.len())
+    }
+
+    /// Route a work item to its session's shard.
+    pub(crate) fn send_work(&self, item: WorkItem) {
+        let shard = self.shard_of(item.session());
+        let _ = self.shards[shard].work_tx.send(item);
+    }
+
+    /// Park an envelope in its session's release stage. `false` means the
+    /// stage is gone (stopping) and the envelope was not parked.
+    pub(crate) fn park_envelope(&self, parked: ParkedEnvelope) -> bool {
+        let shard = self.shard_of(parked.session);
+        self.shards[shard]
+            .release_tx
+            .send(ReleaseCmd::Park(parked))
+            .is_ok()
+    }
+
+    /// One nudge sender per shard, for gates: a gate does not know which
+    /// shard parked on it (the blocking settle path parks nothing), so
+    /// progress nudges fan out to every release stage. Nudges are rare
+    /// (per gate-leg settlement, not per request) and an idle stage
+    /// absorbs one in a `try_recv`.
+    pub(crate) fn nudge_senders(&self) -> Vec<Sender<ReleaseCmd>> {
+        self.shards.iter().map(|s| s.release_tx.clone()).collect()
     }
 
     /// Look up or create the session cell for an incoming session id.
@@ -1007,7 +1113,7 @@ impl MspInner {
                         status,
                     },
                 };
-                if self.release_tx.send(ReleaseCmd::Park(parked)).is_err() {
+                if !self.park_envelope(parked) {
                     // Release stage gone (stopping): the reply is dropped,
                     // the client's resend retries through the dedup path.
                     self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
@@ -1266,7 +1372,7 @@ impl MspInner {
                 notify: ntx,
             },
         };
-        if self.release_tx.send(ReleaseCmd::Park(parked)).is_err() {
+        if !self.park_envelope(parked) {
             // Release stage gone — only happens while stopping.
             self.stats
                 .send_gates_pending
@@ -1336,14 +1442,20 @@ impl MspInner {
             return false;
         }
         HOLDS_RUN_TOKEN.with(|t| t.set(false));
-        self.run_tokens.release();
+        let shard = SHARD_INDEX.with(|s| s.get());
+        self.shards[shard].run_tokens.release();
         self.stats.worker_parks.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard]
+            .stats
+            .worker_parks
+            .fetch_add(1, Ordering::Relaxed);
         true
     }
 
     /// Re-acquire after [`Self::park_run_token`]; false = stopping.
     fn unpark_run_token(&self) -> bool {
-        if self.run_tokens.acquire_resume(&self.stopped) {
+        let shard = SHARD_INDEX.with(|s| s.get());
+        if self.shards[shard].run_tokens.acquire_resume(&self.stopped) {
             HOLDS_RUN_TOKEN.with(|t| t.set(true));
             true
         } else {
@@ -1370,7 +1482,7 @@ impl MspInner {
                     if let Some(hint) = &req.durable_hint {
                         self.absorb_durable_hint(hint);
                     }
-                    let _ = self.work_tx.send(WorkItem::Request(req));
+                    self.send_work(WorkItem::Request(req));
                 }
                 Envelope::Reply(rep) => {
                     self.absorb_recovery_gossip(&rep.recoveries);
@@ -1423,7 +1535,8 @@ impl MspInner {
         }
     }
 
-    fn worker_loop(self: Arc<Self>, work_rx: Receiver<WorkItem>) {
+    fn worker_loop(self: Arc<Self>, shard: usize, work_rx: Receiver<WorkItem>) {
+        SHARD_INDEX.with(|s| s.set(shard));
         while !self.stopped() {
             let item = match work_rx.recv_timeout(Duration::from_millis(20)) {
                 Ok(item) => item,
@@ -1433,13 +1546,19 @@ impl MspInner {
             // Capacity gate: the pool is oversubscribed in threads but
             // bounded in run tokens, so a parked sibling's token always
             // has an idle thread to land on without ever running more
-            // than `cfg.workers` items at once.
-            if !self.run_tokens.acquire_fresh(&self.stopped) {
+            // than the shard's token count at once.
+            if !self.shards[shard].run_tokens.acquire_fresh(&self.stopped) {
                 break;
             }
             HOLDS_RUN_TOKEN.with(|t| t.set(true));
             match item {
-                WorkItem::Request(req) => self.handle_request(req),
+                WorkItem::Request(req) => {
+                    self.shards[shard]
+                        .stats
+                        .requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.handle_request(req)
+                }
                 WorkItem::RecoverSession(id) => {
                     if let Some(cell) = self.session(id) {
                         let mut st = cell.state.lock();
@@ -1470,7 +1589,7 @@ impl MspInner {
             // A wait that lost the re-acquire race to shutdown returns
             // without the token — only release what we still hold.
             if HOLDS_RUN_TOKEN.with(|t| t.replace(false)) {
-                self.run_tokens.release();
+                self.shards[shard].run_tokens.release();
             }
         }
     }
@@ -1608,7 +1727,7 @@ impl MspInner {
     /// `outgoing_call`, whose error path runs the same recovery. On
     /// shutdown every still-parked envelope is discarded — an unsettled
     /// envelope must never leave the process.
-    fn release_loop(self: Arc<Self>, release_rx: Receiver<ReleaseCmd>) {
+    fn release_loop(self: Arc<Self>, shard: usize, release_rx: Receiver<ReleaseCmd>) {
         let mut parked: Vec<ParkedEnvelope> = Vec::new();
         while !self.stopped() {
             match release_rx.recv_timeout(Duration::from_millis(20)) {
@@ -1660,11 +1779,19 @@ impl MspInner {
                                     .async_reply_releases
                                     .fetch_add(1, Ordering::Relaxed);
                                 self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
+                                self.shards[shard]
+                                    .stats
+                                    .releases
+                                    .fetch_add(1, Ordering::Relaxed);
                             }
                             ParkedKind::Send { to, env, notify } => {
                                 self.send(to, env);
                                 self.stats
                                     .async_send_releases
+                                    .fetch_add(1, Ordering::Relaxed);
+                                self.shards[shard]
+                                    .stats
+                                    .releases
                                     .fetch_add(1, Ordering::Relaxed);
                                 self.stats
                                     .send_gates_pending
@@ -1682,7 +1809,7 @@ impl MspInner {
                                 status: _,
                             } => {
                                 self.stats.gates_pending.fetch_sub(1, Ordering::Relaxed);
-                                let _ = self.work_tx.send(WorkItem::GateFailed {
+                                self.send_work(WorkItem::GateFailed {
                                     session: p.session,
                                     seq,
                                     reply_to,
@@ -1864,11 +1991,36 @@ impl MspBuilder {
     /// forward, recovery broadcast, then parallel session replay on the
     /// worker pool while new requests are already being accepted.
     pub fn start(self, net: &Network<Envelope>, disk: Arc<dyn Disk>) -> MspResult<MspHandle> {
+        self.start_with_disks(net, vec![disk])
+    }
+
+    /// Like [`Self::start`], over an explicit disk set: one disk for the
+    /// legacy single log (`log_stripes == 0`), exactly `log_stripes`
+    /// disks for the striped backend. The log anchor lives on the first
+    /// disk either way, so a striped deployment can be re-opened only as
+    /// the same striped deployment.
+    pub fn start_with_disks(
+        self,
+        net: &Network<Envelope>,
+        disks: Vec<Arc<dyn Disk>>,
+    ) -> MspResult<MspHandle> {
         if self.cfg.workers == 0 {
             return Err(MspError::Config("worker pool must be non-empty".into()));
         }
+        if disks.is_empty() {
+            return Err(MspError::Config("at least one disk required".into()));
+        }
         let log_based = matches!(self.cfg.strategy, SessionStrategy::LogBased);
         let (log, anchor) = if log_based {
+            let expected = self.cfg.log_stripes.max(1);
+            if disks.len() != expected {
+                return Err(MspError::Config(format!(
+                    "log_stripes={} needs {} disk(s), got {}",
+                    self.cfg.log_stripes,
+                    expected,
+                    disks.len()
+                )));
+            }
             // Fold the MspConfig logging knobs into the flush policy;
             // knobs set directly on the policy win.
             let mut policy = self.flush_policy;
@@ -1876,20 +2028,44 @@ impl MspBuilder {
             if policy.group_commit_window.is_none() {
                 policy = policy.with_group_commit_window(self.cfg.group_commit_window);
             }
-            let log = PhysicalLog::open(Arc::clone(&disk), self.disk_model.clone(), policy)?;
+            let anchor = LogAnchor::new(Arc::clone(&disks[0]), self.disk_model.clone());
+            let log = if self.cfg.log_stripes == 0 {
+                Wal::Single(PhysicalLog::open(
+                    Arc::clone(&disks[0]),
+                    self.disk_model.clone(),
+                    policy,
+                )?)
+            } else {
+                Wal::Striped(StripedLog::open(disks, self.disk_model.clone(), policy)?)
+            };
             if let Some(plan) = &self.fault_plan {
                 log.install_fault_plan(Arc::clone(plan));
             }
-            let anchor = LogAnchor::new(Arc::clone(&disk), self.disk_model.clone());
             (Some(log), Some(anchor))
         } else {
             (None, None)
         };
 
-        let (work_tx, work_rx) = crossbeam_channel::unbounded();
+        // Per-shard channels: sessions hash onto a shard, whose worker
+        // pool holds `workers / shards` run tokens (at least one).
+        let shard_count = self.cfg.runtime_shards.max(1);
+        let tokens_per_shard = (self.cfg.workers / shard_count).max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut work_rxs = Vec::with_capacity(shard_count);
+        let mut release_rxs = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (work_tx, work_rx) = crossbeam_channel::unbounded();
+            let (release_tx, release_rx) = crossbeam_channel::unbounded();
+            shards.push(ShardRt {
+                work_tx,
+                run_tokens: RunTokens::new(tokens_per_shard),
+                release_tx,
+                stats: ShardStats::default(),
+            });
+            work_rxs.push(work_rx);
+            release_rxs.push(release_rx);
+        }
         let (infra_tx, infra_rx) = crossbeam_channel::unbounded();
-        let (release_tx, release_rx) = crossbeam_channel::unbounded();
-        let run_tokens = RunTokens::new(self.cfg.workers);
         let inner = Arc::new(MspInner {
             cfg: self.cfg,
             cluster: self.cluster,
@@ -1903,10 +2079,8 @@ impl MspBuilder {
             ended_sessions: Mutex::new(HashSet::new()),
             shared: self.shared,
             services: self.services,
-            work_tx,
-            run_tokens,
+            shards,
             infra_tx,
-            release_tx,
             pending_replies: Mutex::new(HashMap::new()),
             pending_flushes: Mutex::new(HashMap::new()),
             pending_state: Mutex::new(HashMap::new()),
@@ -1936,18 +2110,20 @@ impl MspBuilder {
                     .map_err(MspError::Io)?,
             );
         }
-        // Oversubscribed pool: thread count exceeds the run-token count
-        // (== cfg.workers) so a parked worker's released capacity always
-        // has a thread to run on.
-        for w in 0..inner.cfg.workers * WORKER_OVERSUBSCRIPTION {
-            let i = Arc::clone(&inner);
-            let rx = work_rx.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("{}-worker{w}", inner.cfg.id))
-                    .spawn(move || i.worker_loop(rx))
-                    .map_err(MspError::Io)?,
-            );
+        // Oversubscribed pools: each shard's thread count exceeds its
+        // run-token count so a parked worker's released capacity always
+        // has a thread to land on.
+        for (shard, work_rx) in work_rxs.into_iter().enumerate() {
+            for w in 0..tokens_per_shard * WORKER_OVERSUBSCRIPTION {
+                let i = Arc::clone(&inner);
+                let rx = work_rx.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("{}-s{shard}-worker{w}", inner.cfg.id))
+                        .spawn(move || i.worker_loop(shard, rx))
+                        .map_err(MspError::Io)?,
+                );
+            }
         }
         for n in 0..2 {
             let i = Arc::clone(&inner);
@@ -1960,13 +2136,15 @@ impl MspBuilder {
             );
         }
         if log_based {
-            let i = Arc::clone(&inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("{}-release", inner.cfg.id))
-                    .spawn(move || i.release_loop(release_rx))
-                    .map_err(MspError::Io)?,
-            );
+            for (shard, release_rx) in release_rxs.into_iter().enumerate() {
+                let i = Arc::clone(&inner);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("{}-s{shard}-release", inner.cfg.id))
+                        .spawn(move || i.release_loop(shard, release_rx))
+                        .map_err(MspError::Io)?,
+                );
+            }
         }
         if log_based && inner.cfg.logging.checkpoints_enabled {
             let i = Arc::clone(&inner);
@@ -2030,9 +2208,25 @@ impl MspHandle {
         self.inner.stats.snapshot()
     }
 
-    /// Physical-log counters (LogBased only).
+    /// Physical-log counters (LogBased only; summed across stripes when
+    /// the log is striped).
     pub fn log_stats(&self) -> Option<msp_wal::stats::LogStatsSnapshot> {
         self.inner.log.as_ref().map(|l| l.stats())
+    }
+
+    /// Per-stripe log-counter breakdown (LogBased only; a single log
+    /// reports one "stripe").
+    pub fn stripe_stats(&self) -> Option<Vec<msp_wal::stats::LogStatsSnapshot>> {
+        self.inner.log.as_ref().map(|l| l.stripe_stats())
+    }
+
+    /// Per-shard runtime-counter breakdown, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.stats.snapshot())
+            .collect()
     }
 
     /// The MSP's current epoch.

@@ -189,8 +189,15 @@ impl<'a> ServiceContext<'a> {
     }
 
     /// Write a shared variable (Figure 8, write column). During replay
-    /// this is a no-op: the variable is a separate recovery unit and rolls
-    /// forward from its own records.
+    /// the `SharedWrite` record is *consumed* from the session's stream —
+    /// the variable itself still rolls forward from its own records, so
+    /// the consume applies nothing; it confirms the write survived the
+    /// crash. If the stream ends at the write (on a striped log the
+    /// record lives on the *variable's* stripe and can be the first lost
+    /// gsn while the session's own records survive), replay goes live
+    /// here and the write re-executes, re-appending a fresh record — the
+    /// effect the replayed method's reply promises is made real instead
+    /// of silently dropped.
     pub fn write_shared(&mut self, name: &str, value: Vec<u8>) -> Result<(), String> {
         let var_id = self
             .inner
@@ -198,8 +205,46 @@ impl<'a> ServiceContext<'a> {
             .resolve(name)
             .ok_or_else(|| format!("no such shared variable: {name}"))?;
         if self.is_replaying() {
-            return Ok(());
+            let log = self.inner.log.as_ref().expect("replay requires a log");
+            let knowledge = self.inner.knowledge.read();
+            let cursor = self.cursor.as_mut().expect("is_replaying checked");
+            match cursor
+                .consume(log, &knowledge, self.inner.cfg.id, self.session_id)
+                .map_err(|e| e.to_string())?
+            {
+                Consume::Record {
+                    lsn,
+                    record,
+                    framed,
+                } => match record {
+                    LogRecord::SharedWrite {
+                        var, value: logged, ..
+                    } if var == var_id => {
+                        if logged != value {
+                            return Err(MspError::LogCorrupt {
+                                offset: lsn.0,
+                                reason: "replay determinism violation: \
+                                         re-executed write differs from the logged value"
+                                    .into(),
+                            }
+                            .to_string());
+                        }
+                        drop(knowledge);
+                        self.state
+                            .note_logged(self.inner.cfg.id, self.inner.epoch(), lsn, framed);
+                        return Ok(());
+                    }
+                    other => return Err(replay_mismatch(lsn, "SharedWrite", &other).to_string()),
+                },
+                Consume::WentLive => { /* lost write: fall through and re-execute */ }
+            }
         }
+        self.live_write(var_id, value)
+    }
+
+    /// The live write path, shared by normal execution and the
+    /// lost-write replay boundary (`write_shared` / `update_shared`).
+    fn live_write(&mut self, var_id: msp_types::VarId, value: Vec<u8>) -> Result<(), String> {
         let var = self.inner.shared.get(var_id).expect("resolved id");
         if let Some(log) = &self.inner.log {
             let write_lsn = {
@@ -220,6 +265,9 @@ impl<'a> ServiceContext<'a> {
                     log,
                     knowledge: &knowledge,
                 };
+                // The session's stream membership and self-entry for the
+                // write (reply-durability cover on the variable's stripe)
+                // happen inside: see `shared::write_shared`.
                 crate::shared::write_shared(&env, var, self.session_id, self.state, value)
                     .map_err(|e| self.mark_fatal(e))?
             };
@@ -245,9 +293,25 @@ impl<'a> ServiceContext<'a> {
     /// `SharedRead`/`SharedWrite` pair the split calls produce.
     ///
     /// During replay, `f` is applied to the value from the `SharedRead`
-    /// record and the write is skipped (the variable is its own recovery
-    /// unit and rolls forward from its own records) — so `f` must be a
-    /// pure function of the value for re-execution to be deterministic.
+    /// record and the paired `SharedWrite` is then consumed from the
+    /// stream (applying nothing — the variable is its own recovery unit
+    /// and rolls forward from its own records) — so `f` must be a pure
+    /// function of the value for re-execution to be deterministic.
+    ///
+    /// A crash can cut the log *between* the pair: the read survived the
+    /// frontier but the write was never appended (or died with a stripe
+    /// tail — on a striped log the two records live on different
+    /// stripes). The logged read is then **stale**: the variable keeps
+    /// serving other sessions after recovery, so by the time this
+    /// session replays, the rolled-forward value may have moved past
+    /// what the read saw. The update therefore re-executes *live* —
+    /// re-read under the variable lock, re-apply `f` — rather than
+    /// blindly writing the value derived from the stale read (which
+    /// would roll the variable back over every interleaved update).
+    /// The consumed stale read stays in the session's stream, followed
+    /// by the fresh pair the re-execution appends; replay accepts such
+    /// runs of reads and applies `f` to the last one, the only read
+    /// that ever fed a write.
     pub fn update_shared<T>(
         &mut self,
         name: &str,
@@ -258,36 +322,77 @@ impl<'a> ServiceContext<'a> {
             .shared
             .resolve(name)
             .ok_or_else(|| format!("no such shared variable: {name}"))?;
+        // `f` runs exactly once, on whichever path ends the update: the
+        // slot lets it cross from the replay loop to the live fallback.
+        let mut f = Some(f);
 
-        // Replay path: the read comes from the SharedRead record; the
-        // write half happened historically and is not re-applied.
+        // Replay path: consume the run of SharedReads (stale ones from
+        // interrupted attempts, then the one that fed the write), apply
+        // `f` to the last, and consume the paired SharedWrite. A stream
+        // ending before the write means the effect never became durable
+        // — fall through and re-execute the whole update live.
         if self.is_replaying() {
-            let log = self.inner.log.as_ref().expect("replay requires a log");
-            let knowledge = self.inner.knowledge.read();
-            let cursor = self.cursor.as_mut().expect("is_replaying checked");
-            match cursor
-                .consume(log, &knowledge, self.inner.cfg.id, self.session_id)
-                .map_err(|e| e.to_string())?
-            {
-                Consume::Record {
-                    lsn,
-                    record,
-                    framed,
-                } => match record {
-                    LogRecord::SharedRead {
-                        var, value, var_dv, ..
-                    } if var == var_id => {
-                        self.state.dv.merge_from(&var_dv);
-                        self.state
-                            .note_logged(self.inner.cfg.id, self.inner.epoch(), lsn, framed);
-                        return Ok(f(&value).1);
-                    }
-                    other => return Err(replay_mismatch(lsn, "SharedRead", &other).to_string()),
-                },
-                Consume::WentLive => { /* fall through to the live update */ }
+            let me = self.inner.cfg.id;
+            let mut last_read: Option<Vec<u8>> = None;
+            loop {
+                let consumed = {
+                    let log = self.inner.log.as_ref().expect("replay requires a log");
+                    let knowledge = self.inner.knowledge.read();
+                    let cursor = self.cursor.as_mut().expect("is_replaying checked");
+                    cursor
+                        .consume(log, &knowledge, me, self.session_id)
+                        .map_err(|e| e.to_string())?
+                };
+                match consumed {
+                    Consume::Record {
+                        lsn,
+                        record,
+                        framed,
+                    } => match record {
+                        LogRecord::SharedRead {
+                            var, value, var_dv, ..
+                        } if var == var_id => {
+                            self.state.dv.merge_from(&var_dv);
+                            self.state.note_logged(me, self.inner.epoch(), lsn, framed);
+                            last_read = Some(value);
+                        }
+                        LogRecord::SharedWrite {
+                            var, value: logged, ..
+                        } if var == var_id && last_read.is_some() => {
+                            let value = last_read.take().expect("guarded");
+                            let (new, out) = (f.take().expect("closure unconsumed"))(&value);
+                            if logged != new {
+                                return Err(MspError::LogCorrupt {
+                                    offset: lsn.0,
+                                    reason: "replay determinism violation: \
+                                             re-executed update differs from \
+                                             the logged write"
+                                        .into(),
+                                }
+                                .to_string());
+                            }
+                            self.state.note_logged(me, self.inner.epoch(), lsn, framed);
+                            return Ok(out);
+                        }
+                        other => {
+                            let want = if last_read.is_some() {
+                                "SharedRead|SharedWrite"
+                            } else {
+                                "SharedRead"
+                            };
+                            return Err(replay_mismatch(lsn, want, &other).to_string());
+                        }
+                    },
+                    // End of stream before the write: nothing of this
+                    // update survived, or only stale reads did. Either
+                    // way the durable world never saw the effect — redo
+                    // it live against the current value.
+                    Consume::WentLive => break,
+                }
             }
         }
 
+        let f = f.take().expect("closure unconsumed");
         let var = self.inner.shared.get(var_id).expect("resolved id");
         if let Some(log) = &self.inner.log {
             let mut result = None;
@@ -311,6 +416,8 @@ impl<'a> ServiceContext<'a> {
                     log,
                     knowledge: &knowledge,
                 };
+                // Stream membership and the self-entry covering the write
+                // happen inside (see `shared::write_shared`).
                 let (_, lsn) =
                     crate::shared::update_shared(&env, var, self.session_id, self.state, |old| {
                         let (new, t) = f(old);

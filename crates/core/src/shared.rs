@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 use msp_types::{
     DependencyVector, Epoch, Lsn, MspError, MspId, MspResult, RecoveryKnowledge, SessionId, VarId,
 };
-use msp_wal::{LogRecord, PhysicalLog};
+use msp_wal::{LogRecord, Wal};
 
 use crate::session::SessionState;
 
@@ -159,7 +159,7 @@ impl SharedRegistry {
 pub struct SharedEnv<'a> {
     pub me: MspId,
     pub epoch: Epoch,
-    pub log: &'a PhysicalLog,
+    pub log: &'a Wal,
     pub knowledge: &'a RecoveryKnowledge,
 }
 
@@ -195,9 +195,9 @@ fn read_locked(
         value: st.value.clone(),
         var_dv: st.dv.clone(),
     };
-    let before = env.log.end_lsn();
-    let lsn = env.log.append(&record);
-    let framed = env.log.end_lsn().0 - before.0;
+    // `append_sized` reports the framed size directly; an `end_lsn`
+    // delta would be racy under concurrent (striped) appends.
+    let (lsn, framed) = env.log.append_sized(&record);
     session.dv.merge_from(&st.dv);
     session.note_logged(env.me, env.epoch, lsn, framed);
     st.value.clone()
@@ -207,14 +207,28 @@ fn read_locked(
 /// `session`.
 ///
 /// Logs the writer's DV, the new value and the back-pointer; *replaces*
-/// the variable's DV with the writer's; advances the variable's (not the
-/// session's) state number. The overwritten value is never orphan-checked
-/// — it is about to die anyway.
+/// the variable's DV with the writer's; advances the variable's state
+/// number. The overwritten value is never orphan-checked — it is about
+/// to die anyway.
+///
+/// The write also joins the writing *session's* replay stream and
+/// self-dependency. The paper keeps writes out of the session's stream
+/// (the variable recovers separately), which is sound only when the
+/// session's records and the write share one totally-ordered log tail.
+/// On a striped log the write lands on the variable's stripe, which the
+/// session's own records may never touch, so two failure modes open up:
+/// the pre-reply flush can skip that stripe (an acknowledged write dies
+/// with its volatile tail), and replay can find the read durable but
+/// the write lost (a manufactured ack for an effect that never became
+/// durable). Making the write a session-stream record closes both: the
+/// session's self-entry covers the write's LSN for every durability
+/// cover, and the replay write-half consumes the record — hitting
+/// end-of-stream there identifies a lost write and re-executes it live.
 pub fn write_shared(
     env: &SharedEnv<'_>,
     var: &SharedVar,
     session_id: SessionId,
-    session: &SessionState,
+    session: &mut SessionState,
     value: Vec<u8>,
 ) -> MspResult<Lsn> {
     let mut st = var.state.lock();
@@ -227,7 +241,7 @@ fn write_locked(
     var: &SharedVar,
     st: &mut SharedVarState,
     session_id: SessionId,
-    session: &SessionState,
+    session: &mut SessionState,
     value: Vec<u8>,
 ) -> Lsn {
     let record = LogRecord::SharedWrite {
@@ -237,7 +251,7 @@ fn write_locked(
         writer_dv: session.dv.clone(),
         prev_write: st.chain_head,
     };
-    let lsn = env.log.append(&record);
+    let (lsn, framed) = env.log.append_sized(&record);
     st.value = value;
     st.dv = session.dv.clone();
     st.chain_head = lsn;
@@ -246,6 +260,10 @@ fn write_locked(
         var.sync_anchor(st);
     }
     st.writes_since_ckpt += 1;
+    // The session's half of the write: stream membership + self-entry
+    // (see `write_shared`). Ordered after the record is built so the
+    // logged writer_dv does not include the write itself.
+    session.note_logged(env.me, env.epoch, lsn, framed);
     lsn
 }
 
@@ -344,16 +362,18 @@ mod tests {
     use msp_wal::{DiskModel, FlushPolicy, MemDisk, PhysicalLog};
     use std::sync::Arc;
 
-    fn test_log() -> Arc<PhysicalLog> {
-        PhysicalLog::open(
-            Arc::new(MemDisk::new()),
-            DiskModel::zero(),
-            FlushPolicy::immediate(),
-        )
-        .unwrap()
+    fn test_log() -> Arc<Wal> {
+        Arc::new(Wal::Single(
+            PhysicalLog::open(
+                Arc::new(MemDisk::new()),
+                DiskModel::zero(),
+                FlushPolicy::immediate(),
+            )
+            .unwrap(),
+        ))
     }
 
-    fn env<'a>(log: &'a PhysicalLog, knowledge: &'a RecoveryKnowledge) -> SharedEnv<'a> {
+    fn env<'a>(log: &'a Wal, knowledge: &'a RecoveryKnowledge) -> SharedEnv<'a> {
         SharedEnv {
             me: MspId(1),
             epoch: Epoch(0),
@@ -379,8 +399,8 @@ mod tests {
         let var = reg.get(id).unwrap();
 
         // Writer session with a dependency on msp2 writes.
-        let writer = session_with_dv(&[(2, 0, 77)]);
-        write_shared(&env(&log, &k), var, SessionId(1), &writer, vec![9; 4]).unwrap();
+        let mut writer = session_with_dv(&[(2, 0, 77)]);
+        write_shared(&env(&log, &k), var, SessionId(1), &mut writer, vec![9; 4]).unwrap();
 
         let mut reader = SessionState::fresh();
         let v = read_shared(&env(&log, &k), var, SessionId(2), &mut reader).unwrap();
@@ -397,22 +417,24 @@ mod tests {
     }
 
     #[test]
-    fn write_replaces_variable_dv_and_does_not_touch_session_stream() {
+    fn write_replaces_variable_dv_and_joins_writer_stream() {
         let log = test_log();
         let k = RecoveryKnowledge::new();
         let mut reg = SharedRegistry::new();
         let id = reg.register("SV0", vec![]);
         let var = reg.get(id).unwrap();
 
-        let w1 = session_with_dv(&[(2, 0, 10)]);
-        write_shared(&env(&log, &k), var, SessionId(1), &w1, vec![1]).unwrap();
+        let mut w1 = session_with_dv(&[(2, 0, 10)]);
+        write_shared(&env(&log, &k), var, SessionId(1), &mut w1, vec![1]).unwrap();
         {
             let st = var.state.lock();
             assert_eq!(st.dv.get(MspId(2)), Some(StateId::new(Epoch(0), Lsn(10))));
         }
+        // The *variable's* DV took the writer's as of before the write —
+        // the logged writer_dv must not include the write itself.
         // Second writer has a *different* dependency: replacement, not merge.
-        let w2 = session_with_dv(&[(3, 0, 20)]);
-        write_shared(&env(&log, &k), var, SessionId(2), &w2, vec![2]).unwrap();
+        let mut w2 = session_with_dv(&[(3, 0, 20)]);
+        write_shared(&env(&log, &k), var, SessionId(2), &mut w2, vec![2]).unwrap();
         {
             let st = var.state.lock();
             assert_eq!(
@@ -422,12 +444,15 @@ mod tests {
             );
             assert_eq!(st.dv.get(MspId(3)), Some(StateId::new(Epoch(0), Lsn(20))));
             assert_eq!(st.writes_since_ckpt, 2);
+            // The writer's own stream and self-dependency cover the write
+            // (reply-durability + replay write-half; see write_shared).
+            assert_eq!(w2.positions.len(), 1, "writes enter the session stream");
+            assert_eq!(
+                w2.dv.get(MspId(1)).map(|s| s.lsn),
+                Some(st.chain_head),
+                "writer self-entry covers the write record"
+            );
         }
-        assert_eq!(
-            w2.positions.len(),
-            0,
-            "writes do not enter the session stream"
-        );
         log.close();
     }
 
@@ -440,11 +465,25 @@ mod tests {
         let var = reg.get(id).unwrap();
 
         // Clean write by a session depending on msp2@(0,10).
-        let clean = session_with_dv(&[(2, 0, 10)]);
-        write_shared(&env(&log, &k), var, SessionId(1), &clean, b"good".to_vec()).unwrap();
+        let mut clean = session_with_dv(&[(2, 0, 10)]);
+        write_shared(
+            &env(&log, &k),
+            var,
+            SessionId(1),
+            &mut clean,
+            b"good".to_vec(),
+        )
+        .unwrap();
         // Doomed write depending on msp2@(0,100).
-        let doomed = session_with_dv(&[(2, 0, 100)]);
-        write_shared(&env(&log, &k), var, SessionId(2), &doomed, b"bad".to_vec()).unwrap();
+        let mut doomed = session_with_dv(&[(2, 0, 100)]);
+        write_shared(
+            &env(&log, &k),
+            var,
+            SessionId(2),
+            &mut doomed,
+            b"bad".to_vec(),
+        )
+        .unwrap();
 
         // msp2 recovers having only reached LSN 50: the second write is
         // an orphan, the first is not.
@@ -476,8 +515,15 @@ mod tests {
         let id = reg.register("SV0", b"init".to_vec());
         let var = reg.get(id).unwrap();
 
-        let doomed = session_with_dv(&[(2, 0, 100)]);
-        write_shared(&env(&log, &k), var, SessionId(1), &doomed, b"bad".to_vec()).unwrap();
+        let mut doomed = session_with_dv(&[(2, 0, 100)]);
+        write_shared(
+            &env(&log, &k),
+            var,
+            SessionId(1),
+            &mut doomed,
+            b"bad".to_vec(),
+        )
+        .unwrap();
         k.record(RecoveryRecord {
             msp: MspId(2),
             new_epoch: Epoch(1),
@@ -514,8 +560,15 @@ mod tests {
             st.chain_head = ckpt_lsn;
             st.last_ckpt = Some(ckpt_lsn);
         }
-        let doomed = session_with_dv(&[(2, 0, 100)]);
-        write_shared(&env(&log, &k), var, SessionId(1), &doomed, b"bad".to_vec()).unwrap();
+        let mut doomed = session_with_dv(&[(2, 0, 100)]);
+        write_shared(
+            &env(&log, &k),
+            var,
+            SessionId(1),
+            &mut doomed,
+            b"bad".to_vec(),
+        )
+        .unwrap();
         k.record(RecoveryRecord {
             msp: MspId(2),
             new_epoch: Epoch(1),
@@ -553,8 +606,15 @@ mod tests {
         let id = reg.register("SV0", b"init".to_vec());
         let var = reg.get(id).unwrap();
 
-        let writer = session_with_dv(&[(1, 0, 1_000_000)]); // self-dep, huge LSN
-        write_shared(&env(&log, &k), var, SessionId(1), &writer, b"v".to_vec()).unwrap();
+        let mut writer = session_with_dv(&[(1, 0, 1_000_000)]); // self-dep, huge LSN
+        write_shared(
+            &env(&log, &k),
+            var,
+            SessionId(1),
+            &mut writer,
+            b"v".to_vec(),
+        )
+        .unwrap();
 
         // A self recovery record that *covers* the dependency leaves the
         // value intact…

@@ -1,0 +1,302 @@
+//! Open-loop scale-out benchmark for the striped WAL + sharded runtime
+//! (PR 8).
+//!
+//! Boots the **LoOptimistic** world on the slow-disk model (paper disk
+//! geometry at time scale `--scale`, default 0.08) with per-request
+//! flushing — the paper
+//! prototype's non-batched baseline, where every committed reply pays a
+//! real device write — and drives a large open-loop session population
+//! through it:
+//!
+//! * **Open loop**: request arrival times are pre-drawn from a Poisson
+//!   process at `--rate` requests/s and honored regardless of
+//!   completions. Response time is measured from the *scheduled arrival*,
+//!   not the send, so queueing delay when the system falls behind shows
+//!   up in the tail percentiles instead of silently throttling the load
+//!   (the closed-loop coordinated-omission trap).
+//! * **Session churn at scale**: every request runs on a fresh session
+//!   and the old session is abandoned client-side but stays live in the
+//!   MSP, so the live-session population grows to the full op count —
+//!   `10^5+` concurrent sessions in the headline run — stressing the
+//!   consistent-hash routers (session → stripe, session → shard) with a
+//!   dense id range.
+//!
+//! The sweep maps committed-op throughput and p50/p99/p999 open-loop
+//! response times over `(stripes × shards)` ∈ {1×1, 2×2, 4×4} at a fixed
+//! worker count. `1×1` runs the legacy single-log unsharded path
+//! (`log_stripes = 0`), so the comparison is against the exact pre-PR
+//! configuration. Per-stripe and per-shard counter breakdowns (appends,
+//! flushes, merged-watermark lag, shard request spread) come along in
+//! every cell. Results go to `BENCH_PR8.json`, mirrored on stdout.
+//!
+//! ```text
+//! bench_pr8 [--ops N] [--rate R] [--drivers N] [--workers N]
+//!           [--scale S] [--sweep 1x1,2x2,4x4]
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use msp_harness::metrics::{ScaleOutBreakdown, Series};
+use msp_harness::workload::{request_payload, MSP1};
+use msp_harness::{FlushMode, SystemConfig, World, WorldOptions};
+
+/// Default disk/net time scale: the slow-disk point (paper milliseconds
+/// × 0.08), where the per-commit device write dominates and striping
+/// pays even on small hosts (simulated disk waits overlap across stripe
+/// flushers; CPU work does not).
+const DEFAULT_SCALE: f64 = 0.08;
+
+struct Cell {
+    stripes: usize,
+    shards: usize,
+    workers: usize,
+    ops: u64,
+    committed: u64,
+    sessions: u64,
+    throughput: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    late_starts: u64,
+    watermark_lag_ms: f64,
+    stripe_appends: Vec<u64>,
+    shard_requests: Vec<u64>,
+}
+
+/// One sweep cell: boot a world with the given stripe/shard counts and
+/// push the whole pre-drawn arrival schedule through it.
+fn run_cell(
+    stripes: usize,
+    shards: usize,
+    workers: usize,
+    ops: u64,
+    rate: f64,
+    drivers: usize,
+    scale: f64,
+) -> Cell {
+    let world = World::start(WorldOptions {
+        time_scale: scale,
+        workers,
+        // `stripes == 1` is the legacy single-log path (log_stripes = 0),
+        // so the baseline cell measures the exact pre-striping code.
+        log_stripes: if stripes == 1 { 0 } else { stripes },
+        runtime_shards: shards,
+        flush_mode: FlushMode::PerRequest,
+        // Keep checkpoints out of the measurement; the abandoned-session
+        // population must also survive the run (no inactivity reaping).
+        session_ckpt_threshold: u64::MAX,
+        checkpoints_enabled: false,
+        blocking_durability: false,
+        blocking_send_durability: false,
+        db_txn_overhead: Duration::ZERO,
+        ..WorldOptions::new(SystemConfig::LoOptimistic)
+    });
+
+    // Pre-draw the Poisson arrival schedule (fixed seed: every cell and
+    // every run replays the same offered load).
+    let mut rng = StdRng::seed_from_u64(0x8EED);
+    let mut arrivals = Vec::with_capacity(ops as usize);
+    let mut t = 0.0f64;
+    for _ in 0..ops {
+        let u = (rng.random_range(0..1_000_000) as f64 + 0.5) / 1_000_000.0;
+        t += -u.ln() / rate;
+        arrivals.push(Duration::from_secs_f64(t));
+    }
+
+    let next = AtomicUsize::new(0);
+    let late = AtomicU64::new(0);
+    let payload = request_payload(1);
+    let t0 = Instant::now();
+    let mut series = Series::new();
+    let mut last_done = Duration::ZERO;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for d in 0..drivers {
+            let (world, next, late, arrivals, payload) =
+                (&world, &next, &late, &arrivals, &payload);
+            handles.push(s.spawn(move || {
+                let mut client = world.client(500_000 + d as u64);
+                let mut local = Series::new();
+                let mut done_at = Duration::ZERO;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&arrival) = arrivals.get(i) else {
+                        break;
+                    };
+                    let now = t0.elapsed();
+                    if now < arrival {
+                        std::thread::sleep(arrival - now);
+                    } else {
+                        late.fetch_add(1, Ordering::Relaxed);
+                    }
+                    client
+                        .call(MSP1, "ServiceMethod1", payload)
+                        .expect("open-loop request");
+                    done_at = t0.elapsed();
+                    // Response time from the *scheduled* arrival.
+                    local.push(done_at.saturating_sub(arrival));
+                    // Fresh session next op; the old one stays live.
+                    client.abandon_session(MSP1);
+                }
+                (local, done_at)
+            }));
+        }
+        for h in handles {
+            let (local, done_at) = h.join().expect("driver thread");
+            series.merge(&local);
+            last_done = last_done.max(done_at);
+        }
+    });
+    series.set_elapsed(last_done);
+    let sum = series.summary();
+
+    let sessions = world.msp1.session_count() as u64;
+    let b = ScaleOutBreakdown {
+        stripes: world.msp1.stripe_stats().unwrap_or_default(),
+        merged: world.msp1.log_stats().unwrap_or_default(),
+        shards: world.msp1.shard_stats(),
+    };
+    for line in b.lines() {
+        eprintln!("[{stripes}x{shards}] {line}");
+    }
+    world.shutdown();
+    Cell {
+        stripes,
+        shards,
+        workers,
+        ops,
+        committed: sum.count,
+        sessions,
+        throughput: sum.throughput,
+        p50_ms: sum.p50.as_secs_f64() * 1e3,
+        p99_ms: sum.p99.as_secs_f64() * 1e3,
+        p999_ms: sum.p999.as_secs_f64() * 1e3,
+        late_starts: late.load(Ordering::Relaxed),
+        watermark_lag_ms: b.watermark_lag_ms(),
+        stripe_appends: b.stripes.iter().map(|s| s.appends).collect(),
+        shard_requests: b.shards.iter().map(|s| s.requests).collect(),
+    }
+}
+
+fn u64s_json(v: &[u64]) -> String {
+    let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        concat!(
+            "{{ \"stripes\": {}, \"shards\": {}, \"workers\": {}, ",
+            "\"ops\": {}, \"committed\": {}, \"live_sessions\": {}, ",
+            "\"throughput_rps\": {:.1}, ",
+            "\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, ",
+            "\"late_starts\": {}, \"watermark_lag_ms_per_flush\": {:.4}, ",
+            "\"stripe_appends\": {}, \"shard_requests\": {} }}"
+        ),
+        c.stripes,
+        c.shards,
+        c.workers,
+        c.ops,
+        c.committed,
+        c.sessions,
+        c.throughput,
+        c.p50_ms,
+        c.p99_ms,
+        c.p999_ms,
+        c.late_starts,
+        c.watermark_lag_ms,
+        u64s_json(&c.stripe_appends),
+        u64s_json(&c.shard_requests),
+    )
+}
+
+fn main() {
+    let mut ops = 100_000u64;
+    let mut rate = 10_000.0f64;
+    let mut drivers = 48usize;
+    let mut workers = 8usize;
+    let mut scale = DEFAULT_SCALE;
+    let mut sweep: Vec<(usize, usize)> = vec![(1, 1), (2, 2), (4, 4)];
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ops" => ops = it.next().and_then(|v| v.parse().ok()).unwrap_or(ops),
+            "--rate" => rate = it.next().and_then(|v| v.parse().ok()).unwrap_or(rate),
+            "--drivers" => drivers = it.next().and_then(|v| v.parse().ok()).unwrap_or(drivers),
+            "--workers" => workers = it.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            // e.g. --sweep 1x1,4x2,4x4 (stripes x shards per cell; the
+            // first cell is the scaling baseline).
+            "--sweep" => {
+                if let Some(v) = it.next() {
+                    sweep = v
+                        .split(',')
+                        .filter_map(|c| {
+                            let (s, h) = c.split_once('x')?;
+                            Some((s.parse().ok()?, h.parse().ok()?))
+                        })
+                        .collect();
+                    assert!(!sweep.is_empty(), "--sweep needs stripesxshards cells");
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    let mut cells = Vec::new();
+    for &(stripes, shards) in &sweep {
+        let c = run_cell(stripes, shards, workers, ops, rate, drivers, scale);
+        eprintln!(
+            "{}x{}: {:.0} ops/s committed, p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms",
+            c.stripes, c.shards, c.throughput, c.p50_ms, c.p99_ms, c.p999_ms
+        );
+        cells.push(c);
+    }
+
+    let base = &cells[0];
+    let top = cells.last().expect("non-empty sweep");
+    let scaling = top.throughput / base.throughput;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pr8_striped_wal_sharded_runtime\",\n",
+            "  \"workload\": {{ \"ops\": {}, \"rate_rps\": {}, ",
+            "\"drivers\": {}, \"workers\": {}, \"time_scale\": {}, ",
+            "\"flush\": \"per-request\", \"config\": \"LoOptimistic\", ",
+            "\"arrivals\": \"poisson-open-loop\" }},\n",
+            "  \"cells\": [\n    {}\n  ],\n",
+            "  \"summary\": {{\n",
+            "    \"throughput_scaling_1x1_to_4x4\": {:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        ops,
+        rate,
+        drivers,
+        workers,
+        scale,
+        cells
+            .iter()
+            .map(cell_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        scaling,
+    );
+
+    print!("{json}");
+    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
+
+    assert!(
+        scaling >= 2.0,
+        "4x4 stripes x shards must commit >=2x the single-log throughput \
+         at {workers} workers on the slow-disk model, got {scaling:.2}x"
+    );
+    eprintln!(
+        "wrote BENCH_PR8.json ({scaling:.2}x committed-op scaling 1x1 -> 4x4 at \
+         {workers} workers, {} live sessions in the 4x4 cell)",
+        top.sessions
+    );
+}

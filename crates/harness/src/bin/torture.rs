@@ -8,9 +8,10 @@
 //! ```
 //!
 //! Without `--shape`, each seed rotates through the workload shapes
-//! (default / shared-heavy / session-churn / deep-chain) so a sweep
-//! covers all of them without multiplying its runtime. `--blocking` runs the storm on
-//! the pre-pipeline blocking durability path.
+//! (default / shared-heavy / session-churn / deep-chain / striped-churn)
+//! so a sweep covers all of them — including the scale-out striped+sharded
+//! configuration — without multiplying its runtime. `--blocking` runs the
+//! storm on the pre-pipeline blocking durability path.
 //!
 //! Each run prints one line; any oracle or post-mortem failure prints
 //! the seed and the exact one-liner that replays it, and the process

@@ -74,14 +74,22 @@ pub enum WorkloadShape {
     /// (`SendGateIssue`, Pessimistic) and the flush-serving participant
     /// on MSP2 (`FlushServe`, LoOptimistic).
     DeepChain,
+    /// Session churn on the scale-out configuration: the same churn
+    /// pressure as [`WorkloadShape::SessionChurn`], but each MSP runs its
+    /// WAL striped over two disks and its runtime sharded two ways — so
+    /// crash recovery must merge per-stripe position streams and the
+    /// exactly-once oracle must hold across shard-routed sessions. The
+    /// post-mortem audit switches to the striped (merged-gsn) scan.
+    StripedChurn,
 }
 
 impl WorkloadShape {
-    pub const ALL: [WorkloadShape; 4] = [
+    pub const ALL: [WorkloadShape; 5] = [
         WorkloadShape::Default,
         WorkloadShape::SharedHeavy,
         WorkloadShape::SessionChurn,
         WorkloadShape::DeepChain,
+        WorkloadShape::StripedChurn,
     ];
 
     pub fn name(self) -> &'static str {
@@ -90,6 +98,7 @@ impl WorkloadShape {
             WorkloadShape::SharedHeavy => "shared-heavy",
             WorkloadShape::SessionChurn => "session-churn",
             WorkloadShape::DeepChain => "deep-chain",
+            WorkloadShape::StripedChurn => "striped-churn",
         }
     }
 
@@ -174,7 +183,7 @@ pub struct Schedule {
     pub ms: Vec<Vec<u8>>,
     /// Per client, per request: end the session *after* this request and
     /// continue on a fresh one. All-false except under
-    /// [`WorkloadShape::SessionChurn`].
+    /// [`WorkloadShape::SessionChurn`] and [`WorkloadShape::StripedChurn`].
     pub churn_after: Vec<Vec<bool>>,
     /// Crash events, in controller order; empty on non-log configs.
     pub events: Vec<CrashEvent>,
@@ -258,8 +267,11 @@ impl Schedule {
             }
         }
         // Appended after everything else (the reproducibility contract):
-        // session-churn points, drawn only under the SessionChurn shape.
-        let churn_after: Vec<Vec<bool>> = if opts.shape == WorkloadShape::SessionChurn {
+        // session-churn points, drawn only under the churn shapes.
+        let churn_after: Vec<Vec<bool>> = if matches!(
+            opts.shape,
+            WorkloadShape::SessionChurn | WorkloadShape::StripedChurn
+        ) {
             (0..clients)
                 .map(|_| {
                     (0..opts.requests_per_client)
@@ -427,6 +439,18 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
         // `sends_block()`; otherwise the storm runs the pipelined path.
         blocking_send_durability: false,
         db_txn_overhead: Duration::ZERO,
+        // The striped shape runs the scale-out configuration: WAL over
+        // two stripes, runtime over two shards.
+        log_stripes: if opts.shape == WorkloadShape::StripedChurn {
+            2
+        } else {
+            0
+        },
+        runtime_shards: if opts.shape == WorkloadShape::StripedChurn {
+            2
+        } else {
+            1
+        },
     });
 
     let (res_tx, res_rx) = crossbeam_channel::unbounded::<Result<u64, String>>();
@@ -724,7 +748,7 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
             let got = le_counter(value);
             if got != want {
                 if std::env::var_os("TORTURE_TRACE").is_some() {
-                    dump_var_history(&slot.disk(), who, vi as u32);
+                    dump_var_history(&slot.disks(), who, vi as u32);
                 }
                 return Err(format!(
                     "{tag}: {who} {name} counter is {got}, want {want} \
@@ -739,15 +763,20 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
     let disks = opts
         .config
         .is_log_based()
-        .then(|| [("MSP1", world.msp1.disk()), ("MSP2", world.msp2.disk())]);
+        .then(|| [("MSP1", world.msp1.disks()), ("MSP2", world.msp2.disks())]);
     // `world.crash_count()` reads the slot counters, which restart() resets
     // when it rebuilds a slot; `fired` is the authoritative tally.
     let crashes = fired.len() as u64;
     world.shutdown();
     let mut audits = Vec::new();
     if let Some(disks) = disks {
-        for (who, disk) in disks {
-            audits.push(audit_log(&disk, &format!("{tag}: {who}"))?);
+        for (who, stripe_disks) in disks {
+            let wtag = format!("{tag}: {who}");
+            audits.push(if stripe_disks.len() == 1 {
+                audit_log(&stripe_disks[0], &wtag)?
+            } else {
+                audit_striped_log(&stripe_disks, &wtag)?
+            });
         }
     }
 
@@ -771,6 +800,104 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
     })
 }
 
+/// Frame layout of log.rs: magic byte + u32 length + u32 crc.
+const AUDIT_FRAME_HEADER: u64 = 9;
+
+/// The record-stream checks shared by the single-log and striped audits:
+/// recovery epochs strictly increase and every EOS fences a record of its
+/// own session behind it. Positions are LSNs on a single log and gsns on
+/// a striped one — the invariants are identical because the gsn space
+/// *is* the log address space under striping.
+#[derive(Default)]
+struct SemanticAudit {
+    audit: LogAudit,
+    session_at: std::collections::HashMap<u64, Option<msp_types::SessionId>>,
+    last_epoch: Option<u32>,
+}
+
+impl SemanticAudit {
+    fn step(&mut self, tag: &str, pos: u64, rec: &LogRecord) -> Result<(), String> {
+        match rec {
+            LogRecord::RecoveryComplete {
+                new_epoch,
+                recovered_lsn,
+            } => {
+                if recovered_lsn.0 > pos {
+                    return Err(format!(
+                        "{tag}: RecoveryComplete at {pos} claims future \
+                         recovered_lsn {}",
+                        recovered_lsn.0
+                    ));
+                }
+                if let Some(prev) = self.last_epoch {
+                    if new_epoch.0 <= prev {
+                        return Err(format!(
+                            "{tag}: recovery epoch {} at LSN {pos} does not \
+                             increase over {prev}",
+                            new_epoch.0
+                        ));
+                    }
+                }
+                self.last_epoch = Some(new_epoch.0);
+                self.audit.recovery_completes += 1;
+            }
+            LogRecord::Eos {
+                session,
+                orphan_lsn,
+            } => {
+                if orphan_lsn.0 < DATA_START || orphan_lsn.0 >= pos {
+                    return Err(format!(
+                        "{tag}: Eos at {pos} fences orphan_lsn {} outside \
+                         [{DATA_START}, {pos})",
+                        orphan_lsn.0
+                    ));
+                }
+                match self.session_at.get(&orphan_lsn.0) {
+                    Some(Some(s)) if s == session => {}
+                    Some(_) => {
+                        return Err(format!(
+                            "{tag}: Eos at {pos} for session {session:?} fences \
+                             a record of a different session at {}",
+                            orphan_lsn.0
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "{tag}: Eos at {pos} fences orphan_lsn {} which \
+                             is not a record boundary",
+                            orphan_lsn.0
+                        ));
+                    }
+                }
+                self.audit.eos_records += 1;
+            }
+            _ => {}
+        }
+        self.session_at.insert(pos, rec.session());
+        self.audit.records += 1;
+        Ok(())
+    }
+}
+
+/// No frame past a hole: the append path only ever extends the
+/// contiguous durable stream (plus zero sector-padding), so every byte
+/// after the last intact frame must be zero. Any other byte is a dead
+/// frame the scanner silently skipped over — recovery would lose it
+/// without noticing.
+fn sweep_zeros_past(bytes: &[u8], stream_end: u64, tag: &str) -> Result<(), String> {
+    if (stream_end as usize) < bytes.len() {
+        if let Some(i) = bytes[stream_end as usize..].iter().position(|&b| b != 0) {
+            return Err(format!(
+                "{tag}: non-zero byte {:#04x} at offset {} past the scan end \
+                 {stream_end} — dead frame beyond the hole",
+                bytes[stream_end as usize + i],
+                stream_end as usize + i
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Re-open a crashed-or-closed MSP disk and verify the structural log
 /// invariants the recovery protocols rely on. `tag` prefixes every
 /// failure (it carries the seed).
@@ -783,13 +910,8 @@ pub fn audit_log(disk: &Arc<MemDisk>, tag: &str) -> Result<LogAudit, String> {
     )
     .map_err(|e| format!("{tag}: post-mortem re-open failed: {e}"))?;
 
-    // Frame layout of log.rs: magic byte + u32 length + u32 crc.
-    const FRAME_HEADER: u64 = 9;
-
-    let mut audit = LogAudit::default();
-    let mut session_at = std::collections::HashMap::new();
+    let mut sem = SemanticAudit::default();
     let mut last_lsn: Option<u64> = None;
-    let mut last_epoch: Option<u32> = None;
     // One past the last byte of the last intact frame — unlike the
     // scanner's final position, this does not skip over trailing
     // zero-padding, so it anchors the no-frame-past-a-hole sweep.
@@ -804,111 +926,133 @@ pub fn audit_log(disk: &Arc<MemDisk>, tag: &str) -> Result<LogAudit, String> {
                 }
             }
             last_lsn = Some(lsn.0);
-            match &rec {
-                LogRecord::RecoveryComplete {
-                    new_epoch,
-                    recovered_lsn,
-                } => {
-                    if recovered_lsn.0 > lsn.0 {
-                        return Err(format!(
-                            "{tag}: RecoveryComplete at {} claims future \
-                             recovered_lsn {}",
-                            lsn.0, recovered_lsn.0
-                        ));
-                    }
-                    if let Some(prev) = last_epoch {
-                        if new_epoch.0 <= prev {
-                            return Err(format!(
-                                "{tag}: recovery epoch {} at LSN {} does not \
-                                 increase over {prev}",
-                                new_epoch.0, lsn.0
-                            ));
-                        }
-                    }
-                    last_epoch = Some(new_epoch.0);
-                    audit.recovery_completes += 1;
-                }
-                LogRecord::Eos {
-                    session,
-                    orphan_lsn,
-                } => {
-                    if orphan_lsn.0 < DATA_START || orphan_lsn.0 >= lsn.0 {
-                        return Err(format!(
-                            "{tag}: Eos at {} fences orphan_lsn {} outside \
-                             [{DATA_START}, {})",
-                            lsn.0, orphan_lsn.0, lsn.0
-                        ));
-                    }
-                    match session_at.get(&orphan_lsn.0) {
-                        Some(Some(s)) if s == session => {}
-                        Some(_) => {
-                            return Err(format!(
-                                "{tag}: Eos at {} for session {:?} fences a \
-                                 record of a different session at {}",
-                                lsn.0, session, orphan_lsn.0
-                            ));
-                        }
-                        None => {
-                            return Err(format!(
-                                "{tag}: Eos at {} fences orphan_lsn {} which \
-                                 is not a record boundary",
-                                lsn.0, orphan_lsn.0
-                            ));
-                        }
-                    }
-                    audit.eos_records += 1;
-                }
-                _ => {}
+            if let LogRecord::Striped { .. } = &rec {
+                return Err(format!(
+                    "{tag}: stripe envelope at {} on a single (unstriped) log",
+                    lsn.0
+                ));
             }
-            session_at.insert(lsn.0, rec.session());
-            stream_end = lsn.0 + FRAME_HEADER + rec.to_bytes().len() as u64;
-            audit.records += 1;
+            sem.step(tag, lsn.0, &rec)?;
+            stream_end = lsn.0 + AUDIT_FRAME_HEADER + rec.to_bytes().len() as u64;
         }
     }
     log.close();
 
-    // No frame past a hole: the append path only ever extends the
-    // contiguous durable stream (plus zero sector-padding), so every
-    // byte after the last intact frame must be zero. Any other byte is a
-    // dead frame the scanner silently skipped over — recovery would lose
-    // it without noticing.
     let bytes = disk.snapshot();
+    let mut audit = sem.audit;
     audit.scan_end = stream_end;
     audit.disk_len = bytes.len() as u64;
-    if (stream_end as usize) < bytes.len() {
-        if let Some(i) = bytes[stream_end as usize..].iter().position(|&b| b != 0) {
+    sweep_zeros_past(&bytes, stream_end, tag)?;
+    Ok(audit)
+}
+
+/// Striped counterpart of [`audit_log`]: raw-scan every stripe device,
+/// check the *per-stripe* physical invariants (monotone local LSNs, every
+/// frame a stripe envelope, no dead frame past each stripe's stream end),
+/// then re-merge by gsn and check the *logical* invariants on the merged
+/// stream — which must be gap-free from [`DATA_START`]: after a clean
+/// shutdown the final recovery has truncated every non-contiguous tail,
+/// and appends only ever extend the merged frontier.
+pub fn audit_striped_log(disks: &[Arc<MemDisk>], tag: &str) -> Result<LogAudit, String> {
+    // (gsn, framed size in the gsn address space, inner record); the
+    // gsn-space framed size equals the stripe-local physical one.
+    let mut merged: Vec<(u64, u64, LogRecord)> = Vec::new();
+    let mut disk_len = 0u64;
+    for (si, disk) in disks.iter().enumerate() {
+        let stag = format!("{tag} stripe {si}");
+        let log = PhysicalLog::open_at(
+            Arc::clone(disk) as Arc<dyn Disk>,
+            DiskModel::zero(),
+            FlushPolicy::per_request(),
+            DATA_START,
+        )
+        .map_err(|e| format!("{stag}: post-mortem re-open failed: {e}"))?;
+        let mut last_local: Option<u64> = None;
+        let mut stream_end = DATA_START;
+        for item in log.scan_from(Lsn(DATA_START)) {
+            let (lsn, rec) = item.map_err(|e| format!("{stag}: scan failed mid-log: {e}"))?;
+            if let Some(prev) = last_local {
+                if lsn.0 <= prev {
+                    return Err(format!("{stag}: non-monotone LSN {} after {prev}", lsn.0));
+                }
+            }
+            last_local = Some(lsn.0);
+            let framed = AUDIT_FRAME_HEADER + rec.to_bytes().len() as u64;
+            stream_end = lsn.0 + framed;
+            match rec {
+                LogRecord::Striped { gsn, inner } => merged.push((gsn.0, framed, *inner)),
+                other => {
+                    return Err(format!(
+                        "{stag}: bare {} record at {} outside a stripe envelope",
+                        other.kind(),
+                        lsn.0
+                    ));
+                }
+            }
+        }
+        log.close();
+        let bytes = disk.snapshot();
+        disk_len += bytes.len() as u64;
+        sweep_zeros_past(&bytes, stream_end, &stag)?;
+    }
+
+    merged.sort_by_key(|&(gsn, _, _)| gsn);
+    let mut sem = SemanticAudit::default();
+    let mut expected = DATA_START;
+    for (gsn, framed, rec) in &merged {
+        if *gsn != expected {
             return Err(format!(
-                "{tag}: non-zero byte {:#04x} at offset {} past the scan end \
-                 {stream_end} — dead frame beyond the hole",
-                bytes[stream_end as usize + i],
-                stream_end as usize + i
+                "{tag}: merged gsn stream broken: record at gsn {gsn}, \
+                 expected {expected} (lost or duplicated stripe frame)"
             ));
         }
+        sem.step(tag, *gsn, rec)?;
+        expected = gsn + framed;
     }
+    let mut audit = sem.audit;
+    audit.scan_end = expected;
+    audit.disk_len = disk_len;
     Ok(audit)
 }
 
 /// `TORTURE_TRACE` diagnostic for a shared-counter oracle failure: scan
-/// the MSP's disk and print every record that moved the failed variable,
-/// plus the session-lifecycle records needed to see *why* (which request
-/// wrote each value, where recoveries and orphan skips cut the stream).
-fn dump_var_history(disk: &Arc<MemDisk>, who: &str, var: u32) {
-    let log = match PhysicalLog::open_at(
-        Arc::clone(disk) as Arc<dyn Disk>,
-        DiskModel::zero(),
-        FlushPolicy::per_request(),
-        DATA_START,
-    ) {
-        Ok(log) => log,
-        Err(e) => {
-            eprintln!("[trace] {who} var-history scan failed to open: {e}");
-            return;
+/// the MSP's disk(s) and print every record that moved the failed
+/// variable, plus the session-lifecycle records needed to see *why*
+/// (which request wrote each value, where recoveries and orphan skips
+/// cut the stream). Striped worlds are re-merged by gsn so the history
+/// reads like one log; the `s<i>` column shows each record's stripe.
+fn dump_var_history(disks: &[Arc<MemDisk>], who: &str, var: u32) {
+    let mut merged: Vec<(u64, usize, LogRecord)> = Vec::new();
+    for (si, disk) in disks.iter().enumerate() {
+        let log = match PhysicalLog::open_at(
+            Arc::clone(disk) as Arc<dyn Disk>,
+            DiskModel::zero(),
+            FlushPolicy::per_request(),
+            DATA_START,
+        ) {
+            Ok(log) => log,
+            Err(e) => {
+                eprintln!("[trace] {who} stripe {si} var-history scan failed to open: {e}");
+                return;
+            }
+        };
+        for item in log.scan_from(Lsn(DATA_START)) {
+            let Ok((lsn, rec)) = item else { break };
+            match rec {
+                // Striped frame: address by its gsn so stripes interleave.
+                LogRecord::Striped { gsn, inner } => merged.push((gsn.0, si, *inner)),
+                rec => merged.push((lsn.0, si, rec)),
+            }
         }
-    };
-    eprintln!("[trace] ---- {who} history of var {var} ----");
-    for item in log.scan_from(Lsn(DATA_START)) {
-        let Ok((lsn, rec)) = item else { break };
-        match &rec {
+        log.close();
+    }
+    merged.sort_by_key(|&(gsn, _, _)| gsn);
+    eprintln!(
+        "[trace] ---- {who} history of var {var} ({} stripe(s)) ----",
+        disks.len()
+    );
+    for (lsn, si, rec) in &merged {
+        match rec {
             LogRecord::SharedWrite {
                 session,
                 var: v,
@@ -916,18 +1060,16 @@ fn dump_var_history(disk: &Arc<MemDisk>, who: &str, var: u32) {
                 prev_write,
                 ..
             } if v.0 == var => eprintln!(
-                "[trace] {:>8} SharedWrite   {session:?} value={} prev={}",
-                lsn.0,
+                "[trace] {lsn:>8} s{si} SharedWrite   {session:?} value={} prev={}",
                 le_counter(value),
                 prev_write.0
             ),
             LogRecord::SharedCheckpoint { var: v, value } if v.0 == var => eprintln!(
-                "[trace] {:>8} SharedCkpt    value={}",
-                lsn.0,
+                "[trace] {lsn:>8} s{si} SharedCkpt    value={}",
                 le_counter(value)
             ),
             LogRecord::RequestReceive { session, seq, .. } => {
-                eprintln!("[trace] {:>8} RequestRecv   {session:?} {seq:?}", lsn.0)
+                eprintln!("[trace] {lsn:>8} s{si} RequestRecv   {session:?} {seq:?}")
             }
             LogRecord::ReplyReceive {
                 session,
@@ -935,48 +1077,42 @@ fn dump_var_history(disk: &Arc<MemDisk>, who: &str, var: u32) {
                 seq,
                 ..
             } => eprintln!(
-                "[trace] {:>8} ReplyRecv     {session:?} out={outgoing:?} {seq:?}",
-                lsn.0
+                "[trace] {lsn:>8} s{si} ReplyRecv     {session:?} out={outgoing:?} {seq:?}"
             ),
             LogRecord::OutgoingBind {
                 session, outgoing, ..
-            } => eprintln!(
-                "[trace] {:>8} OutgoingBind  {session:?} out={outgoing:?}",
-                lsn.0
-            ),
+            } => eprintln!("[trace] {lsn:>8} s{si} OutgoingBind  {session:?} out={outgoing:?}"),
             LogRecord::SessionCheckpoint { session, body } => eprintln!(
-                "[trace] {:>8} SessionCkpt   {session:?} next={:?}",
-                lsn.0, body.next_expected
+                "[trace] {lsn:>8} s{si} SessionCkpt   {session:?} next={:?}",
+                body.next_expected
             ),
             LogRecord::MspCheckpoint(body) => eprintln!(
-                "[trace] {:>8} MspCheckpoint sessions={:?}",
-                lsn.0,
+                "[trace] {lsn:>8} s{si} MspCheckpoint sessions={:?}",
                 body.sessions
                     .iter()
                     .map(|s| s.session.0)
                     .collect::<Vec<_>>()
             ),
             LogRecord::SessionEnd { session } => {
-                eprintln!("[trace] {:>8} SessionEnd    {session:?}", lsn.0)
+                eprintln!("[trace] {lsn:>8} s{si} SessionEnd    {session:?}")
             }
             LogRecord::Eos {
                 session,
                 orphan_lsn,
             } => eprintln!(
-                "[trace] {:>8} Eos           {session:?} orphan_lsn={}",
-                lsn.0, orphan_lsn.0
+                "[trace] {lsn:>8} s{si} Eos           {session:?} orphan_lsn={}",
+                orphan_lsn.0
             ),
             LogRecord::RecoveryComplete {
                 new_epoch,
                 recovered_lsn,
             } => eprintln!(
-                "[trace] {:>8} RecoveryDone  epoch={} recovered_lsn={}",
-                lsn.0, new_epoch.0, recovered_lsn.0
+                "[trace] {lsn:>8} s{si} RecoveryDone  epoch={} recovered_lsn={}",
+                new_epoch.0, recovered_lsn.0
             ),
             _ => {}
         }
     }
-    log.close();
 }
 
 #[cfg(test)]

@@ -118,6 +118,12 @@ pub struct WorldOptions {
     pub blocking_send_durability: bool,
     /// DB transaction overhead for the Psession baseline (unscaled).
     pub db_txn_overhead: Duration,
+    /// Stripe each MSP's WAL across this many simulated disks (0 = the
+    /// legacy single-log path); ignored by the baselines.
+    pub log_stripes: usize,
+    /// Shard each MSP's runtime (worker pool + release stage) this many
+    /// ways, sessions assigned by consistent hash.
+    pub runtime_shards: usize,
 }
 
 impl WorldOptions {
@@ -135,6 +141,8 @@ impl WorldOptions {
             blocking_durability: false,
             blocking_send_durability: false,
             db_txn_overhead: Duration::from_millis(4),
+            log_stripes: 0,
+            runtime_shards: 1,
         }
     }
 }
@@ -146,7 +154,9 @@ impl WorldOptions {
 pub struct MspSlot {
     id: MspId,
     handle: Mutex<Option<msp_core::MspHandle>>,
-    disk: Arc<MemDisk>,
+    /// One disk for the single-log path, `log_stripes` disks for the
+    /// striped WAL; all survive crashes and rebuilds.
+    disks: Vec<Arc<MemDisk>>,
     net: Network<Envelope>,
     cluster: ClusterConfig,
     cfg: MspConfig,
@@ -188,7 +198,13 @@ impl MspSlot {
                 .shared_var("SV3", initial_shared())
                 .service("ServiceMethod2", workload::service_method2)
         };
-        b.start(&self.net, Arc::clone(&self.disk) as Arc<dyn msp_wal::Disk>)
+        b.start_with_disks(
+            &self.net,
+            self.disks
+                .iter()
+                .map(|d| Arc::clone(d) as Arc<dyn msp_wal::Disk>)
+                .collect(),
+        )
     }
 
     /// Kill the MSP without restarting it (losing its buffered log
@@ -272,6 +288,15 @@ impl MspSlot {
         self.handle.lock().as_ref().and_then(|h| h.log_stats())
     }
 
+    /// Live sessions currently held by the MSP (zero while it is down).
+    pub fn session_count(&self) -> usize {
+        self.handle
+            .lock()
+            .as_ref()
+            .map(|h| h.session_count())
+            .unwrap_or(0)
+    }
+
     /// Current shared-variable values in registration order (empty while
     /// the MSP is down).
     pub fn dump_shared(&self) -> Vec<Vec<u8>> {
@@ -283,9 +308,31 @@ impl MspSlot {
     }
 
     /// The MSP's (simulated) disk — shared across restarts, and what the
-    /// torture rig's post-mortem pass re-opens after shutdown.
+    /// torture rig's post-mortem pass re-opens after shutdown. The first
+    /// stripe when the log is striped (see [`Self::disks`]).
     pub fn disk(&self) -> Arc<MemDisk> {
-        Arc::clone(&self.disk)
+        Arc::clone(&self.disks[0])
+    }
+
+    /// Every disk backing the MSP's log, in stripe order (length 1 on the
+    /// single-log path).
+    pub fn disks(&self) -> Vec<Arc<MemDisk>> {
+        self.disks.clone()
+    }
+
+    /// Per-stripe log-counter breakdown (log-based configurations with
+    /// the MSP up; one entry on the single-log path).
+    pub fn stripe_stats(&self) -> Option<Vec<msp_wal::stats::LogStatsSnapshot>> {
+        self.handle.lock().as_ref().and_then(|h| h.stripe_stats())
+    }
+
+    /// Per-shard runtime-counter breakdown (empty while the MSP is down).
+    pub fn shard_stats(&self) -> Vec<msp_core::runtime::ShardStatsSnapshot> {
+        self.handle
+            .lock()
+            .as_ref()
+            .map(|h| h.shard_stats())
+            .unwrap_or_default()
     }
 
     fn shutdown(&self) {
@@ -348,7 +395,9 @@ impl World {
                 .with_logging(logging.clone())
                 .with_durability_watermarks(opts.durability_watermarks)
                 .with_blocking_durability(opts.blocking_durability)
-                .with_blocking_send_durability(opts.blocking_send_durability);
+                .with_blocking_send_durability(opts.blocking_send_durability)
+                .with_log_stripes(opts.log_stripes)
+                .with_runtime_shards(opts.runtime_shards);
             c.rpc_timeout = Duration::from_millis(15);
             c.flush_retry_limit = 2_000;
             c
@@ -402,7 +451,9 @@ impl World {
             Arc::new(MspSlot {
                 id,
                 handle: Mutex::new(None),
-                disk: Arc::new(MemDisk::new()),
+                disks: (0..opts.log_stripes.max(1))
+                    .map(|_| Arc::new(MemDisk::new()))
+                    .collect(),
                 net: net.clone(),
                 cluster: cluster.clone(),
                 cfg,

@@ -35,6 +35,7 @@ pub mod model;
 pub mod position;
 pub mod record;
 pub mod stats;
+pub mod stripe;
 pub mod tail;
 
 pub use anchor::LogAnchor;
@@ -46,4 +47,5 @@ pub use model::DiskModel;
 pub use position::PositionStream;
 pub use record::{LogRecord, MspCheckpointBody, SessionCheckpointBody};
 pub use stats::LogStats;
+pub use stripe::{StripedLog, StripedScanner, Wal, WalReplayCache, WalScanner};
 pub use tail::{MAX_RESERVED_FRAME, SEGMENT_RING, SEGMENT_SIZE};

@@ -217,6 +217,28 @@ pub struct FlushTicket {
 }
 
 impl FlushTicket {
+    /// A ticket with no owning log, settled manually by its creator — the
+    /// striped log's merged flush builds one per request and settles it
+    /// when every per-stripe leg has.
+    pub(crate) fn unsettled() -> FlushTicket {
+        FlushTicket {
+            inner: TicketInner::new(),
+        }
+    }
+
+    /// Settle a manually managed ticket (idempotent).
+    pub(crate) fn settle_now(&self, ok: bool) {
+        self.inner.settle(ok);
+    }
+
+    /// Second handle onto the same settlement state, so the striped log
+    /// can keep one inside the join callback and return the other.
+    pub(crate) fn clone_handle(&self) -> FlushTicket {
+        FlushTicket {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
     /// Block until the ticket settles.
     pub fn wait(&self) -> Result<(), MspError> {
         let mut st = self.inner.state.lock();
@@ -1181,7 +1203,7 @@ impl Drop for Prefetcher {
 /// Reads through a 64 KB ([`SCAN_CHUNK`]) read-ahead buffer so a
 /// sequential scan costs one device read per chunk rather than three
 /// small reads (padding probe, header, payload) per record.
-struct RawScanner<'a> {
+pub(crate) struct RawScanner<'a> {
     disk: Arc<dyn Disk>,
     offset: u64,
     limit: u64,
@@ -1198,7 +1220,7 @@ struct RawScanner<'a> {
 }
 
 impl<'a> RawScanner<'a> {
-    fn new(
+    pub(crate) fn new(
         disk: Arc<dyn Disk>,
         from: u64,
         model: Option<&DiskModel>,
@@ -1238,6 +1260,11 @@ impl<'a> RawScanner<'a> {
             buf: Vec::new(),
             buf_start: from,
         }
+    }
+
+    /// Offset the scan has reached (the append point when exhausted).
+    pub(crate) fn offset(&self) -> u64 {
+        self.offset
     }
 
     /// Walk frames until the stream ends; return the offset where the
@@ -1329,7 +1356,7 @@ impl<'a> RawScanner<'a> {
     /// `None` at the intact end of the stream (including a torn tail,
     /// which is indistinguishable from "the crash hit mid-flush" and is
     /// therefore treated as the end).
-    fn step(&mut self) -> Result<Option<(u64, Vec<u8>)>, MspError> {
+    pub(crate) fn step(&mut self) -> Result<Option<(u64, Vec<u8>)>, MspError> {
         loop {
             if self.offset >= self.limit {
                 return Ok(None);

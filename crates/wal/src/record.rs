@@ -276,6 +276,12 @@ pub enum LogRecord {
         target: MspId,
         outgoing: SessionId,
     },
+    /// Stripe-transport wrapper: on a striped log every stripe-local frame
+    /// carries the record's **global** sequence number so crash recovery
+    /// can re-merge the per-stripe streams into one totally ordered log.
+    /// The gsn sits at a fixed position (payload bytes 1..9) so the merge
+    /// scan can read it without decoding the inner record.
+    Striped { gsn: Lsn, inner: Box<LogRecord> },
 }
 
 mod tag {
@@ -291,6 +297,7 @@ mod tag {
     pub const SESSION_END: u8 = 10;
     pub const EOS: u8 = 11;
     pub const OUTGOING_BIND: u8 = 12;
+    pub const STRIPED: u8 = 13;
 }
 
 impl LogRecord {
@@ -306,9 +313,14 @@ impl LogRecord {
             | LogRecord::SessionEnd { session }
             | LogRecord::Eos { session, .. }
             | LogRecord::OutgoingBind { session, .. } => Some(*session),
-            // A write advances the *variable's* state number, not the
-            // session's (Figure 8), so it is not part of the session's
-            // replay stream.
+            // Transport wrapper: attribution belongs to the inner record.
+            LogRecord::Striped { inner, .. } => inner.session(),
+            // A write primarily advances the *variable's* state number
+            // (Figure 8): the stripe router keeps it on the variable's
+            // stripe and the audit's Eos fencing never points at one, so
+            // it attributes to the variable here. (It *does* also join
+            // the writing session's replay stream — the recovery scan
+            // handles that explicitly via the record's `session` field.)
             LogRecord::SharedWrite { .. }
             | LogRecord::SharedCheckpoint { .. }
             | LogRecord::MspCheckpoint(_)
@@ -332,7 +344,19 @@ impl LogRecord {
             LogRecord::SessionEnd { .. } => "SessionEnd",
             LogRecord::Eos { .. } => "Eos",
             LogRecord::OutgoingBind { .. } => "OutgoingBind",
+            LogRecord::Striped { .. } => "Striped",
         }
+    }
+
+    /// Peek the gsn of an *encoded* [`LogRecord::Striped`] payload without
+    /// decoding the inner record — the merge scan's fast path.
+    pub fn striped_gsn(payload: &[u8]) -> Option<Lsn> {
+        if payload.len() < 9 || payload[0] != tag::STRIPED {
+            return None;
+        }
+        Some(Lsn(u64::from_le_bytes(
+            payload[1..9].try_into().expect("slice"),
+        )))
     }
 }
 
@@ -441,6 +465,11 @@ impl Encode for LogRecord {
                 target.encode(buf);
                 outgoing.encode(buf);
             }
+            LogRecord::Striped { gsn, inner } => {
+                codec::put_u8(buf, tag::STRIPED);
+                gsn.encode(buf);
+                inner.encode(buf);
+            }
         }
     }
 }
@@ -503,6 +532,10 @@ impl Decode for LogRecord {
                 session: SessionId::decode(buf)?,
                 target: MspId::decode(buf)?,
                 outgoing: SessionId::decode(buf)?,
+            },
+            tag::STRIPED => LogRecord::Striped {
+                gsn: Lsn::decode(buf)?,
+                inner: Box::new(LogRecord::decode(buf)?),
             },
             other => {
                 return Err(CodecError::InvalidTag {
@@ -654,6 +687,30 @@ mod tests {
             prev_write: Lsn::NULL,
         };
         assert_eq!(rec.session(), None);
+    }
+
+    #[test]
+    fn striped_wrapper_roundtrips_and_peeks() {
+        for inner in sample_records() {
+            let rec = LogRecord::Striped {
+                gsn: Lsn(0xAABB_CCDD_1122_3344),
+                inner: Box::new(inner.clone()),
+            };
+            assert_eq!(roundtrip(&rec).unwrap(), rec);
+            // The gsn is peekable at a fixed payload position.
+            let bytes = rec.to_bytes();
+            assert_eq!(
+                LogRecord::striped_gsn(&bytes),
+                Some(Lsn(0xAABB_CCDD_1122_3344))
+            );
+            // Attribution delegates to the wrapped record.
+            assert_eq!(rec.session(), inner.session());
+        }
+        // Non-striped payloads peek as None.
+        assert_eq!(
+            LogRecord::striped_gsn(&sample_records()[0].to_bytes()),
+            None
+        );
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub struct LogStats {
     prefetch_chunks: AtomicU64,
     flush_tickets_issued: AtomicU64,
     flush_tickets_completed: AtomicU64,
+    stripe_appends: AtomicU64,
+    stripe_flushes: AtomicU64,
+    merged_watermark_lag_nanos: AtomicU64,
 }
 
 /// A point-in-time copy of [`LogStats`].
@@ -71,6 +74,15 @@ pub struct LogStatsSnapshot {
     /// Flush tickets completed successfully by a durable advance. Tickets
     /// failed by a crash/shutdown are issued but never completed.
     pub flush_tickets_completed: u64,
+    /// Records routed through a striped log's append path.
+    pub stripe_appends: u64,
+    /// Per-stripe flush legs issued by merged flush requests (one merged
+    /// flush touching three stripes counts three).
+    pub stripe_flushes: u64,
+    /// Total nanoseconds between the *first* and *last* stripe leg of
+    /// each merged flush settling — how long the merged durability
+    /// watermark trailed the fastest stripe.
+    pub merged_watermark_lag_nanos: u64,
 }
 
 impl LogStats {
@@ -130,6 +142,19 @@ impl LogStats {
         self.flush_tickets_completed.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn on_stripe_append(&self) {
+        self.stripe_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_stripe_flush(&self) {
+        self.stripe_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_merged_watermark_lag(&self, nanos: u64) {
+        self.merged_watermark_lag_nanos
+            .fetch_add(nanos, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> LogStatsSnapshot {
         LogStatsSnapshot {
             appends: self.appends.load(Ordering::Relaxed),
@@ -148,6 +173,9 @@ impl LogStats {
             prefetch_chunks: self.prefetch_chunks.load(Ordering::Relaxed),
             flush_tickets_issued: self.flush_tickets_issued.load(Ordering::Relaxed),
             flush_tickets_completed: self.flush_tickets_completed.load(Ordering::Relaxed),
+            stripe_appends: self.stripe_appends.load(Ordering::Relaxed),
+            stripe_flushes: self.stripe_flushes.load(Ordering::Relaxed),
+            merged_watermark_lag_nanos: self.merged_watermark_lag_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -173,6 +201,38 @@ impl LogStatsSnapshot {
             prefetch_chunks: self.prefetch_chunks - earlier.prefetch_chunks,
             flush_tickets_issued: self.flush_tickets_issued - earlier.flush_tickets_issued,
             flush_tickets_completed: self.flush_tickets_completed - earlier.flush_tickets_completed,
+            stripe_appends: self.stripe_appends - earlier.stripe_appends,
+            stripe_flushes: self.stripe_flushes - earlier.stripe_flushes,
+            merged_watermark_lag_nanos: self.merged_watermark_lag_nanos
+                - earlier.merged_watermark_lag_nanos,
+        }
+    }
+
+    /// Field-wise sum — a striped log's aggregate view is the sum of its
+    /// per-stripe snapshots plus the striping-level counters.
+    #[must_use]
+    pub fn merge(&self, other: &LogStatsSnapshot) -> LogStatsSnapshot {
+        LogStatsSnapshot {
+            appends: self.appends + other.appends,
+            appended_bytes: self.appended_bytes + other.appended_bytes,
+            flushes: self.flushes + other.flushes,
+            flushed_sectors: self.flushed_sectors + other.flushed_sectors,
+            padded_bytes: self.padded_bytes + other.padded_bytes,
+            record_reads: self.record_reads + other.record_reads,
+            scan_chunks: self.scan_chunks + other.scan_chunks,
+            readahead_chunks: self.readahead_chunks + other.readahead_chunks,
+            append_reservations: self.append_reservations + other.append_reservations,
+            group_commit_batches: self.group_commit_batches + other.group_commit_batches,
+            replay_cache_hits: self.replay_cache_hits + other.replay_cache_hits,
+            replay_cache_misses: self.replay_cache_misses + other.replay_cache_misses,
+            replay_cache_evictions: self.replay_cache_evictions + other.replay_cache_evictions,
+            prefetch_chunks: self.prefetch_chunks + other.prefetch_chunks,
+            flush_tickets_issued: self.flush_tickets_issued + other.flush_tickets_issued,
+            flush_tickets_completed: self.flush_tickets_completed + other.flush_tickets_completed,
+            stripe_appends: self.stripe_appends + other.stripe_appends,
+            stripe_flushes: self.stripe_flushes + other.stripe_flushes,
+            merged_watermark_lag_nanos: self.merged_watermark_lag_nanos
+                + other.merged_watermark_lag_nanos,
         }
     }
 }
@@ -199,6 +259,10 @@ mod tests {
         s.on_ticket_issued();
         s.on_ticket_issued();
         s.on_ticket_completed();
+        s.on_stripe_append();
+        s.on_stripe_flush();
+        s.on_stripe_flush();
+        s.on_merged_watermark_lag(750);
         let snap = s.snapshot();
         assert_eq!(snap.appends, 2);
         assert_eq!(snap.appended_bytes, 150);
@@ -215,6 +279,25 @@ mod tests {
         assert_eq!(snap.prefetch_chunks, 1);
         assert_eq!(snap.flush_tickets_issued, 2);
         assert_eq!(snap.flush_tickets_completed, 1);
+        assert_eq!(snap.stripe_appends, 1);
+        assert_eq!(snap.stripe_flushes, 2);
+        assert_eq!(snap.merged_watermark_lag_nanos, 750);
+    }
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let s = LogStats::default();
+        s.on_append(100);
+        s.on_flush(3, 200);
+        let a = s.snapshot();
+        let t = LogStats::default();
+        t.on_append(50);
+        t.on_stripe_flush();
+        let m = a.merge(&t.snapshot());
+        assert_eq!(m.appends, 2);
+        assert_eq!(m.appended_bytes, 150);
+        assert_eq!(m.flushes, 1);
+        assert_eq!(m.stripe_flushes, 1);
     }
 
     #[test]

@@ -103,6 +103,30 @@ fn workload_shapes_hold_exactly_once_under_crash_storms() {
     }
 }
 
+/// The PR-8 striped shape — session churn over a 2-stripe WAL and a
+/// 2-shard runtime — holds the exactly-once oracle under the same crash
+/// storms, and the post-mortem audit re-merges the per-stripe gsn
+/// streams into one contiguous log on every crash.
+#[test]
+fn striped_churn_holds_exactly_once_under_crash_storms() {
+    for config in [SystemConfig::LoOptimistic, SystemConfig::Pessimistic] {
+        for seed in SEEDS {
+            let mut opts = storm_opts(seed, config);
+            opts.shape = WorkloadShape::StripedChurn;
+            let report = run(&opts);
+            assert!(report.requests > 0, "storm drove no traffic: {report}");
+            assert!(
+                report.crashes > 0,
+                "log-based storm injected no crashes: {report}"
+            );
+            assert!(
+                !report.audits.is_empty(),
+                "striped storm skipped the post-mortem audit: {report}"
+            );
+        }
+    }
+}
+
 /// Session churn on the baseline configurations: the END_SESSION resend
 /// path (lost acknowledgement → fresh cell) must not wedge clients on
 /// any strategy, lossy links included.
