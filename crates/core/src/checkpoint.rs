@@ -28,6 +28,40 @@ use crate::runtime::{MspInner, WorkItem};
 use crate::session::{SessionCell, SessionState};
 use crate::shared::SharedVar;
 
+/// Fold the reclaim floor from the live dependency set: the minimum over
+/// the anchored MSP checkpoint's scan start (`anchor_min_lsn`), every
+/// session's earliest live position-stream entry, every shared variable's
+/// write-chain head, and the oldest still-pending flush ticket or
+/// durability gate — clamped to the durable end (volatile bytes are
+/// never reclaimed). Every byte strictly below the returned LSN is dead:
+/// no future recovery scan, replay read, orphan rollback or flush can
+/// reference it.
+///
+/// `None` for `anchor_min_lsn` means no MSP checkpoint was ever anchored;
+/// recovery would scan from the head of the log, so nothing may be
+/// reclaimed (`Lsn(0)` — the log clamps it up to its data start).
+pub fn fold_reclaim_floor(
+    anchor_min_lsn: Option<Lsn>,
+    session_anchors: &[Lsn],
+    shared_anchors: &[Lsn],
+    oldest_pending: Option<Lsn>,
+    durable: Lsn,
+) -> Lsn {
+    let Some(mut floor) = anchor_min_lsn else {
+        return Lsn(0);
+    };
+    for &lsn in session_anchors {
+        floor = floor.min(lsn);
+    }
+    for &lsn in shared_anchors {
+        floor = floor.min(lsn);
+    }
+    if let Some(lsn) = oldest_pending {
+        floor = floor.min(lsn);
+    }
+    floor.min(durable)
+}
+
 impl MspInner {
     /// Take a session checkpoint (caller holds the session's state lock,
     /// which also "holds new requests until the checkpoint is completed").
@@ -210,24 +244,102 @@ impl MspInner {
                 }
             }
         }
+
+        // Bounded-log operation: every checkpoint refreshes the reclaim
+        // floor and gives the space below it back to the device. Failures
+        // (e.g. an armed truncation crash point) surface to the caller;
+        // the checkpoint itself is already durable and anchored.
+        self.truncate_log()?;
         Ok(())
     }
 
-    /// Periodic checkpointer thread body.
+    /// Recompute the reclaim floor from the live dependency set and
+    /// truncate the log below it. Returns the resulting floor and the
+    /// bytes reclaimed by this call (zero when the floor cannot advance).
+    ///
+    /// A no-op when checkpointing is disabled: that configuration's
+    /// contract is a full-history log (tests and audits rely on every
+    /// record surviving), and the only checkpoint that could anchor a
+    /// floor is the unconditional end-of-recovery one.
+    pub(crate) fn truncate_log(&self) -> MspResult<(Lsn, u64)> {
+        let log = self.log();
+        if !self.cfg.logging.checkpoints_enabled {
+            return Ok((log.floor(), 0));
+        }
+        // The floor may never pass the anchored checkpoint's scan start:
+        // crash recovery reads the anchor, then scans from the
+        // checkpoint body's `min_lsn`.
+        let anchor_min = match self
+            .anchor
+            .as_ref()
+            .and_then(|a| a.read().ok().flatten())
+            .map(|lsn| log.read_record(lsn))
+        {
+            Some(Ok(LogRecord::MspCheckpoint(body))) => Some(body.min_lsn),
+            _ => None,
+        };
+        let session_anchors: Vec<Lsn> = self
+            .sessions
+            .lock()
+            .values()
+            .filter_map(|cell| cell.anchor().map(|(lsn, _)| lsn))
+            .collect();
+        let shared_anchors: Vec<Lsn> = self.shared.iter().filter_map(|var| var.anchor()).collect();
+        // The oldest outstanding local durability work: un-settled flush
+        // tickets inside the log, plus issued-but-unsettled durability
+        // gates whose local leg still waits on an LSN.
+        let mut oldest_pending = log.oldest_pending_flush();
+        for (gate, _) in self.pending_flushes.lock().values() {
+            if let Some(lsn) = gate.pending_local_target() {
+                oldest_pending = Some(oldest_pending.map_or(lsn, |p| p.min(lsn)));
+            }
+        }
+        let floor = fold_reclaim_floor(
+            anchor_min,
+            &session_anchors,
+            &shared_anchors,
+            oldest_pending,
+            log.durable_lsn(),
+        );
+        let reclaimed = log.truncate_below(floor)?;
+        Ok((log.floor(), reclaimed))
+    }
+
+    /// Periodic checkpointer thread body. Checkpoints fire on the timer
+    /// *or* as soon as `checkpoint_interval_bytes` of log have been
+    /// appended since the last checkpoint, whichever comes first — under
+    /// sustained load the byte trigger bounds how much log can pile up
+    /// between truncations.
     pub(crate) fn checkpointer_loop(self: std::sync::Arc<Self>) {
         let interval = self.cfg.logging.msp_ckpt_interval;
+        let byte_interval = self.cfg.logging.checkpoint_interval_bytes;
+        let mut last_end = self.log().end_lsn().0;
         while !self.stopped() {
-            // Sleep in small slices so shutdown is prompt.
+            // Sleep in small slices so shutdown is prompt and log growth
+            // is noticed early.
             let mut remaining = interval;
+            let mut byte_due = false;
             while remaining > Duration::ZERO && !self.stopped() {
                 let slice = remaining.min(Duration::from_millis(20));
                 std::thread::sleep(slice);
                 remaining = remaining.saturating_sub(slice);
+                if byte_interval > 0
+                    && self.log().end_lsn().0.saturating_sub(last_end) >= byte_interval
+                {
+                    byte_due = true;
+                    break;
+                }
             }
             if self.stopped() {
                 return;
             }
+            if byte_due {
+                self.stats
+                    .checkpoints_scheduled
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             let _ = self.msp_checkpoint();
+            last_end = self.log().end_lsn().0;
         }
     }
 }

@@ -106,6 +106,12 @@ pub struct LoggingConfig {
     pub force_ckpt_after: u32,
     /// Disable all checkpointing (the *NoCp* rows of Figure 16).
     pub checkpoints_enabled: bool,
+    /// Take an MSP checkpoint (and truncate the log behind the reclaim
+    /// floor) as soon as this many log bytes have been appended since the
+    /// last anchored checkpoint, without waiting out `msp_ckpt_interval`.
+    /// Bounds the on-disk footprint under sustained load. `0` disables
+    /// byte-driven scheduling (timer only).
+    pub checkpoint_interval_bytes: u64,
 }
 
 impl Default for LoggingConfig {
@@ -116,6 +122,7 @@ impl Default for LoggingConfig {
             msp_ckpt_interval: Duration::from_millis(250),
             force_ckpt_after: 8,
             checkpoints_enabled: true,
+            checkpoint_interval_bytes: 8 << 20,
         }
     }
 }
@@ -408,6 +415,11 @@ mod tests {
         assert!(!cfg.serial_recovery);
         assert_eq!(cfg.log_stripes, 0, "single log is the default");
         assert_eq!(cfg.runtime_shards, 1, "one shard is the default");
+        assert_eq!(
+            cfg.logging.checkpoint_interval_bytes,
+            8 << 20,
+            "byte-driven checkpoint scheduling is on by default"
+        );
     }
 
     #[test]

@@ -75,6 +75,10 @@ impl GateState {
 pub(crate) struct DurabilityGate {
     state: Mutex<GateState>,
     cv: Condvar,
+    /// The local log position the gate's local flush leg targets, if any.
+    /// The reclaim floor folds this in: log bytes a still-pending gate
+    /// waits on must never be truncated out from under it.
+    local_lsn: Option<Lsn>,
     /// One nudge feed per runtime shard: the gate does not know which
     /// shard (if any) parked an envelope on it, so progress fans out to
     /// every release stage.
@@ -102,7 +106,7 @@ fn clone_gate_err(e: &MspError) -> MspError {
 impl DurabilityGate {
     fn new(
         legs: Vec<RemoteLeg>,
-        local_pending: bool,
+        local_lsn: Option<Lsn>,
         nudge: Vec<Sender<ReleaseCmd>>,
     ) -> Arc<DurabilityGate> {
         let remote_pending = legs.len();
@@ -110,12 +114,23 @@ impl DurabilityGate {
             state: Mutex::new(GateState {
                 legs,
                 remote_pending,
-                local_pending,
+                local_pending: local_lsn.is_some(),
                 failed: None,
             }),
             cv: Condvar::new(),
+            local_lsn,
             nudge,
         })
+    }
+
+    /// The local LSN this gate still waits on, or `None` once settled
+    /// (or when the gate never had a local leg).
+    pub(crate) fn pending_local_target(&self) -> Option<Lsn> {
+        let st = self.state.lock();
+        if st.settled() {
+            return None;
+        }
+        self.local_lsn
     }
 
     /// Non-blocking outcome check: `None` while legs are outstanding.
@@ -271,7 +286,7 @@ impl MspInner {
                 done: false,
             })
             .collect();
-        let gate = DurabilityGate::new(legs, local_lsn.is_some(), self.nudge_senders());
+        let gate = DurabilityGate::new(legs, local_lsn, self.nudge_senders());
 
         // Fire all remote requests first so they overlap with the local
         // flush (parallel flushes, §3.1 / §5.2).

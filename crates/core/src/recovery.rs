@@ -252,6 +252,10 @@ impl MspInner {
                 }
             }
         }
+        // Truncation keeps the floor at or below every anchored scan
+        // start, so this clamp is normally a no-op — it is defense in
+        // depth against ever scanning bytes the device reclaimed.
+        scan_start = scan_start.max(log.floor());
 
         // 2. Analysis scan: rebuild position streams, roll shared
         //    variables forward, gather knowledge. The parallel engine

@@ -278,6 +278,10 @@ pub struct RuntimeStats {
     pub session_checkpoints: AtomicU64,
     pub shared_checkpoints: AtomicU64,
     pub msp_checkpoints: AtomicU64,
+    /// MSP checkpoints triggered by the byte-driven scheduler (log growth
+    /// since the last anchor crossed `checkpoint_interval_bytes`) rather
+    /// than the periodic timer.
+    pub checkpoints_scheduled: AtomicU64,
     pub crash_recoveries: AtomicU64,
     pub distributed_flushes: AtomicU64,
     pub flush_requests_served: AtomicU64,
@@ -331,6 +335,7 @@ pub struct RuntimeStatsSnapshot {
     pub session_checkpoints: u64,
     pub shared_checkpoints: u64,
     pub msp_checkpoints: u64,
+    pub checkpoints_scheduled: u64,
     pub crash_recoveries: u64,
     pub distributed_flushes: u64,
     pub flush_requests_served: u64,
@@ -360,6 +365,7 @@ impl RuntimeStats {
             session_checkpoints: self.session_checkpoints.load(Ordering::Relaxed),
             shared_checkpoints: self.shared_checkpoints.load(Ordering::Relaxed),
             msp_checkpoints: self.msp_checkpoints.load(Ordering::Relaxed),
+            checkpoints_scheduled: self.checkpoints_scheduled.load(Ordering::Relaxed),
             crash_recoveries: self.crash_recoveries.load(Ordering::Relaxed),
             distributed_flushes: self.distributed_flushes.load(Ordering::Relaxed),
             flush_requests_served: self.flush_requests_served.load(Ordering::Relaxed),
@@ -2322,6 +2328,32 @@ impl MspHandle {
         if let Some(log) = &self.inner.log {
             log.install_fault_plan(plan);
         }
+    }
+
+    /// Take an MSP checkpoint right now (test/benchmark hook); also
+    /// truncates the log behind the refreshed reclaim floor, like every
+    /// checkpoint does. No-op error on non-logging strategies.
+    pub fn force_msp_checkpoint(&self) -> msp_types::MspResult<()> {
+        if !self.inner.is_log_based() {
+            return Err(MspError::Config("no log to checkpoint".into()));
+        }
+        self.inner.msp_checkpoint()
+    }
+
+    /// Recompute the reclaim floor from the live dependency set and
+    /// truncate the log below it. Returns the resulting floor and the
+    /// bytes reclaimed by this call.
+    pub fn truncate_log(&self) -> msp_types::MspResult<(Lsn, u64)> {
+        if !self.inner.is_log_based() {
+            return Err(MspError::Config("no log to truncate".into()));
+        }
+        self.inner.truncate_log()
+    }
+
+    /// The log's current reclaim floor (LogBased only): no record below
+    /// it survives on disk.
+    pub fn reclaim_floor(&self) -> Option<Lsn> {
+        self.inner.log.as_ref().map(|l| l.floor())
     }
 }
 

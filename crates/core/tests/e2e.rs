@@ -51,6 +51,7 @@ fn fast_logging() -> LoggingConfig {
         msp_ckpt_interval: Duration::from_millis(50),
         force_ckpt_after: 8,
         checkpoints_enabled: true,
+        checkpoint_interval_bytes: 0,
     }
 }
 

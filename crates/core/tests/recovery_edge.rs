@@ -25,6 +25,7 @@ fn logging(session_threshold: u64) -> LoggingConfig {
         msp_ckpt_interval: Duration::from_millis(15),
         force_ckpt_after: 2,
         checkpoints_enabled: true,
+        checkpoint_interval_bytes: 0,
     }
 }
 

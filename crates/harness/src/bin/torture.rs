@@ -5,6 +5,7 @@
 //! ```text
 //! torture [--seeds N] [--seed-base B] [--config NAME] [--shape NAME]
 //!         [--requests N] [--events N] [--blocking]
+//!         [--long-run] [--footprint-cap BYTES] [--crashes N] [--min-requests N]
 //! ```
 //!
 //! Without `--shape`, each seed rotates through the workload shapes
@@ -13,6 +14,12 @@
 //! configuration — without multiplying its runtime. `--blocking` runs the
 //! storm on the pre-pipeline blocking durability path.
 //!
+//! `--long-run` switches to the bounded-log tier: continuous traffic
+//! under a byte-driven checkpoint/truncate loop with fixed-cadence MSP1
+//! kills, asserting the on-disk footprint stays under `--footprint-cap`
+//! and per-crash MTTR stays flat. Seeds rotate plain/striped worlds on
+//! the two log-based configurations.
+//!
 //! Each run prints one line; any oracle or post-mortem failure prints
 //! the seed and the exact one-liner that replays it, and the process
 //! exits non-zero. CI runs this with a fixed small seed set.
@@ -20,7 +27,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use msp_harness::torture::{run_torture, TortureOptions, WorkloadShape};
+use msp_harness::torture::{
+    run_torture, run_torture_long_run, LongRunOptions, TortureOptions, WorkloadShape,
+};
 use msp_harness::SystemConfig;
 
 struct Args {
@@ -31,6 +40,10 @@ struct Args {
     requests: u64,
     events: usize,
     blocking: bool,
+    long_run: bool,
+    footprint_cap: Option<u64>,
+    crashes: Option<u32>,
+    min_requests: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +55,10 @@ fn parse_args() -> Args {
         requests: 10,
         events: 3,
         blocking: false,
+        long_run: false,
+        footprint_cap: None,
+        crashes: None,
+        min_requests: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,14 +84,79 @@ fn parse_args() -> Args {
             "--requests" => args.requests = val().parse().expect("--requests N"),
             "--events" => args.events = val().parse().expect("--events N"),
             "--blocking" => args.blocking = true,
+            "--long-run" => args.long_run = true,
+            "--footprint-cap" => {
+                args.footprint_cap = Some(val().parse().expect("--footprint-cap BYTES"))
+            }
+            "--crashes" => args.crashes = Some(val().parse().expect("--crashes N")),
+            "--min-requests" => args.min_requests = Some(val().parse().expect("--min-requests N")),
             other => panic!("unknown flag {other}"),
         }
     }
     args
 }
 
+/// The `--long-run` driver: one bounded-log session per seed, rotating
+/// plain/striped worlds across the log-based configurations.
+fn main_long_run(args: &Args) -> ExitCode {
+    let t0 = Instant::now();
+    let mut runs = 0u64;
+    let mut failures: Vec<(u64, SystemConfig, bool, String)> = Vec::new();
+    for seed in args.seed_base..args.seed_base + args.seeds {
+        let config = args.config.unwrap_or(if seed % 2 == 0 {
+            SystemConfig::Pessimistic
+        } else {
+            SystemConfig::LoOptimistic
+        });
+        let mut opts = LongRunOptions::new(seed, config);
+        opts.striped = seed % 4 >= 2;
+        if let Some(cap) = args.footprint_cap {
+            opts.footprint_cap = cap;
+        }
+        if let Some(crashes) = args.crashes {
+            opts.crashes = crashes;
+        }
+        if let Some(min) = args.min_requests {
+            opts.min_requests_per_client = min;
+        }
+        runs += 1;
+        match run_torture_long_run(&opts) {
+            Ok(report) => println!("ok    {report}"),
+            Err(msg) => {
+                println!("FAIL  seed={seed:<4} config={:<12} {msg}", config.name());
+                failures.push((seed, config, opts.striped, msg));
+            }
+        }
+    }
+    println!(
+        "\n{} long runs in {:.1} s: {} failures",
+        runs,
+        t0.elapsed().as_secs_f64(),
+        failures.len()
+    );
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for (seed, config, striped, msg) in &failures {
+            eprintln!(
+                "\nFAILED seed={seed} config={} striped={striped}: {msg}",
+                config.name()
+            );
+            eprintln!(
+                "reproduce with: cargo run --release --bin torture -- --long-run \
+                 --seed-base {seed} --seeds 1 --config {}",
+                config.name()
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.long_run {
+        return main_long_run(&args);
+    }
     let configs: Vec<SystemConfig> = match args.config {
         Some(c) => vec![c],
         None => SystemConfig::ALL.to_vec(),

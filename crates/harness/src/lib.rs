@@ -28,5 +28,8 @@ pub mod workload;
 pub mod world;
 
 pub use metrics::{await_recovery, RecoveryPhases, Series, Summary};
-pub use torture::{run_torture, Schedule, TortureOptions, TortureReport, WorkloadShape};
+pub use torture::{
+    run_torture, run_torture_long_run, LongRunOptions, LongRunReport, Schedule, TortureOptions,
+    TortureReport, WorkloadShape,
+};
 pub use world::{FlushMode, SystemConfig, World, WorldOptions};

@@ -341,6 +341,11 @@ pub struct LogAudit {
     /// durable record stream; trailing zero-padding comes after).
     pub scan_end: u64,
     pub disk_len: u64,
+    /// The persisted reclaim floor (merged gsn floor on a striped log):
+    /// every byte of the record area below it was verified zero *before*
+    /// the audit re-opened the log (the open itself re-issues the device
+    /// reclaim, so checking after would be vacuous).
+    pub reclaim_floor: u64,
 }
 
 /// What one run did; returned on success so callers (the bin, CI) can
@@ -364,6 +369,14 @@ pub struct TortureReport {
     pub scheduled_recovery_events: u64,
     /// Events skipped because the storm's traffic ended first.
     pub skipped_events: u64,
+    /// Device truncations across both MSPs (per-stripe ops on striped
+    /// worlds), summed from the final incarnations' log stats.
+    pub truncations: u64,
+    /// Log bytes recycled across both MSPs.
+    pub bytes_reclaimed: u64,
+    /// Byte-growth-triggered checkpoints across both MSPs (timer-driven
+    /// ones are not counted here).
+    pub checkpoints_scheduled: u64,
     /// Post-mortem audits (MSP1 then MSP2) on log-based configs.
     pub audits: Vec<LogAudit>,
 }
@@ -390,12 +403,20 @@ impl std::fmt::Display for TortureReport {
             self.audits
                 .iter()
                 .map(|a| format!(
-                    "{}rec/{}eos/{}rc",
-                    a.records, a.eos_records, a.recovery_completes
+                    "{}rec/{}eos/{}rc/floor{}",
+                    a.records, a.eos_records, a.recovery_completes, a.reclaim_floor
                 ))
                 .collect::<Vec<_>>()
                 .join(" "),
-        )
+        )?;
+        if self.truncations > 0 {
+            write!(
+                f,
+                " trunc={} reclaimed={}B byte_ckpts={}",
+                self.truncations, self.bytes_reclaimed, self.checkpoints_scheduled
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -451,6 +472,10 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
         } else {
             1
         },
+        // The storm's checkpoints stay timer-driven; byte-driven
+        // truncation pressure is the long-run tier's job
+        // ([`run_torture_long_run`]).
+        checkpoint_interval_bytes: 0,
     });
 
     let (res_tx, res_rx) = crossbeam_channel::unbounded::<Result<u64, String>>();
@@ -758,6 +783,40 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
         }
     }
 
+    // Truncation counters come from the final incarnations' stats, so
+    // they must be read before the shutdown drops the handles. (They
+    // undercount across crashes — each rebuild starts fresh counters —
+    // but the storm only asserts on the audits; the numbers are for the
+    // report.)
+    let mut truncations = 0u64;
+    let mut bytes_reclaimed = 0u64;
+    let mut checkpoints_scheduled = 0u64;
+    if opts.config.is_log_based() {
+        for slot in [&world.msp1, &world.msp2] {
+            if let Some(ls) = slot.log_stats() {
+                truncations += ls.log_truncations;
+                bytes_reclaimed += ls.bytes_reclaimed;
+            }
+            if let Some(st) = slot.stats() {
+                checkpoints_scheduled += st.checkpoints_scheduled;
+            }
+        }
+        if std::env::var_os("TORTURE_TRACE").is_some() {
+            for (who, slot) in [("MSP1", &world.msp1), ("MSP2", &world.msp2)] {
+                eprintln!(
+                    "[trace] {who} trunc={:?} floor={:?} footprint={}",
+                    slot.log_stats().map(|ls| (
+                        ls.log_truncations,
+                        ls.bytes_reclaimed,
+                        ls.reclaim_floor_lsn
+                    )),
+                    slot.reclaim_floor(),
+                    slot.footprint(),
+                );
+            }
+        }
+    }
+
     // Post-mortem: shut the world down cleanly, then re-open the final
     // disks and audit the log structure.
     let disks = opts
@@ -796,8 +855,441 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
             .filter(|e| e.during_recovery.is_some())
             .count() as u64,
         skipped_events,
+        truncations,
+        bytes_reclaimed,
+        checkpoints_scheduled,
         audits,
     })
+}
+
+/// Tuning of one long-run bounded-log session ([`run_torture_long_run`]).
+#[derive(Debug, Clone)]
+pub struct LongRunOptions {
+    pub seed: u64,
+    pub config: SystemConfig,
+    /// Run the scale-out shape: WAL striped over two disks, runtime
+    /// sharded two ways (the merged-gsn truncation path).
+    pub striped: bool,
+    /// Concurrent clients. Each issues requests continuously until the
+    /// crash sequence has finished *and* it has issued at least
+    /// `min_requests_per_client`.
+    pub clients: u64,
+    pub min_requests_per_client: u64,
+    /// Fixed-cadence MSP1 kills the controller performs.
+    pub crashes: u32,
+    /// Traffic time between kills.
+    pub crash_interval: Duration,
+    /// Per-MSP on-disk footprint bound ([`crate::world::MspSlot::footprint`],
+    /// sampled continuously); `0` disables the check.
+    pub footprint_cap: u64,
+    /// Byte-growth checkpoint trigger handed to the world — the knob the
+    /// run exists to exercise.
+    pub checkpoint_interval_bytes: u64,
+    pub settle_timeout: Duration,
+}
+
+impl LongRunOptions {
+    pub fn new(seed: u64, config: SystemConfig) -> LongRunOptions {
+        LongRunOptions {
+            seed,
+            config,
+            striped: false,
+            clients: 6,
+            min_requests_per_client: 100,
+            crashes: 8,
+            crash_interval: Duration::from_millis(200),
+            footprint_cap: 4 << 20,
+            checkpoint_interval_bytes: 256 << 10,
+            settle_timeout: Duration::from_secs(240),
+        }
+    }
+}
+
+/// What one long-run session measured.
+#[derive(Debug, Clone)]
+pub struct LongRunReport {
+    pub seed: u64,
+    pub config: SystemConfig,
+    pub striped: bool,
+    pub clients: u64,
+    /// Requests acked across all clients (the run length).
+    pub requests: u64,
+    pub msp2_calls: u64,
+    /// Kills performed (== `opts.crashes` on success).
+    pub crashes: u64,
+    /// Per-crash repair time: kill → restart returns → `recovery_complete`.
+    pub mttr: Vec<Duration>,
+    /// Highest per-MSP footprint any sample saw.
+    pub peak_footprint: u64,
+    pub footprint_cap: u64,
+    pub truncations: u64,
+    pub bytes_reclaimed: u64,
+    pub checkpoints_scheduled: u64,
+    /// Floor-aware post-mortem audits (MSP1 then MSP2).
+    pub audits: Vec<LogAudit>,
+}
+
+impl LongRunReport {
+    /// Mean repair time of the first and last MTTR quartile, each sample
+    /// clamped to 25 ms so scheduler noise on near-instant recoveries
+    /// cannot fake (or mask) a trend. `None` below 4 samples.
+    pub fn mttr_quartile_means(&self) -> Option<(f64, f64)> {
+        if self.mttr.len() < 4 {
+            return None;
+        }
+        let clamp = |d: &Duration| d.as_secs_f64().max(0.025);
+        let q = self.mttr.len() / 4;
+        let first = self.mttr[..q].iter().map(clamp).sum::<f64>() / q as f64;
+        let last = self.mttr[self.mttr.len() - q..]
+            .iter()
+            .map(clamp)
+            .sum::<f64>()
+            / q as f64;
+        Some((first, last))
+    }
+}
+
+impl std::fmt::Display for LongRunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (first, last) = self.mttr_quartile_means().unwrap_or((0.0, 0.0));
+        write!(
+            f,
+            "seed={:<4} config={:<12} striped={} clients={} requests={:<5} m2_calls={:<5} \
+             crashes={} mttr_q1={:.0}ms mttr_q4={:.0}ms peak_footprint={}B cap={}B \
+             trunc={} reclaimed={}B byte_ckpts={} floors=[{}]",
+            self.seed,
+            self.config.name(),
+            self.striped,
+            self.clients,
+            self.requests,
+            self.msp2_calls,
+            self.crashes,
+            first * 1e3,
+            last * 1e3,
+            self.peak_footprint,
+            self.footprint_cap,
+            self.truncations,
+            self.bytes_reclaimed,
+            self.checkpoints_scheduled,
+            self.audits
+                .iter()
+                .map(|a| a.reclaim_floor.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+        )
+    }
+}
+
+/// The bounded-log acceptance run: continuous traffic, a byte-driven
+/// checkpoint/truncate loop, fixed-cadence MSP1 kills — and three
+/// assertions the storm tier cannot make:
+///
+/// 1. **Fixed disk footprint** — a monitor samples each MSP's live
+///    on-disk footprint throughout; the peak must stay under
+///    `footprint_cap` no matter how long the run is.
+/// 2. **Flat MTTR** — per-crash repair time is recorded; the mean of the
+///    last quartile must stay within 1.5× the first quartile's (recovery
+///    work is bounded by the checkpoint interval, not by run length).
+/// 3. **Exactly-once under truncation** — the same three-layer oracle as
+///    [`run_torture`], with the post-mortem audits running their
+///    floor-aware variants.
+pub fn run_torture_long_run(opts: &LongRunOptions) -> Result<LongRunReport, String> {
+    use std::sync::atomic::AtomicBool;
+
+    if !opts.config.is_log_based() {
+        return Err(format!(
+            "long-run: config {} has no log to bound",
+            opts.config.name()
+        ));
+    }
+    let tag = format!(
+        "torture-long-run seed={} config={}{}",
+        opts.seed,
+        opts.config.name(),
+        if opts.striped { " striped" } else { "" }
+    );
+
+    let world = World::start(WorldOptions {
+        config: opts.config,
+        time_scale: 0.0,
+        session_ckpt_threshold: 4096,
+        checkpoints_enabled: true,
+        flush_mode: FlushMode::PerRequest,
+        workers: 4,
+        seed: opts.seed,
+        crash_every: 0,
+        durability_watermarks: true,
+        blocking_durability: false,
+        blocking_send_durability: false,
+        db_txn_overhead: Duration::ZERO,
+        log_stripes: if opts.striped { 2 } else { 0 },
+        runtime_shards: if opts.striped { 2 } else { 1 },
+        checkpoint_interval_bytes: opts.checkpoint_interval_bytes,
+    });
+
+    let trace = std::env::var_os("TORTURE_TRACE").is_some();
+    let (res_tx, res_rx) = crossbeam_channel::unbounded::<Result<(u64, u64), String>>();
+    let done = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let peak = AtomicU64::new(0);
+    let mut mttr: Vec<Duration> = Vec::with_capacity(opts.crashes as usize);
+    let mut controller_err: Option<String> = None;
+    let mut results: Vec<Result<(u64, u64), String>> = Vec::with_capacity(opts.clients as usize);
+
+    std::thread::scope(|s| {
+        // ---- clients: run until told to stop ------------------------ //
+        for c in 0..opts.clients {
+            let tx = res_tx.clone();
+            let (world, done, stop, tag) = (&world, &done, &stop, &tag);
+            let min_req = opts.min_requests_per_client;
+            s.spawn(move || {
+                let mut client = world.client(20_000 + c);
+                let mut expect = 0u64;
+                let mut calls = 0u64;
+                let mut verdict = Ok(());
+                loop {
+                    if stop.load(Ordering::SeqCst) && expect >= min_req {
+                        break;
+                    }
+                    // `m` alternates 1/2 deterministically — no RNG, so
+                    // the totals are pure arithmetic over the ack counts.
+                    let m = 1 + ((c + expect) % 2) as u8;
+                    match client.call(MSP1, "ServiceMethod1", &request_payload(m)) {
+                        Ok(reply) => {
+                            expect += 1;
+                            let k = reply_counter(&reply);
+                            if k != expect {
+                                verdict = Err(format!(
+                                    "{tag}: client {c} request {expect} saw session \
+                                     counter {k}, want {expect} (lost or duplicated \
+                                     execution)"
+                                ));
+                                break;
+                            }
+                            calls += m as u64;
+                        }
+                        Err(e) => {
+                            verdict = Err(format!(
+                                "{tag}: client {c} request {} failed: {e}",
+                                expect + 1
+                            ));
+                            break;
+                        }
+                    }
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(verdict.map(|()| (expect, calls)));
+            });
+        }
+        drop(res_tx);
+
+        // ---- footprint monitor -------------------------------------- //
+        {
+            let (world, done, peak) = (&world, &done, &peak);
+            let clients = opts.clients;
+            s.spawn(move || {
+                while done.load(Ordering::SeqCst) < clients {
+                    for slot in [&world.msp1, &world.msp2] {
+                        peak.fetch_max(slot.footprint(), Ordering::SeqCst);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+
+        // ---- fixed-cadence crash controller ------------------------- //
+        for k in 0..opts.crashes {
+            std::thread::sleep(opts.crash_interval);
+            if trace {
+                eprintln!(
+                    "[trace] long-run crash {k}: MSP1 floor={:?} footprint={}",
+                    world.msp1.reclaim_floor(),
+                    world.msp1.footprint()
+                );
+            }
+            world.msp1.kill();
+            let t0 = Instant::now();
+            let _ = world.msp1.restart();
+            let deadline = Instant::now() + DRAIN_WAIT;
+            while !world.msp1.recovery_complete() {
+                if Instant::now() >= deadline {
+                    controller_err = Some(format!(
+                        "{tag}: crash {k}: MSP1 recovery did not complete \
+                         within {DRAIN_WAIT:?}"
+                    ));
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            mttr.push(t0.elapsed());
+            if trace {
+                eprintln!(
+                    "[trace] long-run crash {k}: repaired in {:?}",
+                    mttr[k as usize]
+                );
+            }
+            if controller_err.is_some() {
+                break;
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+
+        // ---- settle ------------------------------------------------- //
+        let deadline = Instant::now() + opts.settle_timeout;
+        while results.len() < opts.clients as usize {
+            match res_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(r) => results.push(r),
+                Err(_) => {
+                    if Instant::now() >= deadline {
+                        panic!(
+                            "{tag}: run did not settle: {}/{} clients finished \
+                             within {:?}",
+                            results.len(),
+                            opts.clients,
+                            opts.settle_timeout
+                        );
+                    }
+                }
+            }
+        }
+    });
+    if let Some(e) = controller_err {
+        return Err(e);
+    }
+
+    let mut requests = 0u64;
+    let mut msp2_calls = 0u64;
+    for r in results {
+        let (reqs, calls) = r?;
+        requests += reqs;
+        msp2_calls += calls;
+    }
+
+    // Same drain + shared-state oracle as the storm tier.
+    for (who, slot) in [("MSP1", &world.msp1), ("MSP2", &world.msp2)] {
+        let t0 = Instant::now();
+        while !slot.recovery_complete() {
+            if t0.elapsed() > DRAIN_WAIT {
+                return Err(format!(
+                    "{tag}: {who} recovery did not drain within {DRAIN_WAIT:?}"
+                ));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let expect = [
+        ("MSP1", &world.msp1, ["SV0", "SV1"], requests),
+        ("MSP2", &world.msp2, ["SV2", "SV3"], msp2_calls),
+    ];
+    for (who, slot, vars, want) in expect {
+        let shared = slot.dump_shared();
+        if shared.len() != 2 {
+            return Err(format!(
+                "{tag}: {who} dump_shared returned {} vars, want 2",
+                shared.len()
+            ));
+        }
+        for (vi, (name, value)) in vars.iter().zip(&shared).enumerate() {
+            let got = le_counter(value);
+            if got != want {
+                if trace {
+                    dump_var_history(&slot.disks(), who, vi as u32);
+                }
+                return Err(format!(
+                    "{tag}: {who} {name} counter is {got}, want {want} \
+                     (exactly-once violated on shared state)"
+                ));
+            }
+        }
+    }
+
+    // Counters + final footprint sample, then the floor-aware audits.
+    let mut truncations = 0u64;
+    let mut bytes_reclaimed = 0u64;
+    let mut checkpoints_scheduled = 0u64;
+    for slot in [&world.msp1, &world.msp2] {
+        peak.fetch_max(slot.footprint(), Ordering::SeqCst);
+        if let Some(ls) = slot.log_stats() {
+            truncations += ls.log_truncations;
+            bytes_reclaimed += ls.bytes_reclaimed;
+        }
+        if let Some(st) = slot.stats() {
+            checkpoints_scheduled += st.checkpoints_scheduled;
+        }
+    }
+    let disks = [("MSP1", world.msp1.disks()), ("MSP2", world.msp2.disks())];
+    world.shutdown();
+    let mut audits = Vec::new();
+    for (who, stripe_disks) in disks {
+        let wtag = format!("{tag}: {who}");
+        audits.push(if stripe_disks.len() == 1 {
+            audit_log(&stripe_disks[0], &wtag)?
+        } else {
+            audit_striped_log(&stripe_disks, &wtag)?
+        });
+    }
+
+    let report = LongRunReport {
+        seed: opts.seed,
+        config: opts.config,
+        striped: opts.striped,
+        clients: opts.clients,
+        requests,
+        msp2_calls,
+        crashes: mttr.len() as u64,
+        mttr,
+        peak_footprint: peak.load(Ordering::SeqCst),
+        footprint_cap: opts.footprint_cap,
+        truncations,
+        bytes_reclaimed,
+        checkpoints_scheduled,
+        audits: audits.clone(),
+    };
+
+    // ---- the bounded-log assertions ----------------------------------- //
+    if report.truncations == 0 {
+        return Err(format!(
+            "{tag}: the log was never truncated — the byte-driven \
+             checkpoint loop (interval {}B) did not run",
+            opts.checkpoint_interval_bytes
+        ));
+    }
+    if !audits.iter().any(|a| a.reclaim_floor > DATA_START) {
+        return Err(format!(
+            "{tag}: no audited log's reclaim floor advanced past \
+             DATA_START despite {} truncations",
+            report.truncations
+        ));
+    }
+    if opts.footprint_cap > 0 && report.peak_footprint > opts.footprint_cap {
+        return Err(format!(
+            "{tag}: peak per-MSP footprint {}B exceeds the cap {}B — \
+             the log is not bounded",
+            report.peak_footprint, opts.footprint_cap
+        ));
+    }
+    match report.mttr_quartile_means() {
+        None => {
+            return Err(format!(
+                "{tag}: only {} MTTR samples (need ≥ 4 for the flatness \
+                 check) — raise `crashes`",
+                report.mttr.len()
+            ));
+        }
+        Some((first, last)) => {
+            if last > first * 1.5 {
+                return Err(format!(
+                    "{tag}: MTTR is not flat: last-quartile mean {:.1}ms > \
+                     1.5 × first-quartile mean {:.1}ms — recovery work is \
+                     growing with run length",
+                    last * 1e3,
+                    first * 1e3
+                ));
+            }
+        }
+    }
+
+    Ok(report)
 }
 
 /// Frame layout of log.rs: magic byte + u32 length + u32 crc.
@@ -813,6 +1305,11 @@ struct SemanticAudit {
     audit: LogAudit,
     session_at: std::collections::HashMap<u64, Option<msp_types::SessionId>>,
     last_epoch: Option<u32>,
+    /// Reclaim floor the scan started at. An EOS may legally fence an
+    /// orphan below it — the fenced record was checkpoint-covered and
+    /// truncated away — so the fence-target checks only apply at or
+    /// above the floor.
+    floor: u64,
 }
 
 impl SemanticAudit {
@@ -852,21 +1349,23 @@ impl SemanticAudit {
                         orphan_lsn.0
                     ));
                 }
-                match self.session_at.get(&orphan_lsn.0) {
-                    Some(Some(s)) if s == session => {}
-                    Some(_) => {
-                        return Err(format!(
-                            "{tag}: Eos at {pos} for session {session:?} fences \
-                             a record of a different session at {}",
-                            orphan_lsn.0
-                        ));
-                    }
-                    None => {
-                        return Err(format!(
-                            "{tag}: Eos at {pos} fences orphan_lsn {} which \
-                             is not a record boundary",
-                            orphan_lsn.0
-                        ));
+                if orphan_lsn.0 >= self.floor {
+                    match self.session_at.get(&orphan_lsn.0) {
+                        Some(Some(s)) if s == session => {}
+                        Some(_) => {
+                            return Err(format!(
+                                "{tag}: Eos at {pos} for session {session:?} fences \
+                                 a record of a different session at {}",
+                                orphan_lsn.0
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "{tag}: Eos at {pos} fences orphan_lsn {} which \
+                                 is not a record boundary",
+                                orphan_lsn.0
+                            ));
+                        }
                     }
                 }
                 self.audit.eos_records += 1;
@@ -898,10 +1397,38 @@ fn sweep_zeros_past(bytes: &[u8], stream_end: u64, tag: &str) -> Result<(), Stri
     Ok(())
 }
 
+/// Truncated prefix check, shared by both audits. Must run on a
+/// snapshot taken *before* the post-mortem re-open: `open_at` re-issues
+/// the device reclaim below the persisted floor itself (to finish an
+/// interrupted truncation), which would repair exactly the violation
+/// this is looking for.
+fn sweep_zeros_below_floor(bytes: &[u8], floor: u64, tag: &str) -> Result<(), String> {
+    let lo = (DATA_START as usize).min(bytes.len());
+    let hi = (floor as usize).min(bytes.len());
+    if lo < hi {
+        if let Some(i) = bytes[lo..hi].iter().position(|&b| b != 0) {
+            return Err(format!(
+                "{tag}: non-zero byte {:#04x} at offset {} below the reclaim \
+                 floor {floor} — truncated space was not recycled",
+                bytes[lo + i],
+                lo + i
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Re-open a crashed-or-closed MSP disk and verify the structural log
 /// invariants the recovery protocols rely on. `tag` prefixes every
 /// failure (it carries the seed).
 pub fn audit_log(disk: &Arc<MemDisk>, tag: &str) -> Result<LogAudit, String> {
+    // Read the persisted reclaim floor and check the truncated prefix on
+    // the raw bytes, before the open below can repair it.
+    let floor = msp_wal::read_floor(disk.as_ref())
+        .map_err(|e| format!("{tag}: reclaim-floor region unreadable: {e}"))?
+        .map_or(DATA_START, |f| f.max(DATA_START));
+    sweep_zeros_below_floor(&disk.snapshot(), floor, tag)?;
+
     let log = PhysicalLog::open_at(
         Arc::clone(disk) as Arc<dyn Disk>,
         DiskModel::zero(),
@@ -910,12 +1437,16 @@ pub fn audit_log(disk: &Arc<MemDisk>, tag: &str) -> Result<LogAudit, String> {
     )
     .map_err(|e| format!("{tag}: post-mortem re-open failed: {e}"))?;
 
-    let mut sem = SemanticAudit::default();
+    let mut sem = SemanticAudit {
+        floor,
+        ..SemanticAudit::default()
+    };
     let mut last_lsn: Option<u64> = None;
     // One past the last byte of the last intact frame — unlike the
     // scanner's final position, this does not skip over trailing
-    // zero-padding, so it anchors the no-frame-past-a-hole sweep.
-    let mut stream_end = DATA_START;
+    // zero-padding, so it anchors the no-frame-past-a-hole sweep. The
+    // stream now begins at the reclaim floor, not DATA_START.
+    let mut stream_end = floor;
     {
         let mut scanner = log.scan_from(Lsn(DATA_START));
         for item in scanner.by_ref() {
@@ -942,24 +1473,42 @@ pub fn audit_log(disk: &Arc<MemDisk>, tag: &str) -> Result<LogAudit, String> {
     let mut audit = sem.audit;
     audit.scan_end = stream_end;
     audit.disk_len = bytes.len() as u64;
+    audit.reclaim_floor = floor;
     sweep_zeros_past(&bytes, stream_end, tag)?;
     Ok(audit)
 }
 
 /// Striped counterpart of [`audit_log`]: raw-scan every stripe device,
 /// check the *per-stripe* physical invariants (monotone local LSNs, every
-/// frame a stripe envelope, no dead frame past each stripe's stream end),
-/// then re-merge by gsn and check the *logical* invariants on the merged
-/// stream — which must be gap-free from [`DATA_START`]: after a clean
-/// shutdown the final recovery has truncated every non-contiguous tail,
-/// and appends only ever extend the merged frontier.
+/// frame a stripe envelope, no dead frame past each stripe's stream end,
+/// zeros below each stripe's local reclaim floor), then re-merge by gsn
+/// and check the *logical* invariants on the merged stream — which must
+/// be gap-free from the merged reclaim floor: after a clean shutdown the
+/// final recovery has truncated every non-contiguous tail, and appends
+/// only ever extend the merged frontier.
 pub fn audit_striped_log(disks: &[Arc<MemDisk>], tag: &str) -> Result<LogAudit, String> {
+    // The merged (gsn-space) floor is persisted on every stripe disk;
+    // a crash mid-truncation may leave some disks behind, so the max is
+    // authoritative — exactly the rule the striped open applies.
+    let mut merged_floor = DATA_START;
+    for (si, disk) in disks.iter().enumerate() {
+        let f = msp_wal::read_merged_floor(disk.as_ref())
+            .map_err(|e| format!("{tag} stripe {si}: merged-floor region unreadable: {e}"))?
+            .unwrap_or(DATA_START);
+        merged_floor = merged_floor.max(f);
+    }
     // (gsn, framed size in the gsn address space, inner record); the
     // gsn-space framed size equals the stripe-local physical one.
     let mut merged: Vec<(u64, u64, LogRecord)> = Vec::new();
     let mut disk_len = 0u64;
     for (si, disk) in disks.iter().enumerate() {
         let stag = format!("{tag} stripe {si}");
+        // Pre-open, like the single-log audit: the open re-drives any
+        // interrupted truncation, so the zeros check must see raw bytes.
+        let local_floor = msp_wal::read_floor(disk.as_ref())
+            .map_err(|e| format!("{stag}: reclaim-floor region unreadable: {e}"))?
+            .map_or(DATA_START, |f| f.max(DATA_START));
+        sweep_zeros_below_floor(&disk.snapshot(), local_floor, &stag)?;
         let log = PhysicalLog::open_at(
             Arc::clone(disk) as Arc<dyn Disk>,
             DiskModel::zero(),
@@ -968,7 +1517,7 @@ pub fn audit_striped_log(disks: &[Arc<MemDisk>], tag: &str) -> Result<LogAudit, 
         )
         .map_err(|e| format!("{stag}: post-mortem re-open failed: {e}"))?;
         let mut last_local: Option<u64> = None;
-        let mut stream_end = DATA_START;
+        let mut stream_end = local_floor;
         for item in log.scan_from(Lsn(DATA_START)) {
             let (lsn, rec) = item.map_err(|e| format!("{stag}: scan failed mid-log: {e}"))?;
             if let Some(prev) = last_local {
@@ -980,7 +1529,16 @@ pub fn audit_striped_log(disks: &[Arc<MemDisk>], tag: &str) -> Result<LogAudit, 
             let framed = AUDIT_FRAME_HEADER + rec.to_bytes().len() as u64;
             stream_end = lsn.0 + framed;
             match rec {
-                LogRecord::Striped { gsn, inner } => merged.push((gsn.0, framed, *inner)),
+                // A surviving frame below the merged floor is possible
+                // only in the mid-truncation window (its stripe was
+                // truncated after a laggard persisted the new merged
+                // floor); it is checkpoint-covered and dead, so drop it
+                // from the merged contiguity check — the striped open
+                // does the same.
+                LogRecord::Striped { gsn, inner } if gsn.0 >= merged_floor => {
+                    merged.push((gsn.0, framed, *inner))
+                }
+                LogRecord::Striped { .. } => {}
                 other => {
                     return Err(format!(
                         "{stag}: bare {} record at {} outside a stripe envelope",
@@ -997,8 +1555,11 @@ pub fn audit_striped_log(disks: &[Arc<MemDisk>], tag: &str) -> Result<LogAudit, 
     }
 
     merged.sort_by_key(|&(gsn, _, _)| gsn);
-    let mut sem = SemanticAudit::default();
-    let mut expected = DATA_START;
+    let mut sem = SemanticAudit {
+        floor: merged_floor,
+        ..SemanticAudit::default()
+    };
+    let mut expected = merged_floor;
     for (gsn, framed, rec) in &merged {
         if *gsn != expected {
             return Err(format!(
@@ -1012,6 +1573,7 @@ pub fn audit_striped_log(disks: &[Arc<MemDisk>], tag: &str) -> Result<LogAudit, 
     let mut audit = sem.audit;
     audit.scan_end = expected;
     audit.disk_len = disk_len;
+    audit.reclaim_floor = merged_floor;
     Ok(audit)
 }
 

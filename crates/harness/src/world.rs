@@ -124,6 +124,10 @@ pub struct WorldOptions {
     /// Shard each MSP's runtime (worker pool + release stage) this many
     /// ways, sessions assigned by consistent hash.
     pub runtime_shards: usize,
+    /// Byte-driven checkpoint scheduling: take an MSP checkpoint (and
+    /// truncate behind the reclaim floor) once this many log bytes have
+    /// accumulated since the last one. `0` leaves the timer in charge.
+    pub checkpoint_interval_bytes: u64,
 }
 
 impl WorldOptions {
@@ -143,6 +147,7 @@ impl WorldOptions {
             db_txn_overhead: Duration::from_millis(4),
             log_stripes: 0,
             runtime_shards: 1,
+            checkpoint_interval_bytes: 0,
         }
     }
 }
@@ -335,6 +340,19 @@ impl MspSlot {
             .unwrap_or_default()
     }
 
+    /// Current reclaim floor of the MSP's log (log-based and up).
+    pub fn reclaim_floor(&self) -> Option<msp_types::Lsn> {
+        self.handle.lock().as_ref().and_then(|h| h.reclaim_floor())
+    }
+
+    /// Bytes of backing store the MSP's log devices currently occupy,
+    /// summed over stripes: `len()` minus what truncation reclaimed. The
+    /// long-run torture tier asserts this stays under a cap.
+    pub fn footprint(&self) -> u64 {
+        use msp_wal::Disk;
+        self.disks.iter().map(|d| d.footprint()).sum()
+    }
+
     fn shutdown(&self) {
         // A still-armed plan would fire on the clean shutdown's final
         // flush; the storm is over, so disarm it.
@@ -387,6 +405,7 @@ impl World {
             msp_ckpt_interval: Duration::from_millis(50),
             force_ckpt_after: 16,
             checkpoints_enabled: opts.checkpoints_enabled,
+            checkpoint_interval_bytes: opts.checkpoint_interval_bytes,
         };
         let base_cfg = |id, domain| {
             let mut c = MspConfig::new(id, DomainId(domain))

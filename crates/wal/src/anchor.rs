@@ -1,4 +1,4 @@
-//! The log anchor (§3.4).
+//! The log anchor (§3.4) and the reclaim-floor metadata.
 //!
 //! "Similar to ARIES, after an MSP checkpoint is taken, its LSN is
 //! recorded in the log anchor, a block located at a specific location
@@ -6,9 +6,22 @@
 //! will look for the most recent MSP checkpoint's LSN inside the log
 //! anchor."
 //!
-//! The anchor occupies sector 0 of the log device (`[magic][lsn][crc]`,
-//! zero-padded). Its write is a single-sector in-place update and is
-//! charged one sector of flush cost by the caller.
+//! Sector 0 of a log device holds up to three independent 16-byte
+//! `[magic u32][value u64][crc u32]` regions:
+//!
+//! ```text
+//! bytes  0..16 : MSP checkpoint anchor ("MSPA") — the ARIES log anchor
+//! bytes 16..32 : local reclaim floor   ("MSPF") — no record below this
+//!                LSN survives on *this* device; every scan must start at
+//!                or above it
+//! bytes 32..48 : merged gsn floor      ("MSPG") — striped logs only: the
+//!                global floor the per-stripe locals were derived from
+//! ```
+//!
+//! Each region is updated by a read-modify-write of the whole sector so
+//! the others survive, and each validates independently (a torn write
+//! falls back to "absent"). Updates are single-sector in-place writes
+//! charged one sector of flush cost.
 
 use std::sync::Arc;
 
@@ -20,8 +33,79 @@ use crate::log::SECTOR_SIZE;
 use crate::model::DiskModel;
 
 const ANCHOR_MAGIC: u32 = 0x4D53_5041; // "MSPA"
+const FLOOR_MAGIC: u32 = 0x4D53_5046; // "MSPF"
+const MERGED_FLOOR_MAGIC: u32 = 0x4D53_5047; // "MSPG"
 
-/// Reader/writer of the anchor sector.
+/// Byte offset of the local reclaim-floor region inside sector 0.
+const FLOOR_OFFSET: usize = 16;
+/// Byte offset of the merged gsn-floor region inside sector 0.
+const MERGED_FLOOR_OFFSET: usize = 32;
+
+/// Read-modify-write one 16-byte region of sector 0, preserving the rest.
+fn write_region(
+    disk: &dyn Disk,
+    model: &DiskModel,
+    offset: usize,
+    magic: u32,
+    value: u64,
+) -> Result<(), MspError> {
+    debug_assert!(offset + 16 <= SECTOR_SIZE);
+    let mut sector = vec![0u8; SECTOR_SIZE];
+    // Short read on a fresh disk leaves the tail zeroed — exactly right.
+    let _ = disk.read(0, &mut sector).map_err(MspError::Io)?;
+    sector[offset..offset + 4].copy_from_slice(&magic.to_le_bytes());
+    sector[offset + 4..offset + 12].copy_from_slice(&value.to_le_bytes());
+    let crc = crc32(&sector[offset..offset + 12]);
+    sector[offset + 12..offset + 16].copy_from_slice(&crc.to_le_bytes());
+    model.charge_flush(1);
+    disk.write(0, &sector).map_err(MspError::Io)
+}
+
+/// Read one 16-byte region of sector 0; `None` if absent or torn.
+fn read_region(disk: &dyn Disk, offset: usize, magic: u32) -> Result<Option<u64>, MspError> {
+    let mut region = [0u8; 16];
+    let n = disk
+        .read(offset as u64, &mut region)
+        .map_err(MspError::Io)?;
+    if n < 16 {
+        return Ok(None);
+    }
+    if u32::from_le_bytes(region[0..4].try_into().expect("slice")) != magic {
+        return Ok(None);
+    }
+    let crc = u32::from_le_bytes(region[12..16].try_into().expect("slice"));
+    if crc32(&region[0..12]) != crc {
+        // A torn write: fall back to "absent" — for the anchor that means
+        // a slow full scan, for a floor it means the conservative
+        // `DATA_START`; both are correct.
+        return Ok(None);
+    }
+    Ok(Some(u64::from_le_bytes(
+        region[4..12].try_into().expect("slice"),
+    )))
+}
+
+/// Persist this device's local reclaim floor (bytes 16..32 of sector 0).
+pub fn write_floor(disk: &dyn Disk, model: &DiskModel, floor: u64) -> Result<(), MspError> {
+    write_region(disk, model, FLOOR_OFFSET, FLOOR_MAGIC, floor)
+}
+
+/// This device's persisted local reclaim floor, if any.
+pub fn read_floor(disk: &dyn Disk) -> Result<Option<u64>, MspError> {
+    read_region(disk, FLOOR_OFFSET, FLOOR_MAGIC)
+}
+
+/// Persist the merged gsn floor on a stripe device (bytes 32..48).
+pub fn write_merged_floor(disk: &dyn Disk, model: &DiskModel, floor: u64) -> Result<(), MspError> {
+    write_region(disk, model, MERGED_FLOOR_OFFSET, MERGED_FLOOR_MAGIC, floor)
+}
+
+/// The persisted merged gsn floor on a stripe device, if any.
+pub fn read_merged_floor(disk: &dyn Disk) -> Result<Option<u64>, MspError> {
+    read_region(disk, MERGED_FLOOR_OFFSET, MERGED_FLOOR_MAGIC)
+}
+
+/// Reader/writer of the anchor region.
 pub struct LogAnchor {
     disk: Arc<dyn Disk>,
     model: DiskModel,
@@ -33,37 +117,15 @@ impl LogAnchor {
     }
 
     /// Record `lsn` as the most recent MSP checkpoint. Durable on return.
+    /// Preserves the floor regions sharing the sector.
     pub fn write(&self, lsn: Lsn) -> Result<(), MspError> {
-        let mut sector = vec![0u8; SECTOR_SIZE];
-        sector[0..4].copy_from_slice(&ANCHOR_MAGIC.to_le_bytes());
-        sector[4..12].copy_from_slice(&lsn.0.to_le_bytes());
-        let crc = crc32(&sector[0..12]);
-        sector[12..16].copy_from_slice(&crc.to_le_bytes());
-        self.model.charge_flush(1);
-        self.disk.write(0, &sector).map_err(MspError::Io)
+        write_region(self.disk.as_ref(), &self.model, 0, ANCHOR_MAGIC, lsn.0)
     }
 
     /// The most recent MSP checkpoint's LSN, or `None` if no checkpoint
-    /// was ever anchored (fresh log) or the anchor sector is torn.
+    /// was ever anchored (fresh log) or the anchor region is torn.
     pub fn read(&self) -> Result<Option<Lsn>, MspError> {
-        let mut sector = [0u8; 16];
-        let n = self.disk.read(0, &mut sector).map_err(MspError::Io)?;
-        if n < 16 {
-            return Ok(None);
-        }
-        let magic = u32::from_le_bytes(sector[0..4].try_into().expect("slice"));
-        if magic != ANCHOR_MAGIC {
-            return Ok(None);
-        }
-        let crc = u32::from_le_bytes(sector[12..16].try_into().expect("slice"));
-        if crc32(&sector[0..12]) != crc {
-            // A torn anchor write: fall back to "no anchor" — recovery
-            // then scans from the log start, which is correct but slow.
-            return Ok(None);
-        }
-        Ok(Some(Lsn(u64::from_le_bytes(
-            sector[4..12].try_into().expect("slice"),
-        ))))
+        Ok(read_region(self.disk.as_ref(), 0, ANCHOR_MAGIC)?.map(Lsn))
     }
 }
 
@@ -96,6 +158,41 @@ mod tests {
         // Flip a byte of the stored LSN.
         disk.write(5, &[0xFF]).unwrap();
         assert_eq!(anchor.read().unwrap(), None);
+    }
+
+    #[test]
+    fn anchor_and_floors_coexist_in_sector_zero() {
+        let disk = MemDisk::new();
+        let model = DiskModel::zero();
+        let anchor = LogAnchor::new(Arc::new(disk.clone()), model.clone());
+        anchor.write(Lsn(4096)).unwrap();
+        write_floor(&disk, &model, 1536).unwrap();
+        write_merged_floor(&disk, &model, 3000).unwrap();
+        // Every region reads back; none clobbered another.
+        assert_eq!(anchor.read().unwrap(), Some(Lsn(4096)));
+        assert_eq!(read_floor(&disk).unwrap(), Some(1536));
+        assert_eq!(read_merged_floor(&disk).unwrap(), Some(3000));
+        // Re-anchoring preserves the floors and vice versa.
+        anchor.write(Lsn(9000)).unwrap();
+        assert_eq!(read_floor(&disk).unwrap(), Some(1536));
+        write_floor(&disk, &model, 2048).unwrap();
+        assert_eq!(anchor.read().unwrap(), Some(Lsn(9000)));
+        assert_eq!(read_merged_floor(&disk).unwrap(), Some(3000));
+    }
+
+    #[test]
+    fn fresh_disk_has_no_floor() {
+        let disk = MemDisk::new();
+        assert_eq!(read_floor(&disk).unwrap(), None);
+        assert_eq!(read_merged_floor(&disk).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_floor_reads_as_none() {
+        let disk = MemDisk::new();
+        write_floor(&disk, &DiskModel::zero(), 1536).unwrap();
+        disk.write(20, &[0xFF]).unwrap();
+        assert_eq!(read_floor(&disk).unwrap(), None);
     }
 
     #[test]

@@ -36,16 +36,50 @@ pub trait Disk: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Release the byte range `[start, end)` back to the device: after
+    /// this returns, the range reads as zeros and (where the backing
+    /// store supports it) occupies no space. `len()` is unchanged — the
+    /// log's offsets are absolute forever. The default is a no-op so
+    /// existing implementations stay correct (reclaim is an optimisation;
+    /// truncation safety never depends on it).
+    fn reclaim(&self, _start: u64, _end: u64) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Bytes of backing store the device currently occupies — `len()`
+    /// minus whatever `reclaim` has released. The bounded-log torture
+    /// tier asserts this stays under a cap even as `len()` grows.
+    fn footprint(&self) -> u64 {
+        self.len()
+    }
 }
 
 /// Crash-survivable in-memory disk.
 ///
 /// Cloning shares the same underlying storage, so a "restarted MSP" opens
 /// the same `MemDisk` and sees exactly what was durable at the crash.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct MemDisk {
     inner: Arc<Mutex<Vec<u8>>>,
     reads: Arc<AtomicU64>,
+    /// The union of every `reclaim` call as one range: lowest start
+    /// (`u64::MAX` while none) and highest end. The log only ever
+    /// reclaims a growing prefix of the record area, so a single range
+    /// models the punched hole exactly.
+    reclaim_lo: Arc<AtomicU64>,
+    reclaim_hi: Arc<AtomicU64>,
+}
+
+impl Default for MemDisk {
+    fn default() -> MemDisk {
+        MemDisk {
+            inner: Arc::default(),
+            reads: Arc::default(),
+            reclaim_lo: Arc::new(AtomicU64::new(u64::MAX)),
+            reclaim_hi: Arc::default(),
+        }
+    }
 }
 
 impl MemDisk {
@@ -90,6 +124,30 @@ impl Disk for MemDisk {
 
     fn len(&self) -> u64 {
         self.inner.lock().len() as u64
+    }
+
+    fn reclaim(&self, start: u64, end: u64) -> io::Result<()> {
+        if end <= start {
+            return Ok(());
+        }
+        // Punch the hole: the range reads as zeros from now on, exactly
+        // like the never-written gaps, and footprint stops counting it.
+        {
+            let mut v = self.inner.lock();
+            let lo = (start as usize).min(v.len());
+            let hi = (end as usize).min(v.len());
+            v[lo..hi].fill(0);
+        }
+        self.reclaim_lo.fetch_min(start, Ordering::SeqCst);
+        self.reclaim_hi.fetch_max(end, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn footprint(&self) -> u64 {
+        let len = self.len();
+        let lo = self.reclaim_lo.load(Ordering::SeqCst);
+        let hi = self.reclaim_hi.load(Ordering::SeqCst).min(len);
+        len - hi.saturating_sub(lo)
     }
 }
 
@@ -209,6 +267,44 @@ mod tests {
         let path = dir.join("disk-semantics.log");
         let _ = std::fs::remove_file(&path);
         exercise(&FileDisk::open(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reclaim_zeroes_and_shrinks_footprint() {
+        let d = MemDisk::new();
+        d.write(0, &[1u8; 4096]).unwrap();
+        assert_eq!(d.footprint(), 4096);
+        d.reclaim(512, 2048).unwrap();
+        // Range reads as zeros; len is unchanged; footprint shrank.
+        let mut buf = [9u8; 1536];
+        assert_eq!(d.read(512, &mut buf).unwrap(), 1536);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(d.len(), 4096);
+        assert_eq!(d.footprint(), 4096 - 1536);
+        // Reclaim is idempotent and extends as one prefix range.
+        d.reclaim(512, 2048).unwrap();
+        d.reclaim(512, 3072).unwrap();
+        assert_eq!(d.footprint(), 4096 - 2560);
+        // A degenerate range is a no-op.
+        d.reclaim(100, 100).unwrap();
+        assert_eq!(d.footprint(), 4096 - 2560);
+        // Growth past the hole counts again.
+        d.write(4096, &[2u8; 1024]).unwrap();
+        assert_eq!(d.footprint(), 5120 - 2560);
+    }
+
+    #[test]
+    fn default_footprint_matches_len() {
+        let dir = std::env::temp_dir().join(format!("msp-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk-footprint.log");
+        let _ = std::fs::remove_file(&path);
+        let d = FileDisk::open(&path).unwrap();
+        d.write(0, &[1u8; 100]).unwrap();
+        // The trait defaults: reclaim is a no-op, footprint == len.
+        d.reclaim(0, 50).unwrap();
+        assert_eq!(d.footprint(), d.len());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -1,8 +1,8 @@
 //! Seed-driven crash-point injection.
 //!
 //! The torture rig (harness `torture` module) arms a [`FaultPlan`] with a
-//! countdown at one of six [`CrashPoint`]s threaded through the logging,
-//! durability-gate, and recovery stack. When the countdown reaches zero the log **crashes
+//! countdown at one of eight [`CrashPoint`]s threaded through the logging,
+//! durability-gate, truncation, and recovery stack. When the countdown reaches zero the log **crashes
 //! itself at the site** — [`crate::PhysicalLog::fault_point`] calls the
 //! unclean shutdown path synchronously, so the volatile tail is discarded
 //! at exactly the instrumented instant, before the surrounding operation
@@ -54,16 +54,26 @@ pub enum CrashPoint {
     /// the *serving* side (MSP2 when MSP1 gates a client reply under
     /// LoOptimistic).
     FlushServe,
+    /// In `truncate_below`, after the new reclaim floor is persisted in
+    /// sector 0 but before any device space below it is reclaimed: the
+    /// half-truncated state where recovery must honor the advanced floor
+    /// while stale (unreclaimed) bytes still sit beneath it.
+    TruncateStart,
+    /// In `truncate_below`, after the device space below the floor has
+    /// been reclaimed but before the caller can observe completion.
+    TruncateComplete,
 }
 
 /// All points, for schedule generators.
-pub const CRASH_POINTS: [CrashPoint; 6] = [
+pub const CRASH_POINTS: [CrashPoint; 8] = [
     CrashPoint::MidAppend,
     CrashPoint::PreFlush,
     CrashPoint::CheckpointWrite,
     CrashPoint::ReplayStep,
     CrashPoint::SendGateIssue,
     CrashPoint::FlushServe,
+    CrashPoint::TruncateStart,
+    CrashPoint::TruncateComplete,
 ];
 
 impl CrashPoint {
@@ -75,6 +85,8 @@ impl CrashPoint {
             CrashPoint::ReplayStep => "replay-step",
             CrashPoint::SendGateIssue => "send-gate-issue",
             CrashPoint::FlushServe => "flush-serve",
+            CrashPoint::TruncateStart => "truncate-start",
+            CrashPoint::TruncateComplete => "truncate-complete",
         }
     }
 
@@ -86,6 +98,8 @@ impl CrashPoint {
             CrashPoint::ReplayStep => 3,
             CrashPoint::SendGateIssue => 4,
             CrashPoint::FlushServe => 5,
+            CrashPoint::TruncateStart => 6,
+            CrashPoint::TruncateComplete => 7,
         }
     }
 }
@@ -96,7 +110,7 @@ const NOT_FIRED: usize = usize::MAX;
 /// One armed crash: per-point hit countdowns plus a fire-once latch.
 pub struct FaultPlan {
     /// Remaining hits before the point fires; [`DISARMED`] = never.
-    counters: [AtomicU64; 6],
+    counters: [AtomicU64; 8],
     /// Index of the point that fired, or [`NOT_FIRED`].
     fired: AtomicUsize,
     /// Where to report the fire (the rig's controller thread).
@@ -113,6 +127,8 @@ impl FaultPlan {
     pub fn new() -> FaultPlan {
         FaultPlan {
             counters: [
+                AtomicU64::new(DISARMED),
+                AtomicU64::new(DISARMED),
                 AtomicU64::new(DISARMED),
                 AtomicU64::new(DISARMED),
                 AtomicU64::new(DISARMED),

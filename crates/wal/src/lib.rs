@@ -38,7 +38,7 @@ pub mod stats;
 pub mod stripe;
 pub mod tail;
 
-pub use anchor::LogAnchor;
+pub use anchor::{read_floor, read_merged_floor, LogAnchor};
 pub use cache::ReplayCache;
 pub use disk::{Disk, FileDisk, MemDisk};
 pub use fault::{CrashPoint, FaultPlan};

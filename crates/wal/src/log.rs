@@ -33,7 +33,7 @@
 //! tail.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -327,20 +327,35 @@ pub struct PhysicalLog {
     /// fast path so un-instrumented runs pay one relaxed load per site.
     fault: Mutex<Option<Arc<FaultPlan>>>,
     fault_armed: AtomicBool,
+    /// Reclaim floor: every record at an LSN below this has been (or is
+    /// being) reclaimed from the device. Persisted in sector 0 *before*
+    /// any space is released, so a crash mid-truncation can only leave
+    /// stale-but-unreferenced bytes, never a floor that lies low. All
+    /// scans clamp their start to this — the bytes below read as zeros,
+    /// and a zero byte mid-sector would make the padding-skip heuristic
+    /// step *past* a floor that is not sector-aligned.
+    floor: AtomicU64,
 }
 
 impl PhysicalLog {
-    /// Open a log over `disk`, scanning forward from `DATA_START` to find
-    /// the end of the intact record stream, and start the flusher thread.
+    /// Open a log over `disk`, scanning forward from the persisted reclaim
+    /// floor (`DATA_START` when the log was never truncated) to find the
+    /// end of the intact record stream, and start the flusher thread.
     pub fn open(
         disk: Arc<dyn Disk>,
         model: DiskModel,
         policy: FlushPolicy,
     ) -> Result<Arc<PhysicalLog>, MspError> {
+        // The probe must start exactly at the floor: below it the device
+        // reads as zeros, and a mid-sector floor would be skipped over by
+        // the padding heuristic if the scan started any earlier.
+        let floor = crate::anchor::read_floor(disk.as_ref())?
+            .unwrap_or(DATA_START)
+            .max(DATA_START);
         // Determine the append position: walk the durable records until the
         // first torn / absent frame.
         let append_at = {
-            let probe = RawScanner::new(disk.clone(), DATA_START, None, None);
+            let probe = RawScanner::new(disk.clone(), floor, None, None);
             probe.find_end()?
         };
         Self::open_at(disk, model, policy, append_at)
@@ -355,7 +370,10 @@ impl PhysicalLog {
         append_at: u64,
     ) -> Result<Arc<PhysicalLog>, MspError> {
         let (wakeup_tx, wakeup_rx) = crossbeam_channel::unbounded::<u64>();
-        let at = append_at.max(DATA_START);
+        let floor = crate::anchor::read_floor(disk.as_ref())?
+            .unwrap_or(DATA_START)
+            .max(DATA_START);
+        let at = append_at.max(DATA_START).max(floor);
         let tail = if policy.serialized_append {
             TailImpl::Serialized(Mutex::new(Buffer {
                 tail: Vec::with_capacity(64 * 1024),
@@ -379,7 +397,16 @@ impl PhysicalLog {
             flusher: Mutex::new(None),
             fault: Mutex::new(None),
             fault_armed: AtomicBool::new(false),
+            floor: AtomicU64::new(floor),
         });
+        if floor > DATA_START {
+            // A crash between the floor write and the reclaim leaves stale
+            // bytes under the floor; re-issuing the (idempotent) reclaim at
+            // every open restores the zeros-below-floor invariant the
+            // audits check.
+            log.disk.reclaim(DATA_START, floor).map_err(MspError::Io)?;
+            log.stats.note_reclaim_floor(floor);
+        }
         let worker = Arc::clone(&log);
         let handle = std::thread::Builder::new()
             .name("log-flusher".into())
@@ -745,11 +772,20 @@ impl PhysicalLog {
         LogScanner {
             raw: RawScanner::new(
                 self.disk.clone(),
-                from.0.max(DATA_START),
+                self.clamp_scan_start(from),
                 Some(&self.model),
                 Some(&self.stats),
             ),
         }
+    }
+
+    /// Every scan starts at or above the reclaim floor: the bytes below it
+    /// read as zeros, and a zero at a non-sector-aligned floor would make
+    /// the padding-skip heuristic jump past the first live record.
+    fn clamp_scan_start(&self, from: Lsn) -> u64 {
+        from.0
+            .max(DATA_START)
+            .max(self.floor.load(Ordering::Acquire))
     }
 
     /// Like [`scan_from`](Self::scan_from), but with the device reads
@@ -758,13 +794,64 @@ impl PhysicalLog {
     /// overlaps I/O instead of alternating with it. Falls back to the
     /// serial scanner if the prefetch thread cannot be spawned.
     pub fn scan_from_pipelined(self: &Arc<Self>, from: Lsn) -> LogScanner<'_> {
-        let start = from.0.max(DATA_START);
+        let start = self.clamp_scan_start(from);
         match Prefetcher::spawn(Arc::clone(self), start) {
             Ok(pf) => LogScanner {
                 raw: RawScanner::with_prefetch(self.disk.clone(), start, Some(&self.stats), pf),
             },
             Err(_) => self.scan_from(from),
         }
+    }
+
+    /// The current reclaim floor: no record below this LSN survives on
+    /// the device. `DATA_START` when the log was never truncated.
+    pub fn floor(&self) -> Lsn {
+        Lsn(self.floor.load(Ordering::Acquire))
+    }
+
+    /// Target LSN of the oldest flush ticket still pending, if any. A
+    /// pending ticket's record may not be durable yet, so truncation must
+    /// never cross it — the reclaim-floor fold includes this.
+    pub fn oldest_pending_flush(&self) -> Option<Lsn> {
+        self.tickets.lock().keys().next().copied().map(Lsn)
+    }
+
+    /// Advance the reclaim floor to `floor` (clamped to the durable
+    /// horizon and never moved backwards) and release the device space
+    /// below it. Returns the number of bytes newly reclaimed (0 when the
+    /// clamp leaves the floor where it was).
+    ///
+    /// Ordering is crash-safe: the new floor is persisted in sector 0
+    /// *before* any space is released. A crash after the persist but
+    /// before the reclaim ([`CrashPoint::TruncateStart`]) leaves stale
+    /// bytes under an advanced floor — re-opening re-issues the reclaim
+    /// and every scan already starts at the floor, so the stale bytes are
+    /// unreachable. The caller guarantees `floor` does not exceed any
+    /// live dependency (see the reclaim-floor fold in `core`).
+    pub fn truncate_below(&self, floor: Lsn) -> Result<u64, MspError> {
+        if self.stopped.load(Ordering::SeqCst) {
+            return Err(MspError::Shutdown);
+        }
+        let durable = self.durable_lsn().0;
+        let cur = self.floor.load(Ordering::Acquire);
+        let target = floor.0.min(durable).max(cur).max(DATA_START);
+        if target <= cur {
+            return Ok(0);
+        }
+        crate::anchor::write_floor(self.disk.as_ref(), &self.model, target)?;
+        self.floor.fetch_max(target, Ordering::AcqRel);
+        if self.fault_point(CrashPoint::TruncateStart) {
+            return Err(MspError::Shutdown);
+        }
+        let reclaimed = target - cur;
+        self.disk
+            .reclaim(DATA_START, target)
+            .map_err(MspError::Io)?;
+        self.stats.on_truncation(reclaimed, target);
+        if self.fault_point(CrashPoint::TruncateComplete) {
+            return Err(MspError::Shutdown);
+        }
+        Ok(reclaimed)
     }
 
     /// Charge the model's sequential-read cost for `bytes` of log read by
@@ -1970,6 +2057,189 @@ mod tests {
             s.flushes
         );
         log.close();
+    }
+
+    #[test]
+    fn truncate_reclaims_space_and_scans_survive() {
+        let (disk, log) = open_mem();
+        let mut lsns = Vec::new();
+        for i in 0..20u64 {
+            let l = log.append(&rec(1, i));
+            log.flush_to(l).unwrap(); // padding → each record on a boundary
+            lsns.push(l);
+        }
+        let floor = lsns[10];
+        let reclaimed = log.truncate_below(floor).unwrap();
+        assert_eq!(reclaimed, floor.0 - DATA_START);
+        assert_eq!(log.floor(), floor);
+        // Device: zeros below the floor, footprint shrank, len unchanged.
+        let mut below = vec![9u8; (floor.0 - DATA_START) as usize];
+        disk.read(DATA_START, &mut below).unwrap();
+        assert!(below.iter().all(|&b| b == 0));
+        assert_eq!(disk.footprint(), disk.len() - reclaimed);
+        // Scans — even ones asking for the file head — start at the floor
+        // and see exactly the surviving records.
+        let got: Vec<_> = log
+            .scan_from(Lsn(DATA_START))
+            .map(|r| r.unwrap().1)
+            .collect();
+        let want: Vec<_> = (10..20).map(|i| rec(1, i)).collect();
+        assert_eq!(got, want);
+        let piped: Vec<_> = log
+            .scan_from_pipelined(Lsn(DATA_START))
+            .map(|r| r.unwrap().1)
+            .collect();
+        assert_eq!(piped, want);
+        // Records above the floor still read individually.
+        assert_eq!(log.read_record(lsns[15]).unwrap(), rec(1, 15));
+        let s = log.stats();
+        assert_eq!(s.log_truncations, 1);
+        assert_eq!(s.bytes_reclaimed, reclaimed);
+        assert_eq!(s.reclaim_floor_lsn, floor.0);
+        log.close();
+    }
+
+    #[test]
+    fn truncate_is_monotone_and_clamped_to_durable() {
+        let (_, log) = open_mem();
+        let a = log.append(&rec(1, 0));
+        log.flush_to(a).unwrap();
+        let durable = log.durable_lsn().0;
+        let b = log.append(&rec(1, 1)); // appended, NOT durable
+                                        // A floor beyond the durable horizon clamps to it.
+        let reclaimed = log.truncate_below(Lsn(b.0 + 10_000)).unwrap();
+        assert_eq!(log.floor().0, durable);
+        assert_eq!(reclaimed, durable - DATA_START);
+        // Moving the floor backwards is a no-op.
+        assert_eq!(log.truncate_below(Lsn(DATA_START)).unwrap(), 0);
+        assert_eq!(log.floor().0, durable);
+        log.close();
+    }
+
+    #[test]
+    fn reopen_after_truncation_resumes_at_floor() {
+        let disk = MemDisk::new();
+        let floor;
+        let survivor;
+        {
+            let log = PhysicalLog::open(
+                Arc::new(disk.clone()),
+                DiskModel::zero(),
+                FlushPolicy::immediate(),
+            )
+            .unwrap();
+            for i in 0..8u64 {
+                let l = log.append(&rec(1, i));
+                log.flush_to(l).unwrap();
+            }
+            survivor = log.append(&rec(1, 8));
+            log.flush_to(survivor).unwrap();
+            floor = survivor;
+            log.truncate_below(floor).unwrap();
+            log.close();
+        }
+        let log = PhysicalLog::open(
+            Arc::new(disk.clone()),
+            DiskModel::zero(),
+            FlushPolicy::immediate(),
+        )
+        .unwrap();
+        // The persisted floor came back and the probe found the real end.
+        assert_eq!(log.floor(), floor);
+        let got: Vec<_> = log.scan_from(Lsn(DATA_START)).map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![(survivor, rec(1, 8))]);
+        // Appends continue after the surviving record, not at the floor.
+        let next = log.append(&rec(2, 0));
+        assert!(next.0 > survivor.0);
+        log.flush_to(next).unwrap();
+        log.close();
+    }
+
+    #[test]
+    fn crash_between_floor_persist_and_reclaim_recovers() {
+        let disk = MemDisk::new();
+        let floor;
+        let tail_rec;
+        {
+            let log = PhysicalLog::open(
+                Arc::new(disk.clone()),
+                DiskModel::zero(),
+                FlushPolicy::immediate(),
+            )
+            .unwrap();
+            for i in 0..6u64 {
+                let l = log.append(&rec(1, i));
+                log.flush_to(l).unwrap();
+            }
+            tail_rec = log.append(&rec(1, 6));
+            log.flush_to(tail_rec).unwrap();
+            floor = tail_rec;
+            // Arm the half-truncated crash: floor persisted, no reclaim.
+            log.install_fault_plan(FaultPlan::armed(CrashPoint::TruncateStart, 1));
+            assert!(matches!(log.truncate_below(floor), Err(MspError::Shutdown)));
+        }
+        // Stale bytes sit below the persisted floor; reopening re-issues
+        // the reclaim and scans start at the floor.
+        let log = PhysicalLog::open(
+            Arc::new(disk.clone()),
+            DiskModel::zero(),
+            FlushPolicy::immediate(),
+        )
+        .unwrap();
+        assert_eq!(log.floor(), floor);
+        let mut below = vec![9u8; (floor.0 - DATA_START) as usize];
+        disk.read(DATA_START, &mut below).unwrap();
+        assert!(
+            below.iter().all(|&b| b == 0),
+            "open must re-issue the interrupted reclaim"
+        );
+        let got: Vec<_> = log
+            .scan_from(Lsn(DATA_START))
+            .map(|r| r.unwrap().1)
+            .collect();
+        assert_eq!(got, vec![rec(1, 6)]);
+        log.close();
+    }
+
+    #[test]
+    fn mid_sector_floor_scans_exactly_from_floor() {
+        // Pack several records into each sector (no per-record flush) so
+        // the floor lands mid-sector; the zeros below it would fool the
+        // padding-skip heuristic if the scan started at the sector head.
+        let (_, log) = open_mem();
+        let mut lsns = Vec::new();
+        for i in 0..12u64 {
+            lsns.push(log.append(&rec(1, i)));
+        }
+        log.flush_all().unwrap();
+        let floor = lsns[5];
+        assert_ne!(floor.0 % SECTOR_SIZE as u64, 0, "floor must be mid-sector");
+        log.truncate_below(floor).unwrap();
+        let got: Vec<_> = log
+            .scan_from(Lsn(DATA_START))
+            .map(|r| r.unwrap().1)
+            .collect();
+        let want: Vec<_> = (5..12).map(|i| rec(1, i)).collect();
+        assert_eq!(got, want);
+        log.close();
+    }
+
+    #[test]
+    fn oldest_pending_flush_tracks_ticket_registry() {
+        // Long batch timeout parks the flusher so tickets stay pending.
+        let log = PhysicalLog::open(
+            Arc::new(MemDisk::new()),
+            DiskModel::zero().with_scale(1.0),
+            FlushPolicy::batched(Duration::from_millis(200)),
+        )
+        .unwrap();
+        assert_eq!(log.oldest_pending_flush(), None);
+        let a = log.append(&rec(1, 0));
+        let b = log.append(&rec(1, 1));
+        let _tb = log.flush_to_async(b);
+        let _ta = log.flush_to_async(a);
+        assert_eq!(log.oldest_pending_flush(), Some(a));
+        log.crash();
     }
 
     #[test]

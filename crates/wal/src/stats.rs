@@ -29,6 +29,9 @@ pub struct LogStats {
     stripe_appends: AtomicU64,
     stripe_flushes: AtomicU64,
     merged_watermark_lag_nanos: AtomicU64,
+    log_truncations: AtomicU64,
+    bytes_reclaimed: AtomicU64,
+    reclaim_floor_lsn: AtomicU64,
 }
 
 /// A point-in-time copy of [`LogStats`].
@@ -83,6 +86,16 @@ pub struct LogStatsSnapshot {
     /// each merged flush settling — how long the merged durability
     /// watermark trailed the fastest stripe.
     pub merged_watermark_lag_nanos: u64,
+    /// Truncations that advanced the reclaim floor (no-op calls that
+    /// found the floor already at or past the target do not count).
+    pub log_truncations: u64,
+    /// Device bytes recycled below the reclaim floor, cumulative.
+    pub bytes_reclaimed: u64,
+    /// The persisted reclaim floor — a *gauge*, not a counter: `since`
+    /// keeps the later snapshot's value and `merge` takes the max. On a
+    /// striped log each stripe reports its local floor here and the
+    /// aggregate view overrides the field with the merged gsn floor.
+    pub reclaim_floor_lsn: u64,
 }
 
 impl LogStats {
@@ -155,6 +168,18 @@ impl LogStats {
             .fetch_add(nanos, Ordering::Relaxed);
     }
 
+    pub fn on_truncation(&self, reclaimed: u64, floor: u64) {
+        self.log_truncations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+        self.reclaim_floor_lsn.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// Record the floor without counting a truncation (reopening a log
+    /// whose floor was persisted by a prior incarnation).
+    pub fn note_reclaim_floor(&self, floor: u64) {
+        self.reclaim_floor_lsn.fetch_max(floor, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> LogStatsSnapshot {
         LogStatsSnapshot {
             appends: self.appends.load(Ordering::Relaxed),
@@ -176,6 +201,9 @@ impl LogStats {
             stripe_appends: self.stripe_appends.load(Ordering::Relaxed),
             stripe_flushes: self.stripe_flushes.load(Ordering::Relaxed),
             merged_watermark_lag_nanos: self.merged_watermark_lag_nanos.load(Ordering::Relaxed),
+            log_truncations: self.log_truncations.load(Ordering::Relaxed),
+            bytes_reclaimed: self.bytes_reclaimed.load(Ordering::Relaxed),
+            reclaim_floor_lsn: self.reclaim_floor_lsn.load(Ordering::Relaxed),
         }
     }
 }
@@ -205,6 +233,10 @@ impl LogStatsSnapshot {
             stripe_flushes: self.stripe_flushes - earlier.stripe_flushes,
             merged_watermark_lag_nanos: self.merged_watermark_lag_nanos
                 - earlier.merged_watermark_lag_nanos,
+            log_truncations: self.log_truncations - earlier.log_truncations,
+            bytes_reclaimed: self.bytes_reclaimed - earlier.bytes_reclaimed,
+            // A gauge: "how far is the floor now", not a delta.
+            reclaim_floor_lsn: self.reclaim_floor_lsn,
         }
     }
 
@@ -233,6 +265,12 @@ impl LogStatsSnapshot {
             stripe_flushes: self.stripe_flushes + other.stripe_flushes,
             merged_watermark_lag_nanos: self.merged_watermark_lag_nanos
                 + other.merged_watermark_lag_nanos,
+            log_truncations: self.log_truncations + other.log_truncations,
+            bytes_reclaimed: self.bytes_reclaimed + other.bytes_reclaimed,
+            // A gauge: merging per-stripe snapshots keeps the furthest
+            // floor (the striped aggregate then overrides it with the
+            // merged gsn floor, which is the meaningful figure there).
+            reclaim_floor_lsn: self.reclaim_floor_lsn.max(other.reclaim_floor_lsn),
         }
     }
 }
@@ -263,6 +301,8 @@ mod tests {
         s.on_stripe_flush();
         s.on_stripe_flush();
         s.on_merged_watermark_lag(750);
+        s.on_truncation(4096, 5120);
+        s.on_truncation(512, 6144);
         let snap = s.snapshot();
         assert_eq!(snap.appends, 2);
         assert_eq!(snap.appended_bytes, 150);
@@ -282,6 +322,32 @@ mod tests {
         assert_eq!(snap.stripe_appends, 1);
         assert_eq!(snap.stripe_flushes, 2);
         assert_eq!(snap.merged_watermark_lag_nanos, 750);
+        assert_eq!(snap.log_truncations, 2);
+        assert_eq!(snap.bytes_reclaimed, 4608);
+        assert_eq!(snap.reclaim_floor_lsn, 6144);
+    }
+
+    #[test]
+    fn reclaim_floor_is_a_max_gauge() {
+        let s = LogStats::default();
+        s.on_truncation(100, 2048);
+        // A stale floor report must never regress the gauge.
+        s.note_reclaim_floor(1024);
+        assert_eq!(s.snapshot().reclaim_floor_lsn, 2048);
+        let a = s.snapshot();
+        s.on_truncation(50, 4096);
+        let b = s.snapshot();
+        // `since` keeps the later gauge value, not a delta.
+        assert_eq!(b.since(&a).reclaim_floor_lsn, 4096);
+        assert_eq!(b.since(&a).log_truncations, 1);
+        assert_eq!(b.since(&a).bytes_reclaimed, 50);
+        // `merge` keeps the furthest floor.
+        let t = LogStats::default();
+        t.on_truncation(7, 512);
+        let m = b.merge(&t.snapshot());
+        assert_eq!(m.reclaim_floor_lsn, 4096);
+        assert_eq!(m.log_truncations, 3);
+        assert_eq!(m.bytes_reclaimed, 157);
     }
 
     #[test]

@@ -121,6 +121,15 @@ pub struct StripedLog {
     stats: Arc<LogStats>,
     fault: Mutex<Option<Arc<FaultPlan>>>,
     fault_armed: AtomicBool,
+    /// Merged reclaim floor (gsn): every record below it has been
+    /// truncated. Persisted on *every* stripe disk before any local
+    /// truncation, read back as the max across disks (a crash mid-loop
+    /// leaves a prefix of disks carrying the new floor).
+    floor: AtomicU64,
+    /// gsn targets of merged flushes still in their issue→settle window,
+    /// with a refcount per target. The smallest key is the oldest pending
+    /// flush — truncation must never cross it.
+    pending_flushes: Arc<Mutex<BTreeMap<u64, u64>>>,
 }
 
 /// Join state of one merged flush: settles the caller's ticket when the
@@ -131,6 +140,9 @@ struct FlushJoin {
     first_settle: Mutex<Option<Instant>>,
     ticket: FlushTicket,
     stats: Arc<LogStats>,
+    /// Deregistration handle into [`StripedLog::pending_flushes`].
+    registry: Arc<Mutex<BTreeMap<u64, u64>>>,
+    gsn: u64,
 }
 
 impl StripedLog {
@@ -147,30 +159,53 @@ impl StripedLog {
         assert!(!disks.is_empty(), "a striped log needs at least one disk");
         let n = disks.len();
 
-        // Phase 1: raw-scan each stripe, collecting (gsn, local LSN,
-        // framed size) in local order. A frame that is not a striped
-        // wrapper ends that stripe's stream, like a torn tail.
+        // The persisted merged floor is the max over the stripe disks: it
+        // is written to every disk before any local truncation, so a crash
+        // mid-loop leaves some disks carrying the newest value and the
+        // rest one behind.
+        let mut merged_floor = DATA_START;
+        for disk in &disks {
+            if let Some(f) = crate::anchor::read_merged_floor(disk.as_ref())? {
+                merged_floor = merged_floor.max(f);
+            }
+        }
+
+        // Phase 1: raw-scan each stripe from its own persisted local
+        // floor (below it the device is zeros), collecting (gsn, local
+        // LSN, framed size) in local order. A frame that is not a striped
+        // wrapper ends that stripe's stream, like a torn tail. Records
+        // with gsn below the merged floor are dropped: a crash between
+        // the merged-floor persist and a stripe's local truncation leaves
+        // them on the device, but they are already reclaimed logically.
         let mut streams: Vec<Vec<(u64, u64, u64)>> = Vec::with_capacity(n);
         let mut scan_ends: Vec<u64> = Vec::with_capacity(n);
         for disk in &disks {
+            let local_floor = crate::anchor::read_floor(disk.as_ref())?
+                .unwrap_or(DATA_START)
+                .max(DATA_START);
             let mut stream = Vec::new();
-            let mut sc = RawScanner::new(Arc::clone(disk), DATA_START, None, None);
+            let mut sc = RawScanner::new(Arc::clone(disk), local_floor, None, None);
             while let Some((local, payload)) = sc.step()? {
                 let Some(gsn) = LogRecord::striped_gsn(&payload) else {
                     break;
                 };
-                stream.push((gsn.0, local, (FRAME_HEADER + payload.len()) as u64));
+                if gsn.0 >= merged_floor {
+                    stream.push((gsn.0, local, (FRAME_HEADER + payload.len()) as u64));
+                }
             }
             scan_ends.push(sc.offset());
             streams.push(stream);
         }
 
-        // Phase 2: k-way merge by gsn. The gsn space is exactly
+        // Phase 2: k-way merge by gsn, starting at the merged floor (the
+        // floor is always a surviving record's gsn or the exact append
+        // point, so contiguity from there is the same invariant as from
+        // `DATA_START` on a never-truncated log). The gsn space is exactly
         // contiguous (no padding — padding is stripe-local), so the
         // merge just looks for the stripe holding the expected gsn; the
         // first miss is the crash frontier.
         let mut heads = vec![0usize; n];
-        let mut expected = DATA_START;
+        let mut expected = merged_floor;
         let mut index = HashMap::new();
         let mut scan_tables: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
         loop {
@@ -233,6 +268,25 @@ impl StripedLog {
             )?);
         }
 
+        let stats = Arc::new(LogStats::default());
+        if merged_floor > DATA_START {
+            // Finish a truncation the crash interrupted: derive each
+            // stripe's local floor from the merged floor (the first
+            // surviving record's local position, or the whole durable
+            // extent when nothing survived) and re-drive the local
+            // truncations. Idempotent when the truncation had completed.
+            for s in 0..n {
+                let local_floor = scan_tables[s]
+                    .first()
+                    .map(|&(_, local)| local)
+                    .unwrap_or_else(|| stripes[s].durable_lsn().0);
+                if local_floor > stripes[s].floor().0 {
+                    stripes[s].truncate_below(Lsn(local_floor))?;
+                }
+            }
+            stats.note_reclaim_floor(merged_floor);
+        }
+
         Ok(Arc::new(StripedLog {
             stripes,
             states: (0..n).map(|_| Mutex::new(StripeState::default())).collect(),
@@ -240,9 +294,11 @@ impl StripedLog {
             merged: AtomicU64::new(expected),
             index: Mutex::new(index),
             scan_tables,
-            stats: Arc::new(LogStats::default()),
+            stats,
             fault: Mutex::new(None),
             fault_armed: AtomicBool::new(false),
+            floor: AtomicU64::new(merged_floor),
+            pending_flushes: Arc::new(Mutex::new(BTreeMap::new())),
         }))
     }
 
@@ -296,7 +352,7 @@ impl StripedLog {
         // Frame size is gsn-independent (the gsn is a fixed 8 bytes), so
         // it can be measured before the gsn is allocated.
         let framed = FRAME_HEADER as u64 + STRIPE_WRAPPER + record.to_bytes().len() as u64;
-        let (gsn, local) = {
+        let gsn = {
             let mut st = self.states[stripe].lock();
             // Allocation under the stripe lock: local order == gsn order.
             let gsn = self.next_gsn.fetch_add(framed, Ordering::SeqCst);
@@ -307,9 +363,13 @@ impl StripedLog {
             let (local, stripe_framed) = self.stripes[stripe].append_sized(&wrapped);
             debug_assert_eq!(stripe_framed, framed);
             st.pending.insert(gsn, local.0 + framed);
-            (gsn, local)
+            // Index insert stays inside the critical section: truncation
+            // snapshots the index while holding every stripe lock, and an
+            // allocated-but-unindexed record could otherwise be mistaken
+            // for reclaimable space.
+            self.index.lock().insert(gsn, (stripe as u32, local.0));
+            gsn
         };
-        self.index.lock().insert(gsn, (stripe as u32, local.0));
         self.stats.on_stripe_append();
         (Lsn(gsn), framed)
     }
@@ -402,12 +462,17 @@ impl StripedLog {
             ticket.settle_now(true);
             return ticket;
         }
+        // Register the merged flush for the truncation fold: until the
+        // last leg settles, the floor must stay below this target.
+        *self.pending_flushes.lock().entry(lsn.0).or_insert(0) += 1;
         let join = Arc::new(FlushJoin {
             remaining: AtomicUsize::new(legs.len()),
             ok: AtomicBool::new(true),
             first_settle: Mutex::new(None),
             ticket: ticket.clone_handle(),
             stats: Arc::clone(&self.stats),
+            registry: Arc::clone(&self.pending_flushes),
+            gsn: lsn.0,
         });
         for leg in legs {
             let join = Arc::clone(&join);
@@ -421,6 +486,16 @@ impl StripedLog {
                     *slot.get_or_insert(now)
                 };
                 if join.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    {
+                        let mut reg = join.registry.lock();
+                        if let Some(c) = reg.get_mut(&join.gsn) {
+                            if *c <= 1 {
+                                reg.remove(&join.gsn);
+                            } else {
+                                *c -= 1;
+                            }
+                        }
+                    }
                     join.stats
                         .on_merged_watermark_lag(now.duration_since(first).as_nanos() as u64);
                     let all_ok = join.ok.load(Ordering::Relaxed);
@@ -445,6 +520,95 @@ impl StripedLog {
             stripe.flush_all()?;
         }
         Ok(())
+    }
+
+    /// The merged reclaim floor (gsn): no record below it survives.
+    pub fn floor(&self) -> Lsn {
+        Lsn(self.floor.load(Ordering::Acquire))
+    }
+
+    /// gsn target of the oldest merged flush still in its issue→settle
+    /// window, if any.
+    pub fn oldest_pending_flush(&self) -> Option<Lsn> {
+        self.pending_flushes.lock().keys().next().copied().map(Lsn)
+    }
+
+    /// Advance the merged reclaim floor toward `floor` and release the
+    /// device space below it on every stripe. Returns the device bytes
+    /// newly reclaimed (summed across stripes).
+    ///
+    /// The requested floor is first clamped to the merged durability
+    /// watermark, then **snapped up** to the smallest live record gsn at
+    /// or above it (or the exact append point when nothing at or above it
+    /// is live): reopen re-merges the stripes by walking contiguous gsns
+    /// from the persisted floor, so the floor must always be a real
+    /// record's gsn or the next append's. The snap never crosses a live
+    /// record — there are no records at all between the clamped request
+    /// and the snap target. Ordering is crash-safe: the merged floor is
+    /// persisted on every stripe disk, then each stripe persists its
+    /// local floor before reclaiming; reopen completes whatever suffix of
+    /// that sequence the crash cut off.
+    pub fn truncate_below(&self, floor: Lsn) -> Result<u64, MspError> {
+        let durable = self.durable_lsn().0;
+        let cur = self.floor.load(Ordering::Acquire);
+        let req = floor.0.min(durable).max(cur).max(DATA_START);
+        if req <= cur {
+            return Ok(0);
+        }
+        // Quiesce every stripe: no append can be mid-flight while all
+        // stripe locks are held, so the index is a complete record map
+        // and `next_gsn` is the exact append point.
+        let (target, local_floors) = {
+            let _guards: Vec<_> = self.states.iter().map(|s| s.lock()).collect();
+            let mut index = self.index.lock();
+            let target = index
+                .keys()
+                .copied()
+                .filter(|&g| g >= req)
+                .min()
+                .unwrap_or_else(|| self.next_gsn.load(Ordering::SeqCst));
+            if target <= cur {
+                return Ok(0);
+            }
+            // Per-stripe local floor: the first surviving record's local
+            // position, or the stripe's whole durable extent when nothing
+            // on it survives (its volatile tail sits above the durable
+            // end, so a late flush cannot land below this floor).
+            let mut local_floors: Vec<Option<u64>> = vec![None; self.stripes.len()];
+            for (&g, &(s, local)) in index.iter() {
+                if g >= target {
+                    let slot = &mut local_floors[s as usize];
+                    *slot = Some(slot.map_or(local, |c: u64| c.min(local)));
+                }
+            }
+            // Reclaimed entries can never be read again; pruning bounds
+            // the index at O(live records).
+            index.retain(|&g, _| g >= target);
+            let local_floors: Vec<u64> = local_floors
+                .iter()
+                .enumerate()
+                .map(|(s, lf)| lf.unwrap_or_else(|| self.stripes[s].durable_lsn().0))
+                .collect();
+            (target, local_floors)
+        };
+        // Persist the merged floor on every stripe disk *before* any
+        // local truncation — reopen reads the max across disks.
+        for stripe in &self.stripes {
+            crate::anchor::write_merged_floor(stripe.disk().as_ref(), stripe.model(), target)?;
+        }
+        self.floor.fetch_max(target, Ordering::AcqRel);
+        if self.fault_point(CrashPoint::TruncateStart) {
+            return Err(MspError::Shutdown);
+        }
+        let mut reclaimed = 0;
+        for (s, stripe) in self.stripes.iter().enumerate() {
+            reclaimed += stripe.truncate_below(Lsn(local_floors[s]))?;
+        }
+        self.stats.note_reclaim_floor(target);
+        if self.fault_point(CrashPoint::TruncateComplete) {
+            return Err(MspError::Shutdown);
+        }
+        Ok(reclaimed)
     }
 
     /// Resolve a gsn to its (stripe, local LSN) home.
@@ -483,7 +647,12 @@ impl StripedLog {
     }
 
     fn scanner(&self, from: Lsn, pipelined: bool) -> StripedScanner<'_> {
-        let from = from.0.max(DATA_START);
+        // Nothing below the merged floor survives; starting there also
+        // keeps the per-stripe legs above their own local floors.
+        let from = from
+            .0
+            .max(DATA_START)
+            .max(self.floor.load(Ordering::Acquire));
         let mut legs = Vec::with_capacity(self.stripes.len());
         for (s, stripe) in self.stripes.iter().enumerate() {
             // First durable record of this stripe at or past `from`; a
@@ -734,6 +903,33 @@ impl Wal {
         match self {
             Wal::Single(l) => l.charge_sequential_read(bytes),
             Wal::Striped(s) => s.charge_sequential_read(bytes),
+        }
+    }
+
+    /// Advance the reclaim floor toward `floor` and release the device
+    /// space below it; returns the device bytes newly reclaimed. See
+    /// [`PhysicalLog::truncate_below`] / [`StripedLog::truncate_below`].
+    pub fn truncate_below(&self, floor: Lsn) -> Result<u64, MspError> {
+        match self {
+            Wal::Single(l) => l.truncate_below(floor),
+            Wal::Striped(s) => s.truncate_below(floor),
+        }
+    }
+
+    /// The current reclaim floor (LSN / merged gsn).
+    pub fn floor(&self) -> Lsn {
+        match self {
+            Wal::Single(l) => l.floor(),
+            Wal::Striped(s) => s.floor(),
+        }
+    }
+
+    /// Target of the oldest flush still pending, if any — a live
+    /// dependency the reclaim-floor fold must respect.
+    pub fn oldest_pending_flush(&self) -> Option<Lsn> {
+        match self {
+            Wal::Single(l) => l.oldest_pending_flush(),
+            Wal::Striped(s) => s.oldest_pending_flush(),
         }
     }
 
@@ -1106,6 +1302,127 @@ mod tests {
             assert!(framed > 0);
         }
         wal.close();
+    }
+
+    fn total_footprint(disks: &[MemDisk]) -> u64 {
+        disks.iter().map(|d| d.footprint()).sum()
+    }
+
+    #[test]
+    fn striped_truncation_reclaims_and_survives_reopen() {
+        let disks = mem_disks(3);
+        let log = open_striped(&disks);
+        let mut lsns = Vec::new();
+        for i in 0..30 {
+            lsns.push((log.append(&rec(i, i)), rec(i, i)));
+        }
+        log.flush_all().unwrap();
+        let before = total_footprint(&disks);
+        let floor = lsns[12].0;
+        let reclaimed = log.truncate_below(floor).unwrap();
+        assert!(reclaimed > 0, "truncation must free device bytes");
+        assert_eq!(log.floor(), floor, "floor snaps to the requested record");
+        assert_eq!(total_footprint(&disks), before - reclaimed);
+        let want: Vec<_> = lsns[12..].to_vec();
+        // Survivors still read individually; reclaimed gsns do not.
+        assert_eq!(log.read_record(lsns[20].0).unwrap(), lsns[20].1);
+        assert!(log.read_record(lsns[3].0).is_err());
+        log.close();
+
+        // Reopen: floor comes back, survivors merge contiguously from it.
+        let log = open_striped(&disks);
+        assert_eq!(log.floor(), floor);
+        let got: Vec<_> = log.scan_from(Lsn(DATA_START)).map(|r| r.unwrap()).collect();
+        assert_eq!(got, want);
+        // And the log keeps working.
+        let end_before = log.end_lsn();
+        let next = log.append(&rec(99, 0));
+        assert_eq!(next, end_before, "appends resume at the merged end");
+        log.flush_to(next).unwrap();
+        assert_eq!(log.read_record(next).unwrap(), rec(99, 0));
+        log.close();
+    }
+
+    #[test]
+    fn striped_truncation_with_no_survivors_floors_at_append_point() {
+        let disks = mem_disks(2);
+        let log = open_striped(&disks);
+        for i in 0..10 {
+            log.append(&rec(i, i));
+        }
+        log.flush_all().unwrap();
+        let end = log.end_lsn();
+        // Everything is reclaimable: the floor snaps to the append point.
+        log.truncate_below(end).unwrap();
+        assert_eq!(log.floor(), end);
+        log.close();
+
+        // Reopen at the empty-above-floor state, then append: the merge
+        // must pick the new records up contiguously from the floor.
+        let log = open_striped(&disks);
+        assert_eq!(log.floor(), end);
+        assert_eq!(log.end_lsn(), end);
+        let l = log.append(&rec(42, 0));
+        assert_eq!(l, end, "first post-truncation append sits at the floor");
+        log.flush_to(l).unwrap();
+        log.close();
+        let log = open_striped(&disks);
+        let got: Vec<_> = log.scan_from(Lsn(DATA_START)).map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![(l, rec(42, 0))]);
+        log.close();
+    }
+
+    #[test]
+    fn crash_mid_striped_truncation_recovers() {
+        let disks = mem_disks(3);
+        let floor;
+        let want: Vec<_>;
+        {
+            let log = open_striped(&disks);
+            let mut lsns = Vec::new();
+            for i in 0..24 {
+                lsns.push((log.append(&rec(i, i)), rec(i, i)));
+            }
+            log.flush_all().unwrap();
+            floor = lsns[10].0;
+            want = lsns[10..].to_vec();
+            // Merged floor persisted on every disk, no local truncation.
+            log.install_fault_plan(FaultPlan::armed(CrashPoint::TruncateStart, 1));
+            assert!(matches!(log.truncate_below(floor), Err(MspError::Shutdown)));
+        }
+        // Reopen: the advanced floor wins, the interrupted per-stripe
+        // truncations are completed, and the survivors match the
+        // untruncated baseline above the floor.
+        let log = open_striped(&disks);
+        assert_eq!(log.floor(), floor);
+        let got: Vec<_> = log.scan_from(Lsn(DATA_START)).map(|r| r.unwrap()).collect();
+        assert_eq!(got, want);
+        // Every stripe's local floor was persisted and its prefix zeroed.
+        for (s, stripe) in log.stripes().iter().enumerate() {
+            let lf = stripe.floor().0;
+            if lf > DATA_START {
+                let mut below = vec![9u8; (lf - DATA_START) as usize];
+                disks[s].read(DATA_START, &mut below).unwrap();
+                assert!(
+                    below.iter().all(|&b| b == 0),
+                    "stripe {s}: open must finish the interrupted reclaim"
+                );
+            }
+        }
+        log.close();
+    }
+
+    #[test]
+    fn striped_oldest_pending_flush_tracks_merged_tickets() {
+        let disks = mem_disks(2);
+        let log = open_striped(&disks);
+        assert_eq!(log.oldest_pending_flush(), None);
+        let l = log.append(&rec(1, 0));
+        let t = log.flush_to_async(l);
+        t.wait().unwrap();
+        // Settled tickets deregister.
+        assert_eq!(log.oldest_pending_flush(), None);
+        log.close();
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn start_server(
         msp_ckpt_interval: Duration::from_millis(10),
         force_ckpt_after: 3,
         checkpoints_enabled: true,
+        checkpoint_interval_bytes: 0,
     };
     MspBuilder::new(
         MspConfig::new(SERVER, DomainId(1))

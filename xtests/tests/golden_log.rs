@@ -33,6 +33,7 @@ fn no_ckpt_cfg(id: MspId) -> MspConfig {
             shared_ckpt_writes: u64::MAX,
             msp_ckpt_interval: Duration::from_secs(3600),
             force_ckpt_after: u32::MAX,
+            checkpoint_interval_bytes: 0,
         })
 }
 

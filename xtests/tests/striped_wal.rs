@@ -35,6 +35,7 @@ fn cfg(stripes: usize) -> MspConfig {
             shared_ckpt_writes: u64::MAX,
             msp_ckpt_interval: Duration::from_secs(3600),
             force_ckpt_after: u32::MAX,
+            checkpoint_interval_bytes: 0,
         })
 }
 
