@@ -141,6 +141,7 @@ impl MspInner {
                     epoch: self.epoch(),
                     log,
                     knowledge: &knowledge,
+                    ops: self.shared.ops(),
                 };
                 crate::shared::rollback_if_orphan(&env, var, &mut st)?;
                 return Ok(());
@@ -156,6 +157,7 @@ impl MspInner {
         st.chain_head = lsn;
         st.dv.clear();
         st.writes_since_ckpt = 0;
+        st.ops_since_value = 0;
         var.msp_ckpts_since_ckpt.store(0, Ordering::Release);
         var.sync_anchor(&st);
         self.stats

@@ -261,11 +261,32 @@ impl MspInner {
         //    variables forward, gather knowledge. The parallel engine
         //    streams chunks off the disk in a prefetch stage so decode
         //    overlaps I/O; the serial baseline alternates read/decode.
+        //
+        //    The shared replay pool is built *before* the scan so that
+        //    under overlapped recovery the scan's own chunk stream warms
+        //    it: every 64 KB block the analysis reads off the disk is
+        //    dropped into the pool in passing, and session replay — which
+        //    re-reads exactly this window — starts against a hot pool
+        //    instead of paying the disk a second time. Records recovery
+        //    appends from here on land past the pool's limit (the
+        //    crash-time durable end) and fall back to direct log reads.
+        if !self.cfg.serial_recovery {
+            let pool = Arc::new(msp_wal::BufferPool::new(
+                self.cfg.replay_cache_blocks,
+                self.cfg.replacement_policy,
+            ));
+            *self.replay_cache.lock() = Some(Arc::new(WalReplayCache::with_pool(log, &pool)));
+        }
         let mut streams: HashMap<SessionId, PositionStream> = HashMap::new();
         let mut anchors: HashMap<SessionId, (Lsn, bool)> = HashMap::new();
         let mut ended: HashSet<SessionId> = HashSet::new();
+        let warm_cache = (!self.cfg.serial_recovery && self.cfg.overlapped_recovery)
+            .then(|| self.replay_cache.lock().clone())
+            .flatten();
         let mut scan = if self.cfg.serial_recovery {
             log.scan_from(scan_start)
+        } else if let Some(cache) = &warm_cache {
+            log.scan_from_pipelined_fed(scan_start, cache)
         } else {
             log.scan_from_pipelined(scan_start)
         };
@@ -299,6 +320,7 @@ impl MspInner {
                         vst.chain_head = lsn;
                         vst.last_ckpt = Some(lsn);
                         vst.writes_since_ckpt = 0;
+                        vst.ops_since_value = 0;
                         v.sync_anchor(&vst);
                     }
                 }
@@ -330,6 +352,45 @@ impl MspInner {
                             vst.first_write = Some(lsn);
                         }
                         vst.writes_since_ckpt += 1;
+                        vst.ops_since_value = 0;
+                        v.sync_anchor(&vst);
+                    }
+                }
+                LogRecord::SharedOp {
+                    session,
+                    var,
+                    op,
+                    args,
+                    writer_dv,
+                    ..
+                } => {
+                    // Like a write, the op belongs to two recovery units:
+                    // the session's stream (the replay op-half consumes
+                    // it) and the variable, which rolls forward by
+                    // re-applying the registered operation. The scan
+                    // starts at or before the variable's anchor, so the
+                    // whole chain from the last value bearer is replayed
+                    // in order and the forward application is exact.
+                    if !ended.contains(session) {
+                        anchors.entry(*session).or_insert((lsn, false));
+                        streams.entry(*session).or_default().push(lsn);
+                    }
+                    if let Some(v) = self.shared.get(*var) {
+                        let Some(f) = self.shared.op_fn(*op) else {
+                            return Err(MspError::LogCorrupt {
+                                offset: lsn.0,
+                                reason: format!("logged shared op {op} is not registered"),
+                            });
+                        };
+                        let mut vst = v.state.lock();
+                        vst.value = f(&vst.value, args);
+                        vst.dv = writer_dv.clone();
+                        vst.chain_head = lsn;
+                        if vst.first_write.is_none() {
+                            vst.first_write = Some(lsn);
+                        }
+                        vst.writes_since_ckpt += 1;
+                        vst.ops_since_value += 1;
                         v.sync_anchor(&vst);
                     }
                 }
@@ -380,18 +441,10 @@ impl MspInner {
         });
         log.flush_to(lsn)?;
 
-        // 4. Build the shared replay cache over the now-immutable
-        //    crash-time log (everything recovery appends from here on
-        //    lands past its limit and falls back to direct log reads),
-        //    then materialize the sessions in "awaiting replay" state.
-        //    Their requests either bounce Busy or recover inline (through
-        //    the same cache) until the recovery pool reaches them.
-        if !self.cfg.serial_recovery {
-            *self.replay_cache.lock() = Some(Arc::new(WalReplayCache::new(
-                log,
-                self.cfg.replay_cache_blocks,
-            )));
-        }
+        // 4. Materialize the sessions in "awaiting replay" state. Their
+        //    requests either bounce Busy or recover inline (through the
+        //    shared replay cache built before the scan) until the
+        //    recovery pool reaches them.
         let mut to_replay = Vec::new();
         {
             let mut sessions = self.sessions.lock();

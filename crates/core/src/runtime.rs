@@ -494,6 +494,10 @@ pub struct MspInner {
     /// `false` while crashed sessions are still awaiting replay; set by
     /// the recovery pool when the replay phase completes.
     pub(crate) recovery_done: AtomicBool,
+    /// Buffer-pool counters accumulated from replay pools already
+    /// retired (the live pool's counters are read directly); together
+    /// they give the process-lifetime pool totals.
+    pub(crate) retired_pool_stats: Mutex<msp_wal::PoolStatsSnapshot>,
 }
 
 impl MspInner {
@@ -1648,12 +1652,47 @@ impl MspInner {
             self.cfg.recovery_threads.max(1)
         }
         .min(sessions.len().max(1));
+        let cache = self.replay_cache.lock().clone();
+        let prefetch_order: Vec<SessionId> = if self.cfg.recovery_prefetch && cache.is_some() {
+            sessions.iter().map(|&(sid, _)| sid).collect()
+        } else {
+            Vec::new()
+        };
         let (tx, rx) = crossbeam_channel::unbounded::<SessionId>();
         for (sid, _) in sessions {
             let _ = tx.send(sid);
         }
         drop(tx);
         std::thread::scope(|scope| {
+            // Prefetcher: walk the same longest-first schedule ahead of
+            // the workers, pulling each pending session's replay window
+            // into the buffer pool so the replaying thread finds its
+            // blocks resident. Charges the disk model on its own thread —
+            // genuine I/O overlap in simulated time. Sessions a worker
+            // already holds (state lock taken) are skipped: prefetching
+            // behind the replay cursor is wasted I/O.
+            if let (false, Some(cache)) = (prefetch_order.is_empty(), cache.clone()) {
+                let me = &self;
+                scope.spawn(move || {
+                    for sid in prefetch_order {
+                        if me.stopped() {
+                            break;
+                        }
+                        let Some(cell) = me.session(sid) else {
+                            continue;
+                        };
+                        let positions: Vec<msp_types::Lsn> = match cell.state.try_lock() {
+                            Some(st) if st.needs_recovery && !st.ended => {
+                                st.positions.iter().collect()
+                            }
+                            _ => continue,
+                        };
+                        if cache.prefetch_positions(&positions).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
             for _ in 0..threads {
                 let rx = rx.clone();
                 let me = &self;
@@ -1683,9 +1722,13 @@ impl MspInner {
         self.stats
             .recovery_replay_nanos
             .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        // The immutable crash-time window has been consumed; release the
-        // block pool so live orphan recoveries read the log directly.
-        *self.replay_cache.lock() = None;
+        // The immutable crash-time window has been consumed; bank the
+        // pool's counters and release it so live orphan recoveries read
+        // the log directly.
+        if let Some(cache) = self.replay_cache.lock().take() {
+            let mut retired = self.retired_pool_stats.lock();
+            *retired = retired.merge(&cache.pool().stats());
+        }
         self.recovery_done.store(true, Ordering::Release);
     }
 
@@ -1970,6 +2013,20 @@ impl MspBuilder {
         self
     }
 
+    /// Register a shared operation `(current value, args) -> new value`
+    /// for [`ServiceContext::apply_shared`]. Must be deterministic —
+    /// recovery re-applies it to reconstruct op-logged values — and
+    /// registration order fixes its id (same stability contract as
+    /// variables and service methods).
+    #[must_use]
+    pub fn shared_op<F>(mut self, name: &str, f: F) -> MspBuilder
+    where
+        F: Fn(&[u8], &[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        self.shared.register_op(name, f);
+        self
+    }
+
     #[must_use]
     pub fn disk_model(mut self, model: DiskModel) -> MspBuilder {
         self.disk_model = model;
@@ -2095,6 +2152,7 @@ impl MspBuilder {
             stats: RuntimeStats::default(),
             replay_cache: Mutex::new(None),
             recovery_done: AtomicBool::new(true),
+            retired_pool_stats: Mutex::new(msp_wal::PoolStatsSnapshot::default()),
         });
 
         // Crash recovery before going live (no-op on a fresh disk).
@@ -2166,10 +2224,38 @@ impl MspBuilder {
         // the domain, take a fresh MSP checkpoint, then replay sessions on
         // the dedicated recovery pool (Figure 12) — new sessions are
         // accepted concurrently on the untouched worker pool.
-        if let Some(outcome) = recovery_outcome {
+        if let Some(mut outcome) = recovery_outcome {
             if let Some(rec) = outcome.announce {
                 for peer in inner.cluster.domain_members(inner.cfg.domain, inner.cfg.id) {
                     inner.send(EndpointId::Msp(peer), Envelope::Recovery(rec));
+                }
+                // Overlapped recovery starts the replay pool *before* the
+                // post-recovery MSP checkpoint (whose distributed flush,
+                // anchor write and truncation are pure wall-clock from the
+                // sessions' point of view); the checkpoint is fuzzy by
+                // design and routinely runs concurrently with live
+                // traffic, so running it under replay changes nothing it
+                // must tolerate. The serial baseline keeps the strict
+                // scan → checkpoint → replay order.
+                let overlapped = inner.cfg.overlapped_recovery && !inner.cfg.serial_recovery;
+                let mut spawn_pool =
+                    |threads: &mut Vec<std::thread::JoinHandle<()>>| -> MspResult<()> {
+                        if outcome.sessions_to_replay.is_empty() {
+                            return Ok(());
+                        }
+                        inner.recovery_done.store(false, Ordering::Release);
+                        let pool = Arc::clone(&inner);
+                        let sessions = std::mem::take(&mut outcome.sessions_to_replay);
+                        threads.push(
+                            std::thread::Builder::new()
+                                .name(format!("{}-recovery", inner.cfg.id))
+                                .spawn(move || pool.recovery_pool(sessions))
+                                .map_err(MspError::Io)?,
+                        );
+                        Ok(())
+                    };
+                if overlapped {
+                    spawn_pool(&mut threads)?;
                 }
                 let t_ckpt = std::time::Instant::now();
                 let _ = inner.msp_checkpoint();
@@ -2177,16 +2263,8 @@ impl MspBuilder {
                     .stats
                     .recovery_checkpoint_nanos
                     .store(t_ckpt.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                if !outcome.sessions_to_replay.is_empty() {
-                    inner.recovery_done.store(false, Ordering::Release);
-                    let pool = Arc::clone(&inner);
-                    let sessions = outcome.sessions_to_replay;
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name(format!("{}-recovery", inner.cfg.id))
-                            .spawn(move || pool.recovery_pool(sessions))
-                            .map_err(MspError::Io)?,
-                    );
+                if !overlapped {
+                    spawn_pool(&mut threads)?;
                 }
             }
         }
@@ -2224,6 +2302,16 @@ impl MspHandle {
     /// reports one "stripe").
     pub fn stripe_stats(&self) -> Option<Vec<msp_wal::stats::LogStatsSnapshot>> {
         self.inner.log.as_ref().map(|l| l.stripe_stats())
+    }
+
+    /// Process-lifetime replay buffer-pool counters: retired pools'
+    /// banked totals plus the live pool's, if a recovery is in flight.
+    pub fn pool_stats(&self) -> msp_wal::PoolStatsSnapshot {
+        let retired = *self.inner.retired_pool_stats.lock();
+        match self.inner.replay_cache.lock().as_ref() {
+            Some(cache) => retired.merge(&cache.pool().stats()),
+            None => retired,
+        }
     }
 
     /// Per-shard runtime-counter breakdown, in shard order.

@@ -81,15 +81,23 @@ pub enum WorkloadShape {
     /// exactly-once oracle must hold across shard-routed sessions. The
     /// post-mortem audit switches to the striped (merged-gsn) scan.
     StripedChurn,
+    /// The Default traffic mix, but every shared-variable RMW routes
+    /// through the registered `bump` shared op and both MSPs run with
+    /// `adaptive_logging`: the per-variable diet decides between compact
+    /// `SharedOp` records and value-logged pairs live, and recovery must
+    /// roll the variables forward through op re-execution — under the
+    /// same crash schedule the Default shape draws.
+    AdaptiveOps,
 }
 
 impl WorkloadShape {
-    pub const ALL: [WorkloadShape; 5] = [
+    pub const ALL: [WorkloadShape; 6] = [
         WorkloadShape::Default,
         WorkloadShape::SharedHeavy,
         WorkloadShape::SessionChurn,
         WorkloadShape::DeepChain,
         WorkloadShape::StripedChurn,
+        WorkloadShape::AdaptiveOps,
     ];
 
     pub fn name(self) -> &'static str {
@@ -99,6 +107,7 @@ impl WorkloadShape {
             WorkloadShape::SessionChurn => "session-churn",
             WorkloadShape::DeepChain => "deep-chain",
             WorkloadShape::StripedChurn => "striped-churn",
+            WorkloadShape::AdaptiveOps => "adaptive-ops",
         }
     }
 
@@ -377,6 +386,11 @@ pub struct TortureReport {
     /// Byte-growth-triggered checkpoints across both MSPs (timer-driven
     /// ones are not counted here).
     pub checkpoints_scheduled: u64,
+    /// Process-level recovery buffer-pool counters summed over both MSPs'
+    /// final incarnations (retired pool runs of that incarnation
+    /// included; earlier incarnations' counters die with their rebuild,
+    /// like the truncation numbers above).
+    pub pool: msp_wal::PoolStatsSnapshot,
     /// Post-mortem audits (MSP1 then MSP2) on log-based configs.
     pub audits: Vec<LogAudit>,
 }
@@ -414,6 +428,16 @@ impl std::fmt::Display for TortureReport {
                 f,
                 " trunc={} reclaimed={}B byte_ckpts={}",
                 self.truncations, self.bytes_reclaimed, self.checkpoints_scheduled
+            )?;
+        }
+        if self.pool.pool_hits + self.pool.pool_misses > 0 {
+            write!(
+                f,
+                " pool={}h/{}m/{}ev/{}pf",
+                self.pool.pool_hits,
+                self.pool.pool_misses,
+                self.pool.pool_evictions,
+                self.pool.pool_prefetch_hits
             )?;
         }
         Ok(())
@@ -476,6 +500,12 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
         // truncation pressure is the long-run tier's job
         // ([`run_torture_long_run`]).
         checkpoint_interval_bytes: 0,
+        // The adaptive shape is the only schedule knob outside
+        // `Schedule::generate`: same draws as Default, different log diet.
+        adaptive_logging: opts.shape == WorkloadShape::AdaptiveOps,
+        replacement_policy: msp_wal::ReplacementPolicy::default(),
+        overlapped_recovery: true,
+        recovery_prefetch: true,
     });
 
     let (res_tx, res_rx) = crossbeam_channel::unbounded::<Result<u64, String>>();
@@ -791,6 +821,7 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
     let mut truncations = 0u64;
     let mut bytes_reclaimed = 0u64;
     let mut checkpoints_scheduled = 0u64;
+    let mut pool = msp_wal::PoolStatsSnapshot::default();
     if opts.config.is_log_based() {
         for slot in [&world.msp1, &world.msp2] {
             if let Some(ls) = slot.log_stats() {
@@ -800,6 +831,7 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
             if let Some(st) = slot.stats() {
                 checkpoints_scheduled += st.checkpoints_scheduled;
             }
+            pool = pool.merge(&slot.pool_stats());
         }
         if std::env::var_os("TORTURE_TRACE").is_some() {
             for (who, slot) in [("MSP1", &world.msp1), ("MSP2", &world.msp2)] {
@@ -812,6 +844,16 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
                     )),
                     slot.reclaim_floor(),
                     slot.footprint(),
+                );
+                let ps = slot.pool_stats();
+                eprintln!(
+                    "[trace] {who} pool hits={} misses={} evictions={} \
+                     prefetch_hits={} prefetched_blocks={}",
+                    ps.pool_hits,
+                    ps.pool_misses,
+                    ps.pool_evictions,
+                    ps.pool_prefetch_hits,
+                    ps.pool_prefetched_blocks,
                 );
             }
         }
@@ -858,6 +900,7 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
         truncations,
         bytes_reclaimed,
         checkpoints_scheduled,
+        pool,
         audits,
     })
 }
@@ -1025,6 +1068,10 @@ pub fn run_torture_long_run(opts: &LongRunOptions) -> Result<LongRunReport, Stri
         log_stripes: if opts.striped { 2 } else { 0 },
         runtime_shards: if opts.striped { 2 } else { 1 },
         checkpoint_interval_bytes: opts.checkpoint_interval_bytes,
+        adaptive_logging: false,
+        replacement_policy: msp_wal::ReplacementPolicy::default(),
+        overlapped_recovery: true,
+        recovery_prefetch: true,
     });
 
     let trace = std::env::var_os("TORTURE_TRACE").is_some();
@@ -1728,6 +1775,14 @@ mod tests {
         assert_eq!(plain.ms, churn.ms, "churn shape leaves m draws alone");
         assert_eq!(plain.events, churn.events, "and crash events too");
         assert!(plain.churn_after.iter().flatten().all(|&b| !b));
+
+        // Adaptive-ops changes the log diet, not the schedule: draw for
+        // draw it is the Default stream.
+        base.shape = WorkloadShape::AdaptiveOps;
+        let ops = Schedule::generate(&base);
+        assert_eq!(ops.ms, plain.ms, "adaptive-ops leaves m draws alone");
+        assert_eq!(ops.events, plain.events, "and crash events too");
+        assert!(ops.churn_after.iter().flatten().all(|&b| !b));
     }
 
     #[test]

@@ -19,7 +19,8 @@ use msp_wal::{DiskModel, FaultPlan, FlushPolicy, MemDisk};
 
 use crate::metrics::{RecoveryPhases, Series};
 use crate::workload::{
-    self, initial_shared, make_service_method1, request_payload, AfterReplyHook, MSP1, MSP2,
+    self, initial_shared, make_service_method1, make_service_method1_ops, request_payload,
+    AfterReplyHook, MSP1, MSP2,
 };
 
 /// Log flush scheduling (§5.5 and beyond).
@@ -128,6 +129,19 @@ pub struct WorldOptions {
     /// truncate behind the reclaim floor) once this many log bytes have
     /// accumulated since the last one. `0` leaves the timer in charge.
     pub checkpoint_interval_bytes: u64,
+    /// Route every shared-variable RMW of the workload through the
+    /// registered `bump` shared op and run the MSPs with
+    /// `adaptive_logging` — the per-variable value/operation logging
+    /// diet. Off, the workload uses the classic value-logged
+    /// `update_shared` path (byte-identical logs to the pre-diet rig).
+    pub adaptive_logging: bool,
+    /// Replacement policy of the process-wide recovery buffer pool.
+    pub replacement_policy: msp_wal::ReplacementPolicy,
+    /// Overlap recovery phases: warm the pool from the analysis scan and
+    /// start replay before the recovery checkpoint (the default).
+    pub overlapped_recovery: bool,
+    /// Run the longest-first schedule prefetcher during pool recovery.
+    pub recovery_prefetch: bool,
 }
 
 impl WorldOptions {
@@ -148,6 +162,10 @@ impl WorldOptions {
             log_stripes: 0,
             runtime_shards: 1,
             checkpoint_interval_bytes: 0,
+            adaptive_logging: false,
+            replacement_policy: msp_wal::ReplacementPolicy::default(),
+            overlapped_recovery: true,
+            recovery_prefetch: true,
         }
     }
 }
@@ -191,17 +209,35 @@ impl MspSlot {
         if let Some(plan) = self.fault.lock().clone() {
             b = b.fault_plan(plan);
         }
+        // The bump op is registered on every incarnation (registration
+        // writes nothing to the log); the service methods route through it
+        // only on the adaptive-logging worlds.
+        b = b.shared_op(workload::BUMP_OP, workload::bump_op);
+        let ops = self.cfg.adaptive_logging;
         b = if self.id == MSP1 {
-            b.shared_var("SV0", initial_shared())
-                .shared_var("SV1", initial_shared())
-                .service(
+            let b = b
+                .shared_var("SV0", initial_shared())
+                .shared_var("SV1", initial_shared());
+            if ops {
+                b.service(
+                    "ServiceMethod1",
+                    make_service_method1_ops(self.hook.clone(), self.hook_every),
+                )
+            } else {
+                b.service(
                     "ServiceMethod1",
                     make_service_method1(self.hook.clone(), self.hook_every),
                 )
+            }
         } else {
-            b.shared_var("SV2", initial_shared())
-                .shared_var("SV3", initial_shared())
-                .service("ServiceMethod2", workload::service_method2)
+            let b = b
+                .shared_var("SV2", initial_shared())
+                .shared_var("SV3", initial_shared());
+            if ops {
+                b.service("ServiceMethod2", workload::service_method2_ops)
+            } else {
+                b.service("ServiceMethod2", workload::service_method2)
+            }
         };
         b.start_with_disks(
             &self.net,
@@ -331,6 +367,18 @@ impl MspSlot {
         self.handle.lock().as_ref().and_then(|h| h.stripe_stats())
     }
 
+    /// Process-level recovery buffer-pool counters of the *current*
+    /// incarnation (retired pool runs included via the runtime's banked
+    /// snapshot); zeroes while the MSP is down. Like
+    /// [`Self::log_stats`], the numbers reset at each rebuild.
+    pub fn pool_stats(&self) -> msp_wal::PoolStatsSnapshot {
+        self.handle
+            .lock()
+            .as_ref()
+            .map(|h| h.pool_stats())
+            .unwrap_or_default()
+    }
+
     /// Per-shard runtime-counter breakdown (empty while the MSP is down).
     pub fn shard_stats(&self) -> Vec<msp_core::runtime::ShardStatsSnapshot> {
         self.handle
@@ -416,7 +464,11 @@ impl World {
                 .with_blocking_durability(opts.blocking_durability)
                 .with_blocking_send_durability(opts.blocking_send_durability)
                 .with_log_stripes(opts.log_stripes)
-                .with_runtime_shards(opts.runtime_shards);
+                .with_runtime_shards(opts.runtime_shards)
+                .with_adaptive_logging(opts.adaptive_logging)
+                .with_replacement_policy(opts.replacement_policy)
+                .with_overlapped_recovery(opts.overlapped_recovery)
+                .with_recovery_prefetch(opts.recovery_prefetch);
             c.rpc_timeout = Duration::from_millis(15);
             c.flush_retry_limit = 2_000;
             c

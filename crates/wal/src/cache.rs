@@ -1,4 +1,4 @@
-//! Shared read-only block cache over the immutable crash-time log.
+//! Replay read view over the process-wide [`BufferPool`].
 //!
 //! During MSP crash recovery the log below the recovered LSN is immutable:
 //! recovery appends (RecoveryComplete, EOS markers, checkpoints) only ever
@@ -9,12 +9,20 @@
 //! disk model is charged **per miss**, so overlapping replay windows no
 //! longer double- or triple-bill the simulated disk.
 //!
-//! Eviction is clock (second-chance): a fixed pool of
-//! `replay_cache_blocks` slots, a reference bit per slot, and a hand that
-//! clears bits until it finds a cold slot. Blocks are handed out as
+//! PR 3 gave each recovery its own fixed clock pool; the slots now live
+//! in a shared [`BufferPool`] (one per process when runtimes are
+//! co-located) and a `ReplayCache` is one registered *source* in it: a
+//! thin view binding a pool source id to one physical log. Eviction
+//! policy is the pool's ([`ReplacementPolicy`]); blocks are handed out as
 //! `Arc<Vec<u8>>` so a lookup clones the Arc and drops the bookkeeping
 //! lock before any byte is copied; concurrent misses on the same block
 //! may both read the device (both are counted — that is real I/O).
+//!
+//! Reads at or past [`limit`](ReplayCache::limit) (records appended
+//! *during* recovery, e.g. EOS markers) go to the owning log, which can
+//! serve its own volatile tail — and the decoded record is memoized, so a
+//! hot tail record (a fresh EOS probed by every subsequent replay step)
+//! costs one log read instead of one per access.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -27,29 +35,11 @@ use crate::crc::crc32;
 use crate::disk::Disk;
 use crate::log::{PhysicalLog, FRAME_HEADER, FRAME_MAGIC, MAX_RECORD, SCAN_CHUNK};
 use crate::model::DiskModel;
+use crate::pool::{BufferPool, ReplacementPolicy, ScanFeed};
 use crate::record::LogRecord;
 
-/// One cached block.
-struct Slot {
-    /// Block number (`offset / SCAN_CHUNK`), `None` while the slot is
-    /// still empty.
-    block: Option<u64>,
-    data: Arc<Vec<u8>>,
-    /// Clock reference bit: set on hit, cleared as the hand passes.
-    referenced: bool,
-}
-
-struct CacheInner {
-    map: HashMap<u64, usize>,
-    slots: Vec<Slot>,
-    hand: usize,
-}
-
-/// Fixed-size cache of 64 KB log blocks, shared by all replaying
-/// sessions of one MSP. See the module docs for the immutability
-/// argument; reads at or past [`limit`](ReplayCache::limit) (records
-/// appended *during* recovery, e.g. EOS markers) bypass the cache and go
-/// to the owning log, which can serve its own volatile tail.
+/// Replay view over one physical log: a registered source in a (possibly
+/// shared) [`BufferPool`]. See the module docs.
 pub struct ReplayCache {
     log: Arc<PhysicalLog>,
     disk: Arc<dyn Disk>,
@@ -57,32 +47,34 @@ pub struct ReplayCache {
     /// End of the immutable region: the log's durable end when the cache
     /// was created.
     limit: u64,
-    inner: Mutex<CacheInner>,
+    pool: Arc<BufferPool>,
+    source: u32,
+    /// Decoded records read past `limit` (the volatile recovery tail):
+    /// the log is append-only, so a record at an LSN never changes and
+    /// one read serves every subsequent access.
+    tail: Mutex<HashMap<u64, (LogRecord, u64)>>,
 }
 
 impl ReplayCache {
-    /// Build a cache of `blocks` 64 KB slots over `log`'s current durable
-    /// prefix. `blocks` is clamped to at least 1.
+    /// Build a private cache of `blocks` 64 KB slots over `log`'s current
+    /// durable prefix (clock replacement — the PR 3 behaviour).
     pub fn new(log: &Arc<PhysicalLog>, blocks: usize) -> ReplayCache {
-        let blocks = blocks.max(1);
-        let mut slots = Vec::with_capacity(blocks);
-        for _ in 0..blocks {
-            slots.push(Slot {
-                block: None,
-                data: Arc::new(Vec::new()),
-                referenced: false,
-            });
-        }
+        ReplayCache::with_pool(
+            log,
+            &Arc::new(BufferPool::new(blocks, ReplacementPolicy::Clock)),
+        )
+    }
+
+    /// A view over `log` borrowing slots from a shared `pool`.
+    pub fn with_pool(log: &Arc<PhysicalLog>, pool: &Arc<BufferPool>) -> ReplayCache {
         ReplayCache {
             log: Arc::clone(log),
             disk: log.disk(),
             model: log.model().clone(),
             limit: log.durable_lsn().0,
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                slots,
-                hand: 0,
-            }),
+            pool: Arc::clone(pool),
+            source: pool.register(),
+            tail: Mutex::new(HashMap::new()),
         }
     }
 
@@ -92,54 +84,61 @@ impl ReplayCache {
         self.limit
     }
 
+    /// The backing pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Feed handle for this view's source: the analysis scan pushes the
+    /// chunks it reads here so replay finds them resident.
+    pub fn feed(&self) -> ScanFeed {
+        ScanFeed::new(&self.pool, self.source)
+    }
+
+    /// Pull the blocks containing `positions` into the pool ahead of a
+    /// replaying worker (one charged sequential read per absent block;
+    /// resident blocks cost nothing and are not promoted).
+    pub fn prefetch_positions(&self, positions: &[Lsn]) -> Result<(), MspError> {
+        let mut blocks: Vec<u64> = positions
+            .iter()
+            .filter(|l| l.0 < self.limit)
+            .map(|l| l.0 / SCAN_CHUNK as u64)
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        for block_no in blocks {
+            self.pool.prefetch_with(self.source, block_no, || {
+                self.model.charge_read(128);
+                let off = block_no * SCAN_CHUNK as u64;
+                let mut data = vec![0u8; SCAN_CHUNK];
+                let n = self.disk.read(off, &mut data).map_err(MspError::Io)?;
+                data.truncate(n);
+                Ok(data)
+            })?;
+        }
+        Ok(())
+    }
+
     /// Fetch the 64 KB block containing `offset`, from the pool or the
     /// device (one miss = one charged sequential read).
     fn block(&self, block_no: u64) -> Result<Arc<Vec<u8>>, MspError> {
-        {
-            let mut inner = self.inner.lock();
-            if let Some(&slot) = inner.map.get(&block_no) {
-                inner.slots[slot].referenced = true;
-                self.log.stats_ref().on_replay_cache_hit();
-                return Ok(Arc::clone(&inner.slots[slot].data));
-            }
+        let (data, outcome) = self.pool.get(self.source, block_no, || {
+            // Miss: the device read (and its bill) happens outside the
+            // pool lock so other sessions keep hitting meanwhile.
+            self.log.stats_ref().on_replay_cache_miss();
+            self.model.charge_read(128);
+            let off = block_no * SCAN_CHUNK as u64;
+            let mut data = vec![0u8; SCAN_CHUNK];
+            let n = self.disk.read(off, &mut data).map_err(MspError::Io)?;
+            data.truncate(n);
+            Ok(data)
+        })?;
+        if outcome.hit {
+            self.log.stats_ref().on_replay_cache_hit();
         }
-        // Miss: do the device read (and pay for it) outside the lock so
-        // other sessions keep hitting the cache meanwhile.
-        self.log.stats_ref().on_replay_cache_miss();
-        self.model.charge_read(128);
-        let off = block_no * SCAN_CHUNK as u64;
-        let mut data = vec![0u8; SCAN_CHUNK];
-        let n = self.disk.read(off, &mut data).map_err(MspError::Io)?;
-        data.truncate(n);
-        let data = Arc::new(data);
-
-        let mut inner = self.inner.lock();
-        if let Some(&slot) = inner.map.get(&block_no) {
-            // A concurrent miss installed it first; serve theirs.
-            inner.slots[slot].referenced = true;
-            return Ok(Arc::clone(&inner.slots[slot].data));
-        }
-        // Clock eviction: clear reference bits until a cold slot turns up
-        // (bounded: after one full sweep every bit is clear).
-        let victim = loop {
-            let hand = inner.hand;
-            inner.hand = (inner.hand + 1) % inner.slots.len();
-            if inner.slots[hand].referenced {
-                inner.slots[hand].referenced = false;
-            } else {
-                break hand;
-            }
-        };
-        if let Some(old) = inner.slots[victim].block.take() {
-            inner.map.remove(&old);
+        if outcome.evicted {
             self.log.stats_ref().on_replay_cache_eviction();
         }
-        inner.slots[victim] = Slot {
-            block: Some(block_no),
-            data: Arc::clone(&data),
-            referenced: true,
-        };
-        inner.map.insert(block_no, victim);
         Ok(data)
     }
 
@@ -194,10 +193,15 @@ impl ReplayCache {
 
     /// Read and decode the record at `lsn`, plus its framed size.
     /// Records at or past the immutable limit (appended during recovery)
-    /// transparently fall back to the owning log.
+    /// transparently fall back to the owning log, memoized per LSN.
     pub fn read_record_sized(&self, lsn: Lsn) -> Result<(LogRecord, u64), MspError> {
         if lsn.0 >= self.limit {
-            return self.log.read_record_sized(lsn);
+            if let Some(hit) = self.tail.lock().get(&lsn.0) {
+                return Ok(hit.clone());
+            }
+            let out = self.log.read_record_sized(lsn)?;
+            self.tail.lock().insert(lsn.0, out.clone());
+            return Ok(out);
         }
         let payload = self.read_frame(lsn)?;
         let framed = (FRAME_HEADER + payload.len()) as u64;
@@ -211,6 +215,14 @@ impl ReplayCache {
     /// Read and decode the record at `lsn`.
     pub fn read_record(&self, lsn: Lsn) -> Result<LogRecord, MspError> {
         self.read_record_sized(lsn).map(|(rec, _)| rec)
+    }
+}
+
+impl Drop for ReplayCache {
+    fn drop(&mut self) {
+        // Return this view's slots to the shared pool: a shard that
+        // finishes recovery gives its memory to the shards still going.
+        self.pool.retire(self.source);
     }
 }
 
@@ -311,6 +323,74 @@ mod tests {
         let late = log.append(&rec(2, 0, 100));
         assert!(late.0 >= cache.limit());
         assert_eq!(cache.read_record(late).unwrap(), rec(2, 0, 100));
+        log.close();
+    }
+
+    #[test]
+    fn tail_reads_are_memoized() {
+        let (log, _) = logged(3, 100);
+        let cache = ReplayCache::new(&log, 4);
+        let late = log.append(&rec(2, 0, 100));
+        let before = log.stats().record_reads;
+        for _ in 0..5 {
+            assert_eq!(cache.read_record(late).unwrap(), rec(2, 0, 100));
+        }
+        // One log read serves all five accesses of the hot tail record.
+        assert_eq!(log.stats().record_reads, before + 1);
+        log.close();
+    }
+
+    #[test]
+    fn shared_pool_serves_two_logs_without_aliasing() {
+        let (log_a, lsns_a) = logged(4, 100);
+        let (log_b, lsns_b) = logged(4, 100);
+        let pool = Arc::new(BufferPool::new(4, ReplacementPolicy::Lru));
+        let a = ReplayCache::with_pool(&log_a, &pool);
+        let b = ReplayCache::with_pool(&log_b, &pool);
+        // Identical LSNs on both logs: the source id keys them apart.
+        for (i, (&la, &lb)) in lsns_a.iter().zip(&lsns_b).enumerate() {
+            assert_eq!(a.read_record(la).unwrap(), rec(1, i as u64, 100));
+            assert_eq!(b.read_record(lb).unwrap(), rec(1, i as u64, 100));
+        }
+        assert_eq!(pool.stats().pool_misses, 2, "one block per log");
+        // Dropping one view frees its slots but leaves the other's.
+        drop(a);
+        let before = pool.stats().pool_misses;
+        let _ = b.read_record(lsns_b[0]).unwrap();
+        assert_eq!(pool.stats().pool_misses, before);
+        log_a.close();
+        log_b.close();
+    }
+
+    #[test]
+    fn prefetched_positions_serve_replay_without_demand_misses() {
+        let (log, lsns) = logged(10, 100);
+        let cache = ReplayCache::new(&log, 4);
+        cache.prefetch_positions(&lsns).unwrap();
+        for (i, &lsn) in lsns.iter().enumerate() {
+            assert_eq!(cache.read_record(lsn).unwrap(), rec(1, i as u64, 100));
+        }
+        let s = log.stats();
+        assert_eq!(s.replay_cache_misses, 0, "prefetch covered the window");
+        let p = cache.pool().stats();
+        assert_eq!(p.pool_prefetched_blocks, 1);
+        assert_eq!(p.pool_prefetch_hits, 1);
+        log.close();
+    }
+
+    #[test]
+    fn scan_feed_warms_the_pool() {
+        let (log, lsns) = logged(10, 100);
+        let cache = ReplayCache::new(&log, 4);
+        // Simulate the analysis scan handing over its first chunk.
+        let mut chunk = vec![0u8; SCAN_CHUNK];
+        let n = log.disk().read(0, &mut chunk).unwrap();
+        chunk.truncate(n);
+        cache.feed().insert(0, chunk);
+        for &lsn in &lsns {
+            let _ = cache.read_record(lsn).unwrap();
+        }
+        assert_eq!(log.stats().replay_cache_misses, 0);
         log.close();
     }
 

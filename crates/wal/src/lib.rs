@@ -15,8 +15,10 @@
 //! * [`log`] — the physical log itself: buffered appends, sector-aligned
 //!   flushes, group commit with optional *batch flushing* (§5.5), random
 //!   record reads and the crash-recovery scanner.
-//! * [`cache`] — a fixed pool of 64 KB blocks over the immutable
-//!   crash-time log, shared by all concurrently replaying sessions.
+//! * [`pool`] — the process-wide buffer pool of 64 KB log blocks with
+//!   pluggable replacement (clock / LRU / SIEVE) and prefetch tracking.
+//! * [`cache`] — the replay read view: one registered pool source bound
+//!   to one physical log, shared by all concurrently replaying sessions.
 //! * [`anchor`] — the ARIES-style log anchor holding the LSN of the most
 //!   recent MSP checkpoint (§3.4).
 //! * [`fault`] — seed-driven crash-point injection: countdown-armed crash
@@ -32,6 +34,7 @@ pub mod disk;
 pub mod fault;
 pub mod log;
 pub mod model;
+pub mod pool;
 pub mod position;
 pub mod record;
 pub mod stats;
@@ -44,6 +47,7 @@ pub use disk::{Disk, FileDisk, MemDisk};
 pub use fault::{CrashPoint, FaultPlan};
 pub use log::{FlushPolicy, FlushTicket, LogScanner, PhysicalLog, SECTOR_SIZE};
 pub use model::DiskModel;
+pub use pool::{BufferPool, PoolStatsSnapshot, ReplacementPolicy, ScanFeed};
 pub use position::PositionStream;
 pub use record::{LogRecord, MspCheckpointBody, SessionCheckpointBody};
 pub use stats::LogStats;
